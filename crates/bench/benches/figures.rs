@@ -1,0 +1,107 @@
+//! Criterion coverage of every figure's measurement path, at reduced
+//! scale, so `cargo bench --workspace` exercises the same code that the
+//! `fig*` binaries run at full scale: composition sweeps (Fig. 6–8),
+//! the protocol-latency instrumentation (Fig. 9), the idealized-handshake
+//! ablation (§6.4), the TRIPS/baseline comparison (Fig. 5), the
+//! multiprogrammed chip (Fig. 10's contention), and the allocation DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn workload(name: &str) -> clp_workloads::Workload {
+    clp_workloads::suite::by_name(name).expect("known workload")
+}
+
+/// Fig. 6/7/8 path: a composition sweep of one benchmark.
+fn fig678_sweep(c: &mut Criterion) {
+    let cw = clp_core::compile_workload(&workload("autocor")).expect("compiles");
+    c.bench_function("figures/sweep_autocor_1_8_32", |b| {
+        b.iter(|| {
+            for n in [1usize, 8, 32] {
+                let r = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(n))
+                    .expect("runs");
+                black_box(r.stats.cycles);
+                black_box(r.power.total());
+                black_box(r.area_mm2);
+            }
+        })
+    });
+}
+
+/// Fig. 5 path: TRIPS mode plus the conventional baseline.
+fn fig5_compare(c: &mut Criterion) {
+    let w = workload("rspeed");
+    let cw = clp_core::compile_workload(&w).expect("compiles");
+    c.bench_function("figures/fig5_rspeed", |b| {
+        b.iter(|| {
+            let t = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::trips())
+                .expect("runs");
+            let base = clp_baseline::run_baseline(
+                &w.program,
+                &w.args,
+                &w.init_mem,
+                &clp_baseline::BaselineConfig::core2(),
+            );
+            black_box(base.cycles as f64 / t.stats.cycles as f64)
+        })
+    });
+}
+
+/// Fig. 9 path: protocol-latency instrumentation across two sizes.
+fn fig9_breakdown(c: &mut Criterion) {
+    let cw = clp_core::compile_workload(&workload("tblook")).expect("compiles");
+    c.bench_function("figures/fig9_tblook", |b| {
+        b.iter(|| {
+            for n in [4usize, 16] {
+                let r = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(n))
+                    .expect("runs");
+                let ps = &r.stats.procs[0];
+                black_box(ps.fetch_latency().total());
+                black_box(ps.commit_latency().total());
+            }
+        })
+    });
+}
+
+/// §6.4 path: modeled versus instantaneous handshakes.
+fn handshake_ablation(c: &mut Criterion) {
+    let cw = clp_core::compile_workload(&workload("conv")).expect("compiles");
+    c.bench_function("figures/ablation_handshake_conv_x16", |b| {
+        b.iter(|| {
+            let modeled = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(16))
+                .expect("runs");
+            let mut ideal = clp_core::ProcessorConfig::tflex(16);
+            ideal.sim.protocol = clp_sim::ProtocolTiming::Instant;
+            let ideal = clp_core::run_compiled(&cw, &ideal).expect("runs");
+            black_box(modeled.stats.cycles as f64 / ideal.stats.cycles as f64)
+        })
+    });
+}
+
+/// Fig. 10 path: a real multiprogrammed chip plus the allocation DP.
+fn fig10_multiprogram(c: &mut Criterion) {
+    c.bench_function("figures/fig10_two_program_chip", |b| {
+        b.iter(|| {
+            let out = clp_core::run_multiprogram(&[
+                clp_core::ProgramSpec {
+                    workload: workload("conv"),
+                    cores: 8,
+                },
+                clp_core::ProgramSpec {
+                    workload: workload("tblook"),
+                    cores: 2,
+                },
+            ])
+            .expect("runs");
+            assert!(out.correct.iter().all(|&x| x));
+            black_box(out.cycles)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig678_sweep, fig5_compare, fig9_breakdown, handshake_ablation, fig10_multiprogram
+}
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks for each substrate: simulator throughput,
+//! compiler throughput, mesh routing, predictor machinery, LSQ search,
+//! and the allocation DP. These measure *this repository's* code speed
+//! (how fast the simulator simulates), complementing the `fig*` binaries
+//! that measure the *simulated machine*.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_compiler(c: &mut Criterion) {
+    let w = clp_workloads::suite::by_name("genalg").expect("exists");
+    c.bench_function("compile/genalg", |b| {
+        b.iter(|| {
+            clp_compiler::compile(
+                black_box(&w.program),
+                &clp_compiler::CompileOptions::default(),
+            )
+            .expect("compiles")
+        })
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    c.bench_function("interpret/conv", |b| {
+        b.iter_batched(
+            || w.initial_image(),
+            |mut image| {
+                clp_compiler::interpret(&w.program, &w.args, &mut image, 10_000_000)
+                    .expect("interprets")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    let cw = clp_core::compile_workload(&w).expect("compiles");
+    for n in [1usize, 8, 32] {
+        c.bench_function(&format!("simulate/conv/x{n}"), |b| {
+            b.iter(|| {
+                clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(n))
+                    .expect("runs")
+            })
+        });
+    }
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    c.bench_function("baseline/conv", |b| {
+        b.iter(|| {
+            clp_baseline::run_baseline(
+                black_box(&w.program),
+                &w.args,
+                &w.init_mem,
+                &clp_baseline::BaselineConfig::core2(),
+            )
+        })
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    use clp_isa::{InstId, Operand, Target};
+    c.bench_function("noc/mesh_1000_messages", |b| {
+        b.iter(|| {
+            let mut mesh: clp_noc::Mesh<Target> =
+                clp_noc::Mesh::new(clp_noc::MeshConfig::tflex_operand());
+            for i in 0..1000usize {
+                mesh.inject(
+                    clp_noc::NodeId(i % 32),
+                    clp_noc::NodeId((i * 7) % 32),
+                    Target::new(InstId::new(i % 128), Operand::Left),
+                );
+            }
+            let mut delivered = 0;
+            while !mesh.is_idle() {
+                mesh.step();
+                delivered += mesh.drain_delivered().len();
+            }
+            assert_eq!(delivered, 1000);
+        })
+    });
+}
+
+fn bench_lsq(c: &mut Criterion) {
+    c.bench_function("mem/lsq_fill_and_commit", |b| {
+        b.iter(|| {
+            let mut image = clp_mem::MemoryImage::new();
+            let mut lsq = clp_mem::LsqBank::new(44);
+            for i in 0..22u64 {
+                let _ = lsq.execute_store(i * 2, i * 8, 8, i);
+                let _ = lsq.execute_load(i * 2 + 1, i * 8, 8, &image);
+            }
+            black_box(lsq.commit_range(0, 64, &mut image));
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    use clp_predictor::{ComposedPredictor, ExitOutcome, PredictorConfig};
+    c.bench_function("predictor/loop_1000_blocks", |b| {
+        b.iter(|| {
+            let mut p = ComposedPredictor::new(PredictorConfig::tflex(), 8);
+            for i in 0..1000u64 {
+                let addr = 0x1000 + (i % 4) * 512;
+                let pred = p.predict(addr);
+                let actual = ExitOutcome {
+                    exit_id: (i % 2) as u8,
+                    kind: clp_isa::BranchKind::Branch,
+                    target: 0x1000 + ((i + 1) % 4) * 512,
+                };
+                let miss = pred.target != actual.target;
+                p.resolve(addr, &pred, &actual, miss);
+            }
+            black_box(p.misprediction_rate())
+        })
+    });
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    use clp_alloc::{optimal_clp, SpeedupCurve};
+    let curves: Vec<SpeedupCurve> = (0..16)
+        .map(|i| {
+            let sat = 1 << (i % 6);
+            let samples: Vec<(usize, f64)> = clp_alloc::SIZES
+                .iter()
+                .map(|&c| (c, (c.min(sat) as f64).powf(0.6)))
+                .collect();
+            SpeedupCurve::new(&format!("w{i}"), &samples)
+        })
+        .collect();
+    c.bench_function("alloc/dp_16_apps", |b| {
+        b.iter(|| black_box(optimal_clp(black_box(&curves))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compiler,
+    bench_interpreter,
+    bench_simulator,
+    bench_baseline,
+    bench_mesh,
+    bench_lsq,
+    bench_predictor,
+    bench_alloc
+);
+criterion_main!(benches);

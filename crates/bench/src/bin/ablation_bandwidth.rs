@@ -1,0 +1,39 @@
+//! Ablation: the operand-network bandwidth doubling (one of the two
+//! TFlex optimizations over TRIPS, §5). Runs the suite at 8 and 16 cores
+//! with link bandwidth 1 (TRIPS-like) versus 2 (TFlex).
+
+use clp_bench::{geomean, save_json};
+use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    speedup_from_double_bw_pct: f64,
+}
+
+fn main() {
+    let workloads = suite::all();
+    let mut series = Vec::new();
+    for &n in &[8usize, 16] {
+        let mut ratios = Vec::new();
+        for w in &workloads {
+            let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let wide = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let mut narrow_cfg = ProcessorConfig::tflex(n);
+            narrow_cfg.sim.operand_net.link_bandwidth = 1;
+            let narrow = run_compiled(&cw, &narrow_cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            ratios.push(narrow.stats.cycles as f64 / wide.stats.cycles as f64);
+        }
+        let pct = 100.0 * (geomean(&ratios) - 1.0);
+        println!("{n:>2} cores: doubling operand bandwidth buys {pct:+.1}%");
+        series.push(Point {
+            cores: n,
+            speedup_from_double_bw_pct: pct,
+        });
+    }
+    save_json("ablation_bandwidth.json", &series);
+}

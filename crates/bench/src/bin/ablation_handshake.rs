@@ -1,0 +1,47 @@
+//! §6.4 ablation: how much performance do the distributed-protocol
+//! handshakes cost? Compares the modeled control protocol against an
+//! idealized machine where all handshaking is instantaneous.
+//!
+//! Paper result: less than 2% degradation at the largest (32-core)
+//! composition — the block-structured ISA amortizes the coordination.
+
+use clp_bench::{geomean, save_json};
+use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_sim::ProtocolTiming;
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    /// Geomean slowdown of modeled handshakes vs instantaneous ones.
+    overhead_pct: f64,
+}
+
+fn main() {
+    let workloads = suite::all();
+    let mut series = Vec::new();
+    for &n in &[4usize, 8, 16, 32] {
+        let mut ratios = Vec::new();
+        for w in &workloads {
+            let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let modeled = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{} modeled on {n}: {e}", w.name));
+            let mut ideal_cfg = ProcessorConfig::tflex(n);
+            ideal_cfg.sim.protocol = ProtocolTiming::Instant;
+            let ideal = run_compiled(&cw, &ideal_cfg)
+                .unwrap_or_else(|e| panic!("{} ideal on {n}: {e}", w.name));
+            ratios.push(modeled.stats.cycles as f64 / ideal.stats.cycles as f64);
+        }
+        let overhead_pct = 100.0 * (geomean(&ratios) - 1.0);
+        println!(
+            "{n:>2} cores: modeled handshakes cost {overhead_pct:+.1}% vs instantaneous"
+        );
+        series.push(Point {
+            cores: n,
+            overhead_pct,
+        });
+    }
+    println!("paper: <2% at 32 cores");
+    save_json("ablation_handshake.json", &series);
+}

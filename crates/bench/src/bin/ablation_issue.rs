@@ -1,0 +1,39 @@
+//! Ablation: limited dual issue (the second TFlex optimization over the
+//! single-issue TRIPS tiles, §5). Runs the suite at 8 and 16 cores with
+//! issue width 1 versus 2.
+
+use clp_bench::{geomean, save_json};
+use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    speedup_from_dual_issue_pct: f64,
+}
+
+fn main() {
+    let workloads = suite::all();
+    let mut series = Vec::new();
+    for &n in &[8usize, 16] {
+        let mut ratios = Vec::new();
+        for w in &workloads {
+            let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let dual = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let mut single_cfg = ProcessorConfig::tflex(n);
+            single_cfg.sim.core.issue_width = 1;
+            let single = run_compiled(&cw, &single_cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            ratios.push(single.stats.cycles as f64 / dual.stats.cycles as f64);
+        }
+        let pct = 100.0 * (geomean(&ratios) - 1.0);
+        println!("{n:>2} cores: dual issue buys {pct:+.1}%");
+        series.push(Point {
+            cores: n,
+            speedup_from_dual_issue_pct: pct,
+        });
+    }
+    save_json("ablation_issue.json", &series);
+}

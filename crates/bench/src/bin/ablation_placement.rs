@@ -1,0 +1,46 @@
+//! Ablation: placement-aware instruction scheduling (§4.4 / Figure 4a).
+//! Compiles the suite with and without the locality scheduler and
+//! compares cycles at 8 and 32 cores.
+
+use clp_bench::{geomean, save_json};
+use clp_compiler::{compile, CompileOptions};
+use clp_core::{run_compiled, CompiledWorkload, ProcessorConfig};
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    speedup_from_placement_pct: f64,
+}
+
+fn main() {
+    let workloads = suite::all();
+    let mut series = Vec::new();
+    for &n in &[8usize, 32] {
+        let mut ratios = Vec::new();
+        for w in &workloads {
+            let unplaced_opts = CompileOptions {
+                placement: false,
+                ..Default::default()
+            };
+            let make = |opts: &CompileOptions| CompiledWorkload {
+                golden: w.golden(),
+                workload: w.clone(),
+                edge: compile(&w.program, opts).unwrap_or_else(|e| panic!("{}: {e}", w.name)),
+            };
+            let placed = run_compiled(&make(&CompileOptions::default()), &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{} placed: {e}", w.name));
+            let unplaced = run_compiled(&make(&unplaced_opts), &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{} unplaced: {e}", w.name));
+            ratios.push(unplaced.stats.cycles as f64 / placed.stats.cycles as f64);
+        }
+        let pct = 100.0 * (geomean(&ratios) - 1.0);
+        println!("{n:>2} cores: locality-aware placement buys {pct:+.1}%");
+        series.push(Point {
+            cores: n,
+            speedup_from_placement_pct: pct,
+        });
+    }
+    save_json("ablation_placement.json", &series);
+}

@@ -1,0 +1,61 @@
+//! Ablation: distributed versus centralized next-block prediction and
+//! control (§4.3). The centralized variant sequences every block through
+//! core 0 with a single predictor bank, as the TRIPS prototype does;
+//! the distributed variant is standard TFlex.
+
+use clp_bench::{geomean, save_json};
+use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    speedup_from_distribution_pct: f64,
+    mispredict_rate_distributed: f64,
+    mispredict_rate_centralized: f64,
+}
+
+fn main() {
+    let workloads = suite::all();
+    let mut series = Vec::new();
+    for &n in &[8usize, 16, 32] {
+        let mut ratios = Vec::new();
+        let mut mp_d = Vec::new();
+        let mut mp_c = Vec::new();
+        for w in &workloads {
+            let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let dist = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let mut central_cfg = ProcessorConfig::tflex(n);
+            central_cfg.sim.centralized_control = true;
+            let central = run_compiled(&cw, &central_cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            ratios.push(central.stats.cycles as f64 / dist.stats.cycles as f64);
+            let rate = |r: &clp_core::RunOutcome| {
+                let p = &r.stats.procs[0].predictor;
+                if p.predictions == 0 {
+                    0.0
+                } else {
+                    p.mispredictions as f64 / p.predictions as f64
+                }
+            };
+            mp_d.push(rate(&dist));
+            mp_c.push(rate(&central));
+        }
+        let pct = 100.0 * (geomean(&ratios) - 1.0);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{n:>2} cores: distribution buys {pct:+.1}% (mispredict rate {:.1}% vs {:.1}% centralized)",
+            100.0 * avg(&mp_d),
+            100.0 * avg(&mp_c)
+        );
+        series.push(Point {
+            cores: n,
+            speedup_from_distribution_pct: pct,
+            mispredict_rate_distributed: avg(&mp_d),
+            mispredict_rate_centralized: avg(&mp_c),
+        });
+    }
+    save_json("ablation_predictor.json", &series);
+}

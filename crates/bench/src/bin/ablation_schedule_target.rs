@@ -1,0 +1,53 @@
+//! §5's scheduling claim: "performing instruction scheduling for a
+//! larger number of cores and running it on fewer results in little
+//! performance degradation." Compares binaries scheduled for the
+//! 32-core composition (the default, used for every other experiment)
+//! against binaries scheduled exactly for the composition they run on.
+
+use clp_bench::{geomean, save_json};
+use clp_compiler::{compile, CompileOptions};
+use clp_core::{run_compiled, CompiledWorkload, ProcessorConfig};
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    degradation_pct: f64,
+}
+
+fn main() {
+    let workloads = suite::all();
+    let mut series = Vec::new();
+    for &n in &[2usize, 4, 8] {
+        let mut ratios = Vec::new();
+        for w in &workloads {
+            let make = |cores: usize| CompiledWorkload {
+                golden: w.golden(),
+                workload: w.clone(),
+                edge: compile(
+                    &w.program,
+                    &CompileOptions {
+                        placement_cores: cores,
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name)),
+            };
+            let for32 = run_compiled(&make(32), &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let exact = run_compiled(&make(n), &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            ratios.push(for32.stats.cycles as f64 / exact.stats.cycles as f64);
+        }
+        let pct = 100.0 * (geomean(&ratios) - 1.0);
+        println!(
+            "{n:>2} cores: scheduling for 32 instead of {n} costs {pct:+.1}% (paper: 'little')"
+        );
+        series.push(Point {
+            cores: n,
+            degradation_pct: pct,
+        });
+    }
+    save_json("ablation_schedule_target.json", &series);
+}

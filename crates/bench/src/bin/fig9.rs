@@ -1,0 +1,79 @@
+//! Figure 9: overheads of the distributed protocols — (a) per-block
+//! fetch-latency components and (b) per-block commit-latency components,
+//! as a function of composition size.
+//!
+//! Paper shape: prediction+tag are constant; hand-off and fetch-command
+//! distribution grow with core count; dispatch time shrinks as fetch
+//! bandwidth scales. For commit, handshaking grows with distance while
+//! the architectural-state update shrinks with added bandwidth.
+
+use clp_bench::{save_json, sweep_suite, SWEEP_SIZES};
+use clp_sim::{CommitLatencyBreakdown, FetchLatencyBreakdown};
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cores: usize,
+    fetch: FetchLatencyBreakdown,
+    commit: CommitLatencyBreakdown,
+}
+
+fn main() {
+    let rows = sweep_suite(&suite::all(), &SWEEP_SIZES);
+    let mut series = Vec::new();
+    for (i, &n) in SWEEP_SIZES.iter().enumerate() {
+        let mut fetch = FetchLatencyBreakdown::default();
+        let mut commit = CommitLatencyBreakdown::default();
+        let count = rows.len() as f64;
+        for r in &rows {
+            let ps = &r.tflex[i].1.stats.procs[0];
+            let f = ps.fetch_latency();
+            fetch.prediction += f.prediction / count;
+            fetch.tag_access += f.tag_access / count;
+            fetch.hand_off += f.hand_off / count;
+            fetch.fetch_distribution += f.fetch_distribution / count;
+            fetch.dispatch += f.dispatch / count;
+            let c = ps.commit_latency();
+            commit.handshake += c.handshake / count;
+            commit.arch_update += c.arch_update / count;
+        }
+        series.push(Point {
+            cores: n,
+            fetch,
+            commit,
+        });
+    }
+
+    println!("Figure 9a: distributed fetch latency per block (cycles, suite average)");
+    println!(
+        "{:>5} {:>10} {:>5} {:>9} {:>10} {:>9} {:>7}",
+        "cores", "predict", "tag", "hand-off", "fetch-dist", "dispatch", "total"
+    );
+    for p in &series {
+        println!(
+            "{:>5} {:>10.1} {:>5.1} {:>9.1} {:>10.1} {:>9.1} {:>7.1}",
+            p.cores,
+            p.fetch.prediction,
+            p.fetch.tag_access,
+            p.fetch.hand_off,
+            p.fetch.fetch_distribution,
+            p.fetch.dispatch,
+            p.fetch.total()
+        );
+    }
+    println!();
+    println!("Figure 9b: distributed commit latency per block (cycles, suite average)");
+    println!("{:>5} {:>10} {:>12} {:>7}", "cores", "handshake", "arch-update", "total");
+    for p in &series {
+        println!(
+            "{:>5} {:>10.1} {:>12.1} {:>7.1}",
+            p.cores,
+            p.commit.handshake,
+            p.commit.arch_update,
+            p.commit.total()
+        );
+    }
+
+    save_json("fig9.json", &series);
+}

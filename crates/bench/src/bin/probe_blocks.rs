@@ -1,0 +1,18 @@
+//! Bring-up probe: prints the compiled block structure of a workload.
+use clp_compiler::{compile, CompileOptions};
+use clp_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "conv".into());
+    let w = suite::by_name(&name).expect("workload");
+    let edge = compile(&w.program, &CompileOptions::default()).expect("compiles");
+    println!("{name}: {} blocks", edge.len());
+    for (addr, b) in edge.iter() {
+        let exits: Vec<String> = b
+            .exits()
+            .iter()
+            .map(|e| format!("{:?}->{:?}", e.kind, e.target.map(|t| format!("{t:#x}"))))
+            .collect();
+        println!("  {addr:#07x}: {:>3} instrs, exits {exits:?}", b.len());
+    }
+}

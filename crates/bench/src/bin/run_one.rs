@@ -1,0 +1,41 @@
+//! Command-line runner: one workload at one composition, with a full
+//! machine-state dump on failure. Handy for quick measurements and for
+//! debugging protocol stalls.
+//!
+//! ```sh
+//! cargo run --release -p clp-bench --bin run_one -- mcf 16
+//! ```
+
+use clp_core::compile_workload;
+use clp_isa::Reg;
+use clp_sim::{Machine, SimConfig};
+use clp_workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("gzip", String::as_str);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let w = suite::by_name(name).expect("workload exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let mut cfg = SimConfig::tflex();
+    cfg.max_cycles = 2_000_000;
+    let mut m = Machine::new(cfg);
+    for (addr, words) in &w.init_mem {
+        m.memory_mut().image.load_words(*addr, words);
+    }
+    let pid = m.compose(n, 0, cw.edge.clone(), &w.args).expect("composes");
+    match m.run() {
+        Ok(stats) => {
+            let ret = m.register(pid, Reg::new(1));
+            let ok = w.verify_against(&cw.golden, ret, &m.memory().image).is_ok();
+            println!(
+                "{name} on {n} cores: {} cycles, ret={ret:#x}, correct={ok}",
+                stats.cycles
+            );
+        }
+        Err(e) => {
+            println!("{name} on {n} cores FAILED: {e}");
+            println!("{}", m.debug_snapshot());
+        }
+    }
+}

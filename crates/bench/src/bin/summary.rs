@@ -1,0 +1,93 @@
+//! Aggregates the JSON written by the `fig*`/`ablation_*` binaries into
+//! one paper-versus-measured summary table. Run the other binaries
+//! first (see EXPERIMENTS.md); missing results are reported as such.
+
+use clp_bench::results_dir;
+use serde_json::Value;
+
+fn load(name: &str) -> Option<Value> {
+    let path = results_dir().join(name);
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn main() {
+    println!("CLP reproduction summary (see EXPERIMENTS.md for the full discussion)");
+    println!();
+
+    match load("fig6.json") {
+        Some(Value::Array(rows)) => {
+            let speedups: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r["best"].as_f64())
+                .collect();
+            let avg_best =
+                (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+            let best16: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| {
+                    r["speedups"].as_array()?.iter().find_map(|p| {
+                        (p[0].as_u64() == Some(16)).then(|| p[1].as_f64())?
+                    })
+                })
+                .collect();
+            let avg16 =
+                (best16.iter().map(|s| s.ln()).sum::<f64>() / best16.len() as f64).exp();
+            println!("Fig 6   AVG x16 speedup {avg16:.2} (paper ~3.5); BEST {avg_best:.2} (paper ~4)");
+        }
+        _ => println!("Fig 6   [run the fig6 binary first]"),
+    }
+
+    match load("fig7.json") {
+        Some(Value::Array(rows)) => {
+            let small = rows
+                .iter()
+                .filter(|r| r["peak_size"].as_u64().is_some_and(|p| p <= 2))
+                .count();
+            println!(
+                "Fig 7   perf/area peaks at 1-2 cores for {small}/{} benchmarks (paper: most)",
+                rows.len()
+            );
+        }
+        _ => println!("Fig 7   [run the fig7 binary first]"),
+    }
+
+    match load("fig10.json") {
+        Some(Value::Array(points)) => {
+            let gains: Vec<f64> = points
+                .iter()
+                .filter_map(|p| p["tflex_over_best_cmp_pct"].as_f64())
+                .collect();
+            let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+            let max = gains.iter().fold(f64::MIN, |a, &b| a.max(b));
+            println!(
+                "Fig 10  TFlex over best fixed CMP: avg {avg:+.1}% max {max:+.1}% (paper +26%/+47%)"
+            );
+        }
+        _ => println!("Fig 10  [run the fig10 binary first]"),
+    }
+
+    match load("ablation_handshake.json") {
+        Some(Value::Array(points)) => {
+            if let Some(p32) = points
+                .iter()
+                .find(|p| p["cores"].as_u64() == Some(32))
+                .and_then(|p| p["overhead_pct"].as_f64())
+            {
+                println!("§6.4    handshake overhead at 32 cores: {p32:+.1}% (paper <2%)");
+            }
+        }
+        _ => println!("§6.4    [run the ablation_handshake binary first]"),
+    }
+
+    match load("ablation_schedule_target.json") {
+        Some(Value::Array(points)) => {
+            let worst = points
+                .iter()
+                .filter_map(|p| p["degradation_pct"].as_f64())
+                .fold(f64::MIN, f64::max);
+            println!("§5      schedule-for-32 penalty on fewer cores: worst {worst:+.1}% (paper: 'little')");
+        }
+        _ => println!("§5      [run the ablation_schedule_target binary first]"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Table 1: single-core TFlex microarchitectural parameters.
+
+use clp_sim::{table1_text, SimConfig};
+
+fn main() {
+    println!("{}", table1_text(&SimConfig::tflex()));
+    println!();
+    println!("TRIPS baseline differences: 16 single-issue tiles, centralized");
+    println!("control/prediction at tile 0, operand-network bandwidth 1,");
+    println!("8 in-flight blocks (1K-instruction window).");
+}

@@ -1,0 +1,54 @@
+//! Table 2: component areas (mm² at 130 nm) and the average power
+//! breakdown of TRIPS versus an 8-core TFlex processor.
+
+use clp_bench::{save_json, sweep_suite};
+use clp_power::PowerBreakdown;
+use clp_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PowerRows {
+    tflex8: PowerBreakdown,
+    trips: PowerBreakdown,
+}
+
+fn main() {
+    let area = clp_power::AreaModel::at_130nm();
+    println!("{}", area.table());
+    println!(
+        "die check: 8 TFlex cores + 1.5MB L2 = {:.1} mm^2 (18mm x 18mm die = 324 mm^2)",
+        clp_power::chip_area_mm2(&area, 8, 1.5)
+    );
+    println!();
+
+    // Average power across the suite at the paper's two organizations.
+    let rows = sweep_suite(&suite::all(), &[8]);
+    let n = rows.len() as f64;
+    let mut tflex8 = PowerBreakdown::default();
+    let mut trips = PowerBreakdown::default();
+    let add = |acc: &mut PowerBreakdown, p: &PowerBreakdown, n: f64| {
+        acc.fetch += p.fetch / n;
+        acc.execution += p.execution / n;
+        acc.l1d += p.l1d / n;
+        acc.routers += p.routers / n;
+        acc.l2 += p.l2 / n;
+        acc.dram_io += p.dram_io / n;
+        acc.clock += p.clock / n;
+        acc.leakage += p.leakage / n;
+    };
+    for r in &rows {
+        add(&mut tflex8, &r.tflex[0].1.power, n);
+        add(&mut trips, &r.trips.power, n);
+    }
+
+    println!("Table 2 (average power across the 26-benchmark suite)");
+    println!("{}", tflex8.table_row("8-core TFlex"));
+    println!("{}", trips.table_row("TRIPS"));
+    println!(
+        "leakage fractions: TFlex {:.1}%  TRIPS {:.1}%  (paper: 8-10%)",
+        100.0 * tflex8.leakage_fraction(),
+        100.0 * trips.leakage_fraction()
+    );
+
+    save_json("table2.json", &PowerRows { tflex8, trips });
+}

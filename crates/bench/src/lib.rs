@@ -1,0 +1,203 @@
+//! # clp-bench — the evaluation harness
+//!
+//! One binary per table and figure of the paper (see DESIGN.md's
+//! experiment index): `table1`, `fig5`, `fig6`, `table2`, `fig7`, `fig8`,
+//! `fig9`, `fig10`, plus the `ablation_*` binaries for §6.4 and the
+//! design-choice studies. Each prints the same rows/series the paper
+//! reports and writes machine-readable JSON under `target/clp-results/`.
+//!
+//! This library holds the shared sweep machinery: parallel measurement of
+//! every workload at every composition size plus the TRIPS baseline, and
+//! small statistics helpers.
+
+#![warn(missing_docs)]
+
+use clp_core::{compile_workload, run_compiled, ProcessorConfig, RunOutcome};
+use clp_workloads::{IlpClass, Workload};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+
+/// The composition sizes of the Figure 6–8 sweeps.
+pub const SWEEP_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Measured results for one workload across the sweep.
+pub struct BenchRow {
+    /// The workload.
+    pub workload: Workload,
+    /// `(cores, outcome)` for each TFlex size.
+    pub tflex: Vec<(usize, RunOutcome)>,
+    /// The TRIPS baseline outcome.
+    pub trips: RunOutcome,
+}
+
+impl BenchRow {
+    /// Cycles at a TFlex size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size was not swept.
+    #[must_use]
+    pub fn cycles_at(&self, n: usize) -> u64 {
+        self.tflex
+            .iter()
+            .find(|(c, _)| *c == n)
+            .map(|(_, r)| r.stats.cycles)
+            .unwrap_or_else(|| panic!("size {n} not swept"))
+    }
+
+    /// Speedup over one TFlex core at a given size.
+    #[must_use]
+    pub fn speedup_at(&self, n: usize) -> f64 {
+        self.cycles_at(1) as f64 / self.cycles_at(n) as f64
+    }
+
+    /// The best (fastest) TFlex size.
+    #[must_use]
+    pub fn best_size(&self) -> usize {
+        self.tflex
+            .iter()
+            .min_by_key(|(_, r)| r.stats.cycles)
+            .map(|(c, _)| *c)
+            .expect("swept")
+    }
+
+    /// Speedup of the per-application best configuration.
+    #[must_use]
+    pub fn best_speedup(&self) -> f64 {
+        self.speedup_at(self.best_size())
+    }
+
+    /// TFlex-vs-TRIPS speedup at a given size (>1 means TFlex wins).
+    #[must_use]
+    pub fn vs_trips_at(&self, n: usize) -> f64 {
+        self.trips.stats.cycles as f64 / self.cycles_at(n) as f64
+    }
+}
+
+/// Sweeps every workload over `sizes` plus TRIPS, in parallel (one thread
+/// per workload), preserving input order.
+///
+/// # Panics
+///
+/// Panics if any run fails — the correctness gate for every figure.
+#[must_use]
+pub fn sweep_suite(workloads: &[Workload], sizes: &[usize]) -> Vec<BenchRow> {
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for (idx, w) in workloads.iter().enumerate() {
+            let tx = tx.clone();
+            let sizes = sizes.to_vec();
+            scope.spawn(move || {
+                let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                let tflex: Vec<(usize, RunOutcome)> = sizes
+                    .iter()
+                    .map(|&n| {
+                        let r = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                            .unwrap_or_else(|e| panic!("{} on {n} cores: {e}", w.name));
+                        (n, r)
+                    })
+                    .collect();
+                let trips = run_compiled(&cw, &ProcessorConfig::trips())
+                    .unwrap_or_else(|e| panic!("{} on TRIPS: {e}", w.name));
+                tx.send((
+                    idx,
+                    BenchRow {
+                        workload: w.clone(),
+                        tflex,
+                        trips,
+                    },
+                ))
+                .expect("receiver alive");
+            });
+        }
+        drop(tx);
+        let mut rows: Vec<Option<BenchRow>> = (0..workloads.len()).map(|_| None).collect();
+        for (idx, row) in rx {
+            rows[idx] = Some(row);
+        }
+        rows.into_iter().map(|r| r.expect("all sent")).collect()
+    })
+}
+
+/// Geometric mean (the paper's cross-benchmark average).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Orders rows for the Figure 6 x-axis: low-ILP benchmarks first, then
+/// high-ILP, alphabetical within each group.
+pub fn order_by_ilp(rows: &mut [BenchRow]) {
+    rows.sort_by_key(|r| {
+        (
+            match r.workload.ilp {
+                IlpClass::Low => 0,
+                IlpClass::High => 1,
+            },
+            r.workload.name,
+        )
+    });
+}
+
+/// The directory where binaries drop machine-readable results.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var_os("CARGO_TARGET_DIR").unwrap_or_else(|| "target".into()),
+    )
+    .join("clp-results");
+    std::fs::create_dir_all(&dir).expect("can create results dir");
+    dir
+}
+
+/// Serializes `value` as pretty JSON into `target/clp-results/<name>`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(&path, json).expect("can write results");
+    println!("[saved {}]", path.display());
+}
+
+/// Reduced-size sweep used by the criterion benches and smoke tests:
+/// a few representative workloads at three sizes.
+#[must_use]
+pub fn smoke_rows() -> Vec<BenchRow> {
+    let names = ["conv", "tblook", "bezier"];
+    let workloads: Vec<Workload> = names
+        .iter()
+        .map(|n| clp_workloads::suite::by_name(n).expect("known"))
+        .collect();
+    sweep_suite(&workloads, &[1, 4, 16])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_sweep_runs_and_orders() {
+        let mut rows = smoke_rows();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.cycles_at(1) >= r.cycles_at(16) / 64, "sane cycles");
+            assert!(r.speedup_at(1) == 1.0);
+            assert!(r.best_speedup() >= 1.0);
+            assert!(r.vs_trips_at(4) > 0.0);
+        }
+        order_by_ilp(&mut rows);
+        assert_eq!(rows[0].workload.ilp, clp_workloads::IlpClass::Low);
+    }
+}

@@ -1,0 +1,485 @@
+//! Hyperblock formation: predicated inlining of single-predecessor
+//! successors, the generalization of chain merging, triangles, and
+//! diamonds used to build large EDGE blocks out of small IR blocks.
+
+use crate::ir::{BbId, Function, Op, Pred, Terminator, VReg};
+use std::collections::BTreeSet;
+
+/// An exit of a hyperblock: a guard conjunction plus a control transfer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HirExit {
+    /// Guard (empty = unconditional). The guards of a block's exits
+    /// partition: exactly one fires per execution.
+    pub pred: Pred,
+    /// The transfer.
+    pub kind: HirExitKind,
+}
+
+/// Control-transfer kinds of a hyperblock exit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HirExitKind {
+    /// Jump to another hyperblock of the same function.
+    Jump(BbId),
+    /// Call a function, continuing at `cont` (always a block's sole,
+    /// unconditional exit).
+    Call {
+        /// Callee.
+        func: crate::ir::FuncId,
+        /// Arguments (at most 8).
+        args: Vec<VReg>,
+        /// Destination for the return value.
+        dst: Option<VReg>,
+        /// Continuation block.
+        cont: BbId,
+    },
+    /// Return from the function (always sole, unconditional).
+    Ret(Option<VReg>),
+    /// Stop the program.
+    Halt,
+}
+
+/// A hyperblock: predicated straight-line ops plus partitioned exits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HirBlock {
+    /// The (possibly predicated) operations, in program order.
+    pub ops: Vec<Op>,
+    /// The exits; their guards partition.
+    pub exits: Vec<HirExit>,
+}
+
+impl HirBlock {
+    fn from_basic(block: &crate::ir::BasicBlock) -> Self {
+        let exits = match &block.term {
+            Terminator::Jump(b) => vec![HirExit {
+                pred: vec![],
+                kind: HirExitKind::Jump(*b),
+            }],
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => vec![
+                HirExit {
+                    pred: vec![(*cond, true)],
+                    kind: HirExitKind::Jump(*then_bb),
+                },
+                HirExit {
+                    pred: vec![(*cond, false)],
+                    kind: HirExitKind::Jump(*else_bb),
+                },
+            ],
+            Terminator::Call {
+                func,
+                args,
+                dst,
+                cont,
+            } => vec![HirExit {
+                pred: vec![],
+                kind: HirExitKind::Call {
+                    func: *func,
+                    args: args.clone(),
+                    dst: *dst,
+                    cont: *cont,
+                },
+            }],
+            Terminator::Ret(v) => vec![HirExit {
+                pred: vec![],
+                kind: HirExitKind::Ret(*v),
+            }],
+            Terminator::Halt => vec![HirExit {
+                pred: vec![],
+                kind: HirExitKind::Halt,
+            }],
+        };
+        HirBlock {
+            ops: block.ops.clone(),
+            exits,
+        }
+    }
+
+    /// Memory operations in the block (bounds the LSID budget).
+    #[must_use]
+    pub fn memory_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_memory()).count()
+    }
+
+    /// Estimated EDGE instructions contributed by the ops alone
+    /// (instruction + fan-out movs + predicate materialization).
+    #[must_use]
+    pub fn op_cost(&self) -> usize {
+        self.ops.iter().map(|o| 2 + o.pred.len().min(3)).sum()
+    }
+
+    /// Conservative estimate of the EDGE instruction count this block
+    /// lowers to (ops + reads/writes + exit branches).
+    #[must_use]
+    pub fn estimated_edge_size(&self) -> usize {
+        self.op_cost() + 3 * self.exits.len() + 20
+    }
+}
+
+/// A function after hyperblock formation. `blocks[i]` is `None` when the
+/// original block `i` was merged into a predecessor.
+#[derive(Clone, Debug)]
+pub struct HirFunction {
+    /// Source-function name.
+    pub name: String,
+    /// Surviving hyperblocks (index = original [`BbId`]).
+    pub blocks: Vec<Option<HirBlock>>,
+    /// Entry block.
+    pub entry: BbId,
+    /// Number of blocks before formation (for reporting).
+    pub blocks_before: usize,
+}
+
+impl HirFunction {
+    /// Surviving block count.
+    #[must_use]
+    pub fn blocks_after(&self) -> usize {
+        self.blocks.iter().flatten().count()
+    }
+
+    /// The layout order for address assignment: ascending block IDs, but
+    /// a call's continuation is emitted immediately after the call block
+    /// so that the RAS's `call address + frame` push predicts returns.
+    #[must_use]
+    pub fn layout_order(&self) -> Vec<BbId> {
+        let n = self.blocks.len();
+        let mut emitted = vec![false; n];
+        let mut order = Vec::new();
+        let emit = |id: usize, order: &mut Vec<BbId>, emitted: &mut Vec<bool>| {
+            let mut next = Some(id);
+            while let Some(i) = next {
+                if emitted[i] || self.blocks[i].is_none() {
+                    break;
+                }
+                emitted[i] = true;
+                order.push(BbId(i));
+                next = self.blocks[i].as_ref().and_then(|b| {
+                    b.exits.iter().find_map(|e| match &e.kind {
+                        HirExitKind::Call { cont, .. } => Some(cont.0),
+                        _ => None,
+                    })
+                });
+            }
+        };
+        emit(self.entry.0, &mut order, &mut emitted);
+        for i in 0..n {
+            emit(i, &mut order, &mut emitted);
+        }
+        order
+    }
+}
+
+/// Tuning knobs for hyperblock formation.
+#[derive(Clone, Copy, Debug)]
+pub struct FormerOptions {
+    /// Maximum estimated EDGE instructions per merged block.
+    pub max_edge_size: usize,
+    /// Maximum memory operations per merged block (LSID budget).
+    pub max_memory_ops: usize,
+    /// Maximum exits per merged block.
+    pub max_exits: usize,
+    /// Disable merging entirely (every IR block becomes one EDGE block).
+    pub disabled: bool,
+}
+
+impl Default for FormerOptions {
+    fn default() -> Self {
+        FormerOptions {
+            max_edge_size: 140,
+            max_memory_ops: 26,
+            max_exits: clp_isa::MAX_BLOCK_EXITS,
+            disabled: false,
+        }
+    }
+}
+
+fn pred_vregs(pred: &Pred) -> impl Iterator<Item = VReg> + '_ {
+    pred.iter().map(|&(v, _)| v)
+}
+
+fn jump_pred_counts(blocks: &[Option<HirBlock>]) -> Vec<usize> {
+    let mut counts = vec![0usize; blocks.len()];
+    for b in blocks.iter().flatten() {
+        for e in &b.exits {
+            if let HirExitKind::Jump(t) = e.kind {
+                counts[t.0] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Runs hyperblock formation over `f`.
+#[must_use]
+pub fn form_hyperblocks(f: &Function, opts: &FormerOptions) -> HirFunction {
+    let mut blocks: Vec<Option<HirBlock>> =
+        f.blocks.iter().map(|b| Some(HirBlock::from_basic(b))).collect();
+    let blocks_before = blocks.len();
+
+    // Pinned blocks can never be inlined: the entry (call target) and all
+    // call continuations (return targets).
+    let mut pinned = vec![false; blocks.len()];
+    pinned[f.entry.0] = true;
+    for b in &f.blocks {
+        if let Terminator::Call { cont, .. } = &b.term {
+            pinned[cont.0] = true;
+        }
+    }
+
+    if opts.disabled {
+        return HirFunction {
+            name: f.name.clone(),
+            blocks,
+            entry: f.entry,
+            blocks_before,
+        };
+    }
+
+    loop {
+        let counts = jump_pred_counts(&blocks);
+        let mut merged_any = false;
+
+        'outer: for a in 0..blocks.len() {
+            let Some(ablock) = blocks[a].as_ref() else {
+                continue;
+            };
+            for (ei, exit) in ablock.exits.iter().enumerate() {
+                let HirExitKind::Jump(bid) = exit.kind else {
+                    continue;
+                };
+                let b = bid.0;
+                if b == a || pinned[b] || counts[b] != 1 {
+                    continue;
+                }
+                let Some(bblock) = blocks[b].as_ref() else {
+                    continue;
+                };
+                // Only pure jump/halt exits may be inlined under a guard.
+                if bblock
+                    .exits
+                    .iter()
+                    .any(|e| matches!(e.kind, HirExitKind::Call { .. } | HirExitKind::Ret(_)))
+                {
+                    continue;
+                }
+                // Resource budgets.
+                let merged_mem = ablock.memory_ops() + bblock.memory_ops();
+                let merged_exits = ablock.exits.len() - 1 + bblock.exits.len();
+                // Estimate the *merged* block directly: op costs add (the
+                // inlined ops gain one guard conjunct each) but the fixed
+                // read/write headroom is shared.
+                let merged_size = ablock.op_cost()
+                    + bblock.op_cost()
+                    + bblock.ops.len() / 2
+                    + 3 * merged_exits
+                    + 24;
+                if merged_mem > opts.max_memory_ops
+                    || merged_exits > opts.max_exits
+                    || merged_size > opts.max_edge_size
+                {
+                    continue;
+                }
+                // Guard-corruption check: B's ops must not redefine any
+                // vreg used by the inlining guard or by A's other exits'
+                // guards (those are semantically evaluated before B runs).
+                let mut forbidden: BTreeSet<VReg> = pred_vregs(&exit.pred).collect();
+                for (j, other) in ablock.exits.iter().enumerate() {
+                    if j != ei {
+                        forbidden.extend(pred_vregs(&other.pred));
+                    }
+                }
+                if bblock.ops.iter().any(|o| {
+                    o.kind
+                        .dst()
+                        .is_some_and(|d| forbidden.contains(&d))
+                }) {
+                    continue;
+                }
+
+                // Perform the merge.
+                let guard = exit.pred.clone();
+                let bblock = blocks[b].take().expect("checked above");
+                let ablock = blocks[a].as_mut().expect("checked above");
+                ablock.exits.remove(ei);
+                for mut op in bblock.ops {
+                    let mut pred = guard.clone();
+                    pred.append(&mut op.pred);
+                    op.pred = pred;
+                    ablock.ops.push(op);
+                }
+                for mut e in bblock.exits {
+                    let mut pred = guard.clone();
+                    pred.append(&mut e.pred);
+                    e.pred = pred;
+                    ablock.exits.push(e);
+                }
+                merged_any = true;
+                break 'outer;
+            }
+        }
+
+        if !merged_any {
+            break;
+        }
+    }
+
+    HirFunction {
+        name: f.name.clone(),
+        blocks,
+        entry: f.entry,
+        blocks_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use clp_isa::Opcode;
+
+    #[test]
+    fn chain_merges_into_one_block() {
+        let mut f = FunctionBuilder::new("chain", 1);
+        let x = f.param(0);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let t = f.bin(Opcode::Add, x, x);
+        f.jump(b1);
+        f.switch_to(b1);
+        let u = f.bin(Opcode::Mul, t, t);
+        f.jump(b2);
+        f.switch_to(b2);
+        f.ret(Some(u));
+        let hir = form_hyperblocks(&f.finish(), &FormerOptions::default());
+        // b1 merged into entry; b2 (ret) stays.
+        assert_eq!(hir.blocks_after(), 2);
+        let entry = hir.blocks[0].as_ref().unwrap();
+        assert_eq!(entry.ops.len(), 2);
+    }
+
+    #[test]
+    fn diamond_if_converts() {
+        let mut f = FunctionBuilder::new("diamond", 2);
+        let c = f.param(0);
+        let x = f.param(1);
+        let (t_bb, e_bb, join) = (f.new_block(), f.new_block(), f.new_block());
+        let y = f.c(0);
+        f.branch(c, t_bb, e_bb);
+        f.switch_to(t_bb);
+        f.bin_into(y, Opcode::Add, x, x);
+        f.jump(join);
+        f.switch_to(e_bb);
+        f.bin_into(y, Opcode::Mul, x, x);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(Some(y));
+        let hir = form_hyperblocks(&f.finish(), &FormerOptions::default());
+        // Entry absorbs both arms; the join (now single-pred from entry)
+        // is a Ret block and stays.
+        assert_eq!(hir.blocks_after(), 2);
+        let entry = hir.blocks[0].as_ref().unwrap();
+        let preds: Vec<usize> = entry.ops.iter().map(|o| o.pred.len()).collect();
+        assert!(preds.contains(&1), "arm ops predicated: {preds:?}");
+        // Exits collapse to one unconditional jump pair to the join.
+        assert!(entry
+            .exits
+            .iter()
+            .all(|e| matches!(e.kind, HirExitKind::Jump(_))));
+    }
+
+    #[test]
+    fn loop_body_rotates_into_header() {
+        let mut f = FunctionBuilder::new("loop", 1);
+        let n = f.param(0);
+        let i = f.c(0);
+        let (h, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        f.jump(h);
+        f.switch_to(h);
+        let c = f.bin(Opcode::Tlt, i, n);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let one = f.c(1);
+        f.bin_into(i, Opcode::Add, i, one);
+        f.jump(h);
+        f.switch_to(exit);
+        f.ret(Some(i));
+        let hir = form_hyperblocks(&f.finish(), &FormerOptions::default());
+        // body inlined into header; header self-loops.
+        let header = hir.blocks[h.0].as_ref().unwrap();
+        assert!(header
+            .exits
+            .iter()
+            .any(|e| matches!(e.kind, HirExitKind::Jump(t) if t == h)));
+        assert!(hir.blocks[body.0].is_none(), "body merged away");
+    }
+
+    #[test]
+    fn guard_redefinition_blocks_merge() {
+        let mut f = FunctionBuilder::new("redef", 1);
+        let c = f.param(0);
+        let (t_bb, e_bb) = (f.new_block(), f.new_block());
+        f.branch(c, t_bb, e_bb);
+        f.switch_to(t_bb);
+        // The then-arm redefines the condition: inlining it would corrupt
+        // the else exit's guard.
+        f.c_into(c, 0);
+        f.jump(e_bb);
+        f.switch_to(e_bb);
+        f.ret(Some(c));
+        let hir = form_hyperblocks(&f.finish(), &FormerOptions::default());
+        assert!(
+            hir.blocks[t_bb.0].is_some(),
+            "arm redefining the guard must not merge"
+        );
+    }
+
+    #[test]
+    fn call_blocks_never_inline() {
+        let mut f = FunctionBuilder::new("c", 1);
+        let c = f.param(0);
+        let (callb, other, cont) = (f.new_block(), f.new_block(), f.new_block());
+        f.branch(c, callb, other);
+        f.switch_to(callb);
+        f.call(crate::ir::FuncId(0), &[], None, cont);
+        f.switch_to(other);
+        f.ret(None);
+        f.switch_to(cont);
+        f.ret(None);
+        let hir = form_hyperblocks(&f.finish(), &FormerOptions::default());
+        assert!(hir.blocks[callb.0].is_some());
+        assert!(hir.blocks[cont.0].is_some(), "cont pinned");
+    }
+
+    #[test]
+    fn disabled_former_keeps_all_blocks() {
+        let mut f = FunctionBuilder::new("chain", 0);
+        let b1 = f.new_block();
+        f.jump(b1);
+        f.switch_to(b1);
+        f.halt();
+        let opts = FormerOptions {
+            disabled: true,
+            ..Default::default()
+        };
+        let hir = form_hyperblocks(&f.finish(), &opts);
+        assert_eq!(hir.blocks_after(), 2);
+    }
+
+    #[test]
+    fn layout_places_cont_after_call() {
+        let mut f = FunctionBuilder::new("c", 0);
+        let other = f.new_block(); // bb1, created before cont
+        let cont = f.new_block(); // bb2
+        f.call(crate::ir::FuncId(0), &[], None, cont);
+        f.switch_to(other);
+        f.ret(None);
+        f.switch_to(cont);
+        f.jump(other);
+        let hir = form_hyperblocks(&f.finish(), &FormerOptions::default());
+        let order = hir.layout_order();
+        let pos = |b: BbId| order.iter().position(|&x| x == b).unwrap();
+        assert_eq!(pos(cont), pos(BbId(0)) + 1, "cont directly after call");
+    }
+}

@@ -1,0 +1,401 @@
+//! The mini intermediate representation consumed by the EDGE compiler.
+//!
+//! The IR is a conventional CFG over *mutable* virtual registers: an
+//! assignment overwrites the register, and a predicated assignment that
+//! does not fire leaves the old value in place. This non-SSA convention
+//! is what makes if-conversion trivial (no phi nodes are needed: merging
+//! a diamond simply predicates both arms' assignments).
+
+use clp_isa::Opcode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic-block identifier (function-local).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BbId(pub usize);
+
+impl fmt::Debug for BbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A function identifier (program-local).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub usize);
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSize {
+    /// One byte, zero-extended.
+    Byte,
+    /// A 64-bit word.
+    Word,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u8 {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Word => 8,
+        }
+    }
+}
+
+/// A conjunction of `(register, expected-truth)` guards; empty means
+/// unconditional. Produced by if-conversion.
+pub type Pred = Vec<(VReg, bool)>;
+
+/// One IR operation. Every op may carry a predicate (see [`Pred`]); a
+/// predicated op whose guard fails is a no-op (its destination keeps its
+/// previous value).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Guard conjunction (empty = always executes).
+    pub pred: Pred,
+    /// The operation proper.
+    pub kind: OpKind,
+}
+
+/// The operation payload of an [`Op`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `dst = imm`.
+    Const {
+        /// Destination.
+        dst: VReg,
+        /// Constant value.
+        value: i64,
+    },
+    /// `dst = f64 constant` (stored as its bit pattern).
+    ConstF {
+        /// Destination.
+        dst: VReg,
+        /// Constant value.
+        value: f64,
+    },
+    /// `dst = op a` for unary ALU opcodes.
+    Un {
+        /// Destination.
+        dst: VReg,
+        /// The opcode (must have arity 1).
+        op: Opcode,
+        /// Operand.
+        a: VReg,
+    },
+    /// `dst = a op b` for binary ALU opcodes.
+    Bin {
+        /// Destination.
+        dst: VReg,
+        /// The opcode (must have arity 2).
+        op: Opcode,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst = mem[addr + offset]`.
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        addr: VReg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// `mem[addr + offset] = value`.
+    Store {
+        /// Base address register.
+        addr: VReg,
+        /// Byte offset.
+        offset: i64,
+        /// Value register.
+        value: VReg,
+        /// Access width.
+        size: MemSize,
+    },
+}
+
+impl OpKind {
+    /// The destination register, if the op defines one.
+    #[must_use]
+    pub fn dst(&self) -> Option<VReg> {
+        match *self {
+            OpKind::Const { dst, .. }
+            | OpKind::ConstF { dst, .. }
+            | OpKind::Un { dst, .. }
+            | OpKind::Bin { dst, .. }
+            | OpKind::Load { dst, .. } => Some(dst),
+            OpKind::Store { .. } => None,
+        }
+    }
+
+    /// The registers the op reads (not counting its predicate).
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        match *self {
+            OpKind::Const { .. } | OpKind::ConstF { .. } => vec![],
+            OpKind::Un { a, .. } => vec![a],
+            OpKind::Bin { a, b, .. } => vec![a, b],
+            OpKind::Load { addr, .. } => vec![addr],
+            OpKind::Store { addr, value, .. } => vec![addr, value],
+        }
+    }
+
+    /// True for loads and stores.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(self, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+}
+
+impl Op {
+    /// An unpredicated op.
+    #[must_use]
+    pub fn new(kind: OpKind) -> Self {
+        Op { pred: vec![], kind }
+    }
+
+    /// All registers this op reads: operands plus guard registers.
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut u = self.kind.uses();
+        u.extend(self.pred.iter().map(|&(v, _)| v));
+        // A predicated definition may leave the old value: it is also a use.
+        if !self.pred.is_empty() {
+            if let Some(d) = self.kind.dst() {
+                u.push(d);
+            }
+        }
+        u
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BbId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register.
+        cond: VReg,
+        /// Successor when non-zero.
+        then_bb: BbId,
+        /// Successor when zero.
+        else_bb: BbId,
+    },
+    /// Call `func(args...)`; on return, `dst` (if any) receives the return
+    /// value and control continues at `cont`.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument registers (at most 8).
+        args: Vec<VReg>,
+        /// Register receiving the return value.
+        dst: Option<VReg>,
+        /// Continuation block.
+        cont: BbId,
+    },
+    /// Return (optionally with a value).
+    Ret(Option<VReg>),
+    /// Stop the program.
+    Halt,
+}
+
+impl Terminator {
+    /// The registers the terminator reads. `link_vreg` is the function's
+    /// implicit link register, consumed by [`Terminator::Ret`].
+    #[must_use]
+    pub fn uses(&self, link_vreg: VReg) -> Vec<VReg> {
+        match self {
+            Terminator::Jump(_) | Terminator::Halt => vec![],
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Call { args, .. } => args.clone(),
+            Terminator::Ret(v) => {
+                let mut u: Vec<VReg> = v.iter().copied().collect();
+                u.push(link_vreg);
+                u
+            }
+        }
+    }
+
+    /// Successor blocks within the same function.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BbId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Call { cont, .. } => vec![*cont],
+            Terminator::Ret(_) | Terminator::Halt => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line ops plus a terminator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The block body.
+    pub ops: Vec<Op>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A function: a CFG over virtual registers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of parameters (passed in `r1..`; at most 8).
+    pub n_params: usize,
+    /// Parameter virtual registers (`params[i]` holds argument `i`).
+    pub params: Vec<VReg>,
+    /// The implicit link (return address) virtual register.
+    pub link_vreg: VReg,
+    /// Total virtual registers allocated (IDs `0..n_vregs`).
+    pub n_vregs: u32,
+    /// Basic blocks, indexed by [`BbId`].
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block.
+    pub entry: BbId,
+}
+
+impl Function {
+    /// The basic block `id`.
+    #[must_use]
+    pub fn block(&self, id: BbId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Predecessor counts for every block.
+    #[must_use]
+    pub fn pred_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.blocks.len()];
+        for b in &self.blocks {
+            for s in b.term.successors() {
+                counts[s.0] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// A whole program: functions plus an entry function.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// The function executed first; its `Ret` halts the program.
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// The function `id`.
+    #[must_use]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0]
+    }
+
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i), f))
+    }
+
+    /// Total static IR operation count.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.functions
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.ops.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_uses_include_predicates_and_may_def() {
+        let mut op = Op::new(OpKind::Bin {
+            dst: VReg(3),
+            op: Opcode::Add,
+            a: VReg(1),
+            b: VReg(2),
+        });
+        assert_eq!(op.uses(), vec![VReg(1), VReg(2)]);
+        op.pred = vec![(VReg(9), true)];
+        let uses = op.uses();
+        assert!(uses.contains(&VReg(9)), "guard is a use");
+        assert!(uses.contains(&VReg(3)), "predicated def is a may-use");
+    }
+
+    #[test]
+    fn store_has_no_dst() {
+        let k = OpKind::Store {
+            addr: VReg(0),
+            offset: 8,
+            value: VReg(1),
+            size: MemSize::Word,
+        };
+        assert_eq!(k.dst(), None);
+        assert!(k.is_memory());
+        assert_eq!(k.uses(), vec![VReg(0), VReg(1)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BbId(3)).successors(), vec![BbId(3)]);
+        assert_eq!(
+            Terminator::Branch {
+                cond: VReg(0),
+                then_bb: BbId(1),
+                else_bb: BbId(2)
+            }
+            .successors(),
+            vec![BbId(1), BbId(2)]
+        );
+        assert!(Terminator::Halt.successors().is_empty());
+    }
+
+    #[test]
+    fn ret_uses_link() {
+        let t = Terminator::Ret(Some(VReg(4)));
+        let uses = t.uses(VReg(99));
+        assert!(uses.contains(&VReg(4)));
+        assert!(uses.contains(&VReg(99)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Block-boundary liveness analysis.
+//!
+//! Only values that are live across a basic-block boundary ever occupy an
+//! architectural register in the EDGE lowering (intra-block values flow
+//! through dataflow targets), so this analysis drives both register
+//! allocation and `READ`/`WRITE` insertion.
+
+use crate::ir::{Function, Terminator, VReg};
+use std::collections::BTreeSet;
+
+/// Live-in/live-out sets per basic block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Liveness {
+    /// Registers live at entry of each block.
+    pub live_in: Vec<BTreeSet<VReg>>,
+    /// Registers live at exit of each block.
+    pub live_out: Vec<BTreeSet<VReg>>,
+}
+
+impl Liveness {
+    /// True if `v` is live across any block boundary.
+    #[must_use]
+    pub fn crosses_blocks(&self, v: VReg) -> bool {
+        self.live_in.iter().any(|s| s.contains(&v))
+    }
+}
+
+fn transfer(f: &Function, bb: usize, live_out: &BTreeSet<VReg>) -> BTreeSet<VReg> {
+    let block = &f.blocks[bb];
+    let mut live = live_out.clone();
+    // Terminator: kill its defs, add its uses.
+    if let Terminator::Call { dst: Some(d), .. } = &block.term {
+        live.remove(d);
+    }
+    for u in block.term.uses(f.link_vreg) {
+        live.insert(u);
+    }
+    // Ops in reverse.
+    for op in block.ops.iter().rev() {
+        if op.pred.is_empty() {
+            if let Some(d) = op.kind.dst() {
+                live.remove(&d);
+            }
+        }
+        for u in op.uses() {
+            live.insert(u);
+        }
+    }
+    live
+}
+
+/// Computes block-boundary liveness for `f` by backward fix-point.
+#[must_use]
+pub fn liveness(f: &Function) -> Liveness {
+    let n = f.blocks.len();
+    let mut live_in: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+    let mut live_out: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bb in (0..n).rev() {
+            let mut out = BTreeSet::new();
+            for s in f.blocks[bb].term.successors() {
+                out.extend(live_in[s.0].iter().copied());
+            }
+            let inn = transfer(f, bb, &out);
+            if out != live_out[bb] {
+                live_out[bb] = out;
+                changed = true;
+            }
+            if inn != live_in[bb] {
+                live_in[bb] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use clp_isa::Opcode;
+
+    #[test]
+    fn loop_carried_values_are_live() {
+        let mut f = FunctionBuilder::new("sum", 2);
+        let base = f.param(0);
+        let n = f.param(1);
+        let i = f.c(0);
+        let acc = f.c(0);
+        let (h, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        f.jump(h);
+        f.switch_to(h);
+        let c = f.bin(Opcode::Tlt, i, n);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let v = f.load(base, 0);
+        f.bin_into(acc, Opcode::Add, acc, v);
+        let one = f.c(1);
+        f.bin_into(i, Opcode::Add, i, one);
+        f.jump(h);
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        let func = f.finish();
+        let lv = liveness(&func);
+        // i, acc, base, n all live into the loop header.
+        for v in [i, acc, base, n] {
+            assert!(lv.live_in[h.0].contains(&v), "{v} live into header");
+            assert!(lv.crosses_blocks(v));
+        }
+        // The loop condition c is consumed by the header's branch and is
+        // not live into the body (the body doesn't read it).
+        assert!(!lv.live_in[body.0].contains(&c));
+    }
+
+    #[test]
+    fn block_local_temp_not_live() {
+        let mut f = FunctionBuilder::new("t", 1);
+        let x = f.param(0);
+        let t = f.bin(Opcode::Add, x, x);
+        let u = f.bin(Opcode::Mul, t, t);
+        f.ret(Some(u));
+        let func = f.finish();
+        let lv = liveness(&func);
+        assert!(!lv.crosses_blocks(t));
+        assert!(!lv.crosses_blocks(u));
+    }
+
+    #[test]
+    fn link_vreg_live_until_ret() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare();
+        let mut f = FunctionBuilder::new("caller", 0);
+        let cont = f.new_block();
+        f.call(callee, &[], None, cont);
+        f.switch_to(cont);
+        f.ret(None);
+        let func = f.finish();
+        let link = func.link_vreg;
+        let lv = liveness(&func);
+        // The link register must survive across the call (live into cont).
+        assert!(lv.live_in[cont.0].contains(&link));
+        assert!(lv.live_in[0].contains(&link));
+        let _ = pb;
+    }
+
+    #[test]
+    fn call_dst_killed_not_live_before() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare();
+        let mut f = FunctionBuilder::new("caller", 0);
+        let cont = f.new_block();
+        let out = f.vreg();
+        f.call(callee, &[], Some(out), cont);
+        f.switch_to(cont);
+        f.ret(Some(out));
+        let func = f.finish();
+        let lv = liveness(&func);
+        assert!(lv.live_in[cont.0].contains(&out));
+        assert!(
+            !lv.live_in[0].contains(&out),
+            "dst defined by the call, not live before it"
+        );
+    }
+
+    #[test]
+    fn predicated_def_does_not_kill() {
+        use crate::ir::{Op, OpKind};
+        let mut f = FunctionBuilder::new("p", 2);
+        let c = f.param(0);
+        let x = f.param(1);
+        let exit = f.new_block();
+        f.jump(exit);
+        f.switch_to(exit);
+        f.ret(Some(x));
+        let mut func = f.finish();
+        // Predicated redefinition of x in the entry block.
+        func.blocks[0].ops.push(Op {
+            pred: vec![(c, true)],
+            kind: OpKind::Const { dst: x, value: 1 },
+        });
+        let lv = liveness(&func);
+        assert!(
+            lv.live_in[0].contains(&x),
+            "old value may flow through the predicated def"
+        );
+    }
+}

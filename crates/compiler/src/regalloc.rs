@@ -1,0 +1,284 @@
+//! Register allocation for cross-block values.
+//!
+//! Values that live entirely within one hyperblock travel over dataflow
+//! targets and need no register. Only block-crossing values get one of
+//! the general-purpose architectural registers, colored greedily on a
+//! block-boundary interference graph. Values live across a call are
+//! additionally assigned caller-save frame slots.
+
+use crate::ir::{Function, Terminator, VReg};
+use crate::liveness::Liveness;
+use clp_isa::Reg;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// First general-purpose allocatable register (below are the argument
+/// registers `r1..=r8` and `r0`, reserved).
+pub const FIRST_ALLOC_REG: usize = 9;
+/// Last general-purpose allocatable register (above are `SP` and `LINK`).
+pub const LAST_ALLOC_REG: usize = 119;
+
+/// The result of register allocation for one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    /// Architectural register for every block-crossing virtual register.
+    pub reg_of: BTreeMap<VReg, Reg>,
+    /// Caller-save frame slot (index, not byte offset) for every value
+    /// live across some call.
+    pub frame_slot: BTreeMap<VReg, usize>,
+    /// Frame size in bytes (0 for leaf functions with nothing to save).
+    pub frame_bytes: i64,
+}
+
+impl Allocation {
+    /// The register assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not cross a block boundary (no register).
+    #[must_use]
+    pub fn reg(&self, v: VReg) -> Reg {
+        *self
+            .reg_of
+            .get(&v)
+            .unwrap_or_else(|| panic!("{v} has no register (block-local)"))
+    }
+
+    /// The register assigned to `v`, if it crosses a block boundary.
+    #[must_use]
+    pub fn try_reg(&self, v: VReg) -> Option<Reg> {
+        self.reg_of.get(&v).copied()
+    }
+}
+
+/// Register pressure exceeded the architectural register file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegPressureError {
+    /// Function name.
+    pub function: String,
+    /// Colors needed.
+    pub needed: usize,
+    /// Colors available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for RegPressureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "function '{}' needs {} registers, only {} available",
+            self.function, self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for RegPressureError {}
+
+/// Allocates registers and frame slots for `f`.
+///
+/// # Errors
+///
+/// Returns [`RegPressureError`] if the interference graph needs more
+/// colors than `r9..=r119` provides (the compiler does not spill
+/// block-crossing values; workloads are written to fit).
+pub fn allocate(
+    f: &Function,
+    lv: &Liveness,
+    extra_cliques: &[BTreeSet<VReg>],
+) -> Result<Allocation, RegPressureError> {
+    // Collect block-crossing vregs.
+    let mut crossing: BTreeSet<VReg> = BTreeSet::new();
+    for s in lv.live_in.iter().chain(lv.live_out.iter()) {
+        crossing.extend(s.iter().copied());
+    }
+    for c in extra_cliques {
+        crossing.extend(c.iter().copied());
+    }
+
+    // Interference: co-membership in any boundary set.
+    let verts: Vec<VReg> = crossing.iter().copied().collect();
+    let index: BTreeMap<VReg, usize> = verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); verts.len()];
+    let cliques = lv
+        .live_in
+        .iter()
+        .chain(lv.live_out.iter())
+        .chain(extra_cliques.iter());
+    for s in cliques {
+        let ids: Vec<usize> = s.iter().map(|v| index[v]).collect();
+        for (k, &a) in ids.iter().enumerate() {
+            for &b in &ids[k + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+    }
+
+    // Greedy coloring, highest degree first.
+    let mut order: Vec<usize> = (0..verts.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(adj[i].len()));
+    let available = LAST_ALLOC_REG - FIRST_ALLOC_REG + 1;
+    let mut color: Vec<Option<usize>> = vec![None; verts.len()];
+    let mut max_color = 0usize;
+    for &i in &order {
+        let used: BTreeSet<usize> = adj[i].iter().filter_map(|&j| color[j]).collect();
+        let c = (0..).find(|c| !used.contains(c)).expect("unbounded");
+        if c >= available {
+            return Err(RegPressureError {
+                function: f.name.clone(),
+                needed: c + 1,
+                available,
+            });
+        }
+        color[i] = Some(c);
+        max_color = max_color.max(c + 1);
+    }
+
+    let reg_of: BTreeMap<VReg, Reg> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, Reg::new(FIRST_ALLOC_REG + color[i].expect("colored"))))
+        .collect();
+
+    // Frame slots: everything live into a call continuation except the
+    // call's destination (which returns in r1).
+    let mut frame_slot: BTreeMap<VReg, usize> = BTreeMap::new();
+    for b in &f.blocks {
+        if let Terminator::Call { dst, cont, .. } = &b.term {
+            for &v in &lv.live_in[cont.0] {
+                if Some(v) != *dst && !frame_slot.contains_key(&v) {
+                    let slot = frame_slot.len();
+                    frame_slot.insert(v, slot);
+                }
+            }
+        }
+    }
+    let frame_bytes = 8 * frame_slot.len() as i64;
+
+    Ok(Allocation {
+        reg_of,
+        frame_slot,
+        frame_bytes,
+    })
+}
+
+/// The set of vregs a call block must save: values live into `cont`
+/// minus the call destination.
+#[must_use]
+pub fn saved_across_call(
+    lv: &Liveness,
+    cont: crate::ir::BbId,
+    dst: Option<VReg>,
+) -> Vec<VReg> {
+    lv.live_in[cont.0]
+        .iter()
+        .copied()
+        .filter(|&v| Some(v) != dst)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::liveness::liveness;
+    use clp_isa::Opcode;
+
+    #[test]
+    fn disjoint_values_share_registers() {
+        // Two values never live at the same boundary may share a color.
+        let mut f = FunctionBuilder::new("g", 1);
+        let x = f.param(0);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let a = f.bin(Opcode::Add, x, x);
+        f.jump(b1);
+        f.switch_to(b1);
+        let t = f.bin(Opcode::Mul, a, a); // a dies here
+        f.jump(b2);
+        f.switch_to(b2);
+        let u = f.bin(Opcode::Add, t, t);
+        f.ret(Some(u));
+        let func = f.finish();
+        let lv = liveness(&func);
+        let alloc = allocate(&func, &lv, &[]).unwrap();
+        // a and t are both crossing; they interfere? a live into b1,
+        // t live into b2; never co-live.
+        assert_ne!(alloc.reg_of.get(&a), None);
+        assert_ne!(alloc.reg_of.get(&t), None);
+        let distinct: BTreeSet<Reg> = alloc.reg_of.values().copied().collect();
+        assert!(distinct.len() <= alloc.reg_of.len());
+    }
+
+    #[test]
+    fn interfering_values_get_distinct_registers() {
+        let mut f = FunctionBuilder::new("g", 2);
+        let x = f.param(0);
+        let y = f.param(1);
+        let b1 = f.new_block();
+        f.jump(b1);
+        f.switch_to(b1);
+        let s = f.bin(Opcode::Add, x, y); // x and y both live into b1
+        f.ret(Some(s));
+        let func = f.finish();
+        let lv = liveness(&func);
+        let alloc = allocate(&func, &lv, &[]).unwrap();
+        assert_ne!(alloc.reg(x), alloc.reg(y));
+    }
+
+    #[test]
+    fn frame_slots_for_call_crossing_values() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare();
+        let mut f = FunctionBuilder::new("caller", 2);
+        let x = f.param(0);
+        let y = f.param(1);
+        let cont = f.new_block();
+        let out = f.vreg();
+        f.call(callee, &[x], Some(out), cont);
+        f.switch_to(cont);
+        let s = f.bin(Opcode::Add, y, out);
+        f.ret(Some(s));
+        let func = f.finish();
+        let link = func.link_vreg;
+        let lv = liveness(&func);
+        let alloc = allocate(&func, &lv, &[]).unwrap();
+        // y and the link must be saved; out comes back in r1.
+        assert!(alloc.frame_slot.contains_key(&y));
+        assert!(alloc.frame_slot.contains_key(&link));
+        assert!(!alloc.frame_slot.contains_key(&out));
+        assert_eq!(alloc.frame_bytes, 16);
+        let saved = saved_across_call(&lv, cont, Some(out));
+        assert_eq!(saved.len(), 2);
+    }
+
+    #[test]
+    fn leaf_function_has_no_frame() {
+        let mut f = FunctionBuilder::new("leaf", 1);
+        let x = f.param(0);
+        f.ret(Some(x));
+        let func = f.finish();
+        let lv = liveness(&func);
+        let alloc = allocate(&func, &lv, &[]).unwrap();
+        assert_eq!(alloc.frame_bytes, 0);
+    }
+
+    #[test]
+    fn registers_stay_in_allocatable_range() {
+        let mut f = FunctionBuilder::new("many", 8);
+        let b1 = f.new_block();
+        let vals: Vec<_> = (0..8).map(|i| f.param(i)).collect();
+        f.jump(b1);
+        f.switch_to(b1);
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = f.bin(Opcode::Add, acc, v);
+        }
+        f.ret(Some(acc));
+        let func = f.finish();
+        let lv = liveness(&func);
+        let alloc = allocate(&func, &lv, &[]).unwrap();
+        for r in alloc.reg_of.values() {
+            assert!((FIRST_ALLOC_REG..=LAST_ALLOC_REG).contains(&r.index()));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Negative-path tests: the compiler reports structured errors instead
+//! of panicking or silently miscompiling.
+
+use clp_compiler::{compile, CompileError, CompileOptions, FunctionBuilder, ProgramBuilder};
+use clp_isa::Opcode;
+
+#[test]
+fn cont_block_reached_by_jump_is_rejected() {
+    // A call continuation that is also a jump target breaks the
+    // caller-save reload convention.
+    let mut pb = ProgramBuilder::new();
+    let callee = {
+        let mut f = FunctionBuilder::new("callee", 0);
+        f.ret(None);
+        pb.add_function(f.finish())
+    };
+    let mut f = FunctionBuilder::new("caller", 1);
+    let x = f.param(0);
+    let (callb, jumper, cont) = (f.new_block(), f.new_block(), f.new_block());
+    f.branch(x, callb, jumper);
+    f.switch_to(callb);
+    f.call(callee, &[], None, cont);
+    f.switch_to(jumper);
+    f.jump(cont); // illegal: jumps into the continuation
+    f.switch_to(cont);
+    f.ret(None);
+    let id = pb.add_function(f.finish());
+    let err = compile(&pb.finish(id), &CompileOptions::default()).unwrap_err();
+    assert!(
+        matches!(err, CompileError::ContIsJumpTarget { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn register_pressure_is_reported() {
+    // 130 values simultaneously live across a block boundary cannot be
+    // colored into r9..r119.
+    let mut f = FunctionBuilder::new("pressure", 1);
+    let x = f.param(0);
+    let vals: Vec<_> = (0..130)
+        .map(|i| {
+            let k = f.c(i);
+            f.bin(Opcode::Add, x, k)
+        })
+        .collect();
+    let next = f.new_block();
+    f.jump(next);
+    f.switch_to(next);
+    let mut acc = vals[0];
+    for &v in &vals[1..] {
+        acc = f.bin(Opcode::Xor, acc, v);
+    }
+    f.ret(Some(acc));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    let err = compile(&pb.finish(id), &CompileOptions::default()).unwrap_err();
+    let CompileError::RegPressure(e) = err else {
+        panic!("expected register pressure, got {err}");
+    };
+    assert!(e.needed > e.available);
+    assert!(e.to_string().contains("pressure"));
+}
+
+#[test]
+fn lsid_overflow_in_one_ir_block_is_reported() {
+    // A single IR block with 40 loads cannot fit the 32-LSID budget even
+    // with hyperblock formation disabled.
+    let mut f = FunctionBuilder::new("mem_heavy", 1);
+    let base = f.param(0);
+    let mut acc = f.c(0);
+    for i in 0..40 {
+        let v = f.load(base, 8 * i);
+        acc = f.bin(Opcode::Add, acc, v);
+    }
+    f.ret(Some(acc));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    let err = compile(&pb.finish(id), &CompileOptions::default()).unwrap_err();
+    assert!(matches!(err, CompileError::LsidOverflow { .. }), "{err}");
+}
+
+#[test]
+fn oversized_single_block_is_reported() {
+    // ~200 dependent ALU ops in one IR block exceed 128 EDGE slots no
+    // matter what the former does.
+    let mut f = FunctionBuilder::new("huge", 1);
+    let x = f.param(0);
+    let mut acc = x;
+    for _ in 0..200 {
+        acc = f.bin(Opcode::Add, acc, x);
+    }
+    f.ret(Some(acc));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    let err = compile(&pb.finish(id), &CompileOptions::default()).unwrap_err();
+    match err {
+        CompileError::Block { source, .. } => {
+            assert!(matches!(
+                source,
+                clp_isa::BlockError::TooManyInstructions(_)
+            ));
+        }
+        CompileError::BlockTooLarge { .. } => {}
+        other => panic!("expected a size error, got {other}"),
+    }
+}
+
+#[test]
+fn errors_render_helpfully() {
+    let e = CompileError::LsidOverflow {
+        function: "f".into(),
+        bb: 3,
+    };
+    assert!(e.to_string().contains("32 load/store IDs"));
+    let e = CompileError::ContIsJumpTarget {
+        function: "g".into(),
+        bb: 1,
+    };
+    assert!(e.to_string().contains("continuation"));
+}

@@ -1,0 +1,31 @@
+//! # clp-core — the high-level Composable Lightweight Processor API
+//!
+//! Ties the stack together for users and for the evaluation harness:
+//! compile a [`Workload`](clp_workloads::Workload) once, run it on any processor organization
+//! (TFlex compositions of 1–32 cores, or the TRIPS baseline), verify the
+//! outputs against the reference interpreter, and collect performance,
+//! power, and area metrics. Sweeps produce the speedup curves that feed
+//! the Figure 6–8 plots and the Figure 10 allocator.
+//!
+//! ```no_run
+//! use clp_core::{run_workload, ProcessorConfig};
+//! use clp_workloads::suite;
+//!
+//! let w = suite::by_name("conv").expect("exists");
+//! let r = run_workload(&w, &ProcessorConfig::tflex(8)).expect("runs");
+//! assert!(r.correct);
+//! println!("{} cycles, {:.2} W", r.stats.cycles, r.power.total());
+//! ```
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod multiprogram;
+mod run;
+
+pub use adaptive::{adapt_composition, AdaptGoal, AdaptOutcome, AdaptStep};
+pub use multiprogram::{run_multiprogram, MultiOutcome, ProgramSpec};
+pub use run::{
+    compile_workload, run_compiled, run_workload, speedup_curve, sweep, CompiledWorkload,
+    ProcessorConfig, ProcessorKind, RunFailure, RunOutcome,
+};

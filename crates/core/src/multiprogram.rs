@@ -1,0 +1,200 @@
+//! Multiprogrammed execution: several workloads simultaneously on
+//! disjoint compositions of one chip, sharing the L2 and DRAM.
+
+use crate::run::{compile_workload, ProcessorConfig, RunFailure};
+use clp_isa::Reg;
+use clp_sim::{Machine, ProcId, RunStats};
+use clp_workloads::Workload;
+
+/// One entry of a multiprogrammed workload: a benchmark and the number
+/// of cores its logical processor gets.
+#[derive(Clone, Debug)]
+pub struct ProgramSpec {
+    /// The benchmark.
+    pub workload: Workload,
+    /// Composition size (power of two).
+    pub cores: usize,
+}
+
+/// Result of a multiprogrammed run.
+#[derive(Clone, Debug)]
+pub struct MultiOutcome {
+    /// Chip statistics (per-processor counters inside).
+    pub stats: RunStats,
+    /// Per-program cycle counts (until each halted).
+    pub cycles: Vec<u64>,
+    /// Per-program verification status.
+    pub correct: Vec<bool>,
+}
+
+/// Runs several programs simultaneously on one chip. Core regions are
+/// packed largest-first so every composition is aligned; the combined
+/// sizes must fit the 32-core chip.
+///
+/// Inter-processor contention for the shared L2 and memory is modeled
+/// (the processors share one [`clp_mem::MemorySystem`]); each program
+/// runs in its own address space.
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] if the specs do not fit, a program fails to
+/// compile, the simulation fails, or any program's outputs mismatch.
+pub fn run_multiprogram(specs: &[ProgramSpec]) -> Result<MultiOutcome, RunFailure> {
+    let total: usize = specs.iter().map(|s| s.cores).sum();
+    assert!(total <= 32, "{total} cores requested, chip has 32");
+
+    // Place largest-first (best-fit packing), remembering original order.
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(specs[i].cores));
+
+    let cfg = ProcessorConfig::tflex(32).sim;
+    let mut m = Machine::new(cfg);
+    let mut compiled = Vec::with_capacity(specs.len());
+    for s in specs {
+        compiled.push(compile_workload(&s.workload)?);
+    }
+
+    let mut pids: Vec<Option<ProcId>> = vec![None; specs.len()];
+    let mut used = [false; 32];
+    for &i in &order {
+        let s = &specs[i];
+        // First-fit over the standard tiling: regions are rectangles, so
+        // a simple linear offset does not work for mixed sizes.
+        let mesh = clp_noc::MeshConfig::tflex_operand();
+        let index = (0..32 / s.cores)
+            .find(|&idx| {
+                clp_noc::region_for(&mesh, s.cores, idx)
+                    .map(|nodes| nodes.iter().all(|n| !used[n.0]))
+                    .unwrap_or(false)
+            })
+            .unwrap_or_else(|| panic!("no free {}-core region", s.cores));
+        for n in clp_noc::region_for(&mesh, s.cores, index).expect("checked") {
+            used[n.0] = true;
+        }
+        let pid = m
+            .compose(s.cores, index, compiled[i].edge.clone(), &s.workload.args)
+            .map_err(RunFailure::Compose)?;
+        // Load this program's memory into its own address space.
+        let base = m.addr_base(pid);
+        for (addr, words) in &s.workload.init_mem {
+            m.memory_mut().image.load_words(base + addr, words);
+        }
+        pids[i] = Some(pid);
+    }
+
+    let stats = m.run().map_err(RunFailure::Run)?;
+
+    let mut cycles = Vec::with_capacity(specs.len());
+    let mut correct = Vec::with_capacity(specs.len());
+    for (i, s) in specs.iter().enumerate() {
+        let pid = pids[i].expect("composed");
+        let ret = m.register(pid, Reg::new(1));
+        let base = m.addr_base(pid);
+        // Verify within the program's own address space.
+        let ok = verify_at_base(s, &compiled[i], ret, m.memory(), base);
+        correct.push(ok);
+        cycles.push(stats.procs[pid.0].cycles);
+    }
+    Ok(MultiOutcome {
+        stats,
+        cycles,
+        correct,
+    })
+}
+
+fn verify_at_base(
+    spec: &ProgramSpec,
+    cw: &crate::run::CompiledWorkload,
+    ret: u64,
+    mem: &clp_mem::MemorySystem,
+    base: u64,
+) -> bool {
+    let golden = &cw.golden;
+    if spec.workload.check.check_ret && golden.ret != Some(ret) {
+        return false;
+    }
+    for &(region, len) in &spec.workload.check.regions {
+        for k in 0..len {
+            let a = region + 8 * k as u64;
+            if golden.image.read_u64(a) != mem.image.read_u64(base + a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clp_workloads::suite;
+
+    #[test]
+    fn two_programs_share_the_chip_correctly() {
+        let specs = vec![
+            ProgramSpec {
+                workload: suite::by_name("conv").unwrap(),
+                cores: 8,
+            },
+            ProgramSpec {
+                workload: suite::by_name("bezier").unwrap(),
+                cores: 4,
+            },
+        ];
+        let out = run_multiprogram(&specs).expect("runs");
+        assert!(out.correct.iter().all(|&c| c), "all programs correct");
+        assert!(out.cycles.iter().all(|&c| c > 0));
+        assert_eq!(out.stats.procs.len(), 2);
+    }
+
+    #[test]
+    fn same_program_twice_is_isolated() {
+        // Identical virtual layouts must not interfere.
+        let w = suite::by_name("autocor").unwrap();
+        let specs = vec![
+            ProgramSpec {
+                workload: w.clone(),
+                cores: 4,
+            },
+            ProgramSpec {
+                workload: w,
+                cores: 4,
+            },
+        ];
+        let out = run_multiprogram(&specs).expect("runs");
+        assert!(out.correct.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn asymmetric_mix_runs() {
+        let specs = vec![
+            ProgramSpec {
+                workload: suite::by_name("conv").unwrap(),
+                cores: 16,
+            },
+            ProgramSpec {
+                workload: suite::by_name("tblook").unwrap(),
+                cores: 2,
+            },
+            ProgramSpec {
+                workload: suite::by_name("rspeed").unwrap(),
+                cores: 2,
+            },
+        ];
+        let out = run_multiprogram(&specs).expect("runs");
+        assert!(out.correct.iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "chip has 32")]
+    fn oversubscription_rejected() {
+        let w = suite::by_name("conv").unwrap();
+        let specs: Vec<ProgramSpec> = (0..3)
+            .map(|_| ProgramSpec {
+                workload: w.clone(),
+                cores: 16,
+            })
+            .collect();
+        let _ = run_multiprogram(&specs);
+    }
+}

@@ -1,0 +1,285 @@
+//! Single-workload runs and composition sweeps.
+
+use clp_alloc::{SpeedupCurve, SIZES};
+use clp_compiler::{compile, CompileError, CompileOptions};
+use clp_isa::{EdgeProgram, Reg};
+use clp_power::{AreaModel, EnergyModel, PowerBreakdown, PowerConfig};
+use clp_sim::{Machine, ProcId, RunError, RunStats, SimConfig};
+use clp_workloads::{Golden, VerifyError, Workload};
+use std::fmt;
+
+/// The processor organization to run on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessorKind {
+    /// A TFlex composition of N cores (N a power of two, 1..=32).
+    TFlex {
+        /// Participating cores.
+        cores: usize,
+    },
+    /// The TRIPS prototype baseline (16 tiles, centralized control).
+    Trips,
+}
+
+/// A processor configuration (organization + simulator knobs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessorConfig {
+    /// The organization.
+    pub kind: ProcessorKind,
+    /// Simulator configuration (derived from `kind` by the constructors;
+    /// override fields for ablations).
+    pub sim: SimConfig,
+}
+
+impl ProcessorConfig {
+    /// A TFlex composition of `cores` cores.
+    #[must_use]
+    pub fn tflex(cores: usize) -> Self {
+        ProcessorConfig {
+            kind: ProcessorKind::TFlex { cores },
+            sim: SimConfig::tflex(),
+        }
+    }
+
+    /// The TRIPS baseline.
+    #[must_use]
+    pub fn trips() -> Self {
+        ProcessorConfig {
+            kind: ProcessorKind::Trips,
+            sim: SimConfig::trips(),
+        }
+    }
+
+    /// Cores the organization occupies.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        match self.kind {
+            ProcessorKind::TFlex { cores } => cores,
+            ProcessorKind::Trips => 16,
+        }
+    }
+
+    fn power_config(&self) -> PowerConfig {
+        match self.kind {
+            ProcessorKind::TFlex { cores } => PowerConfig::tflex(cores),
+            ProcessorKind::Trips => PowerConfig::trips(),
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum RunFailure {
+    /// The workload failed to compile to EDGE code.
+    Compile(CompileError),
+    /// The machine could not be composed.
+    Compose(clp_sim::ComposeError),
+    /// The simulation did not complete.
+    Run(RunError),
+    /// Outputs differ from the reference interpreter.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFailure::Compile(e) => write!(f, "compile: {e}"),
+            RunFailure::Compose(e) => write!(f, "compose: {e}"),
+            RunFailure::Run(e) => write!(f, "run: {e}"),
+            RunFailure::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// A workload compiled to EDGE code, with its golden reference
+/// (compile/interpret once, run many).
+#[derive(Clone, Debug)]
+pub struct CompiledWorkload {
+    /// The source workload.
+    pub workload: Workload,
+    /// The compiled EDGE program.
+    pub edge: EdgeProgram,
+    /// The interpreter's golden result.
+    pub golden: Golden,
+}
+
+/// Compiles a workload and computes its golden reference.
+///
+/// # Errors
+///
+/// Returns [`RunFailure::Compile`] if lowering fails.
+pub fn compile_workload(w: &Workload) -> Result<CompiledWorkload, RunFailure> {
+    let edge = compile(&w.program, &CompileOptions::default()).map_err(RunFailure::Compile)?;
+    Ok(CompiledWorkload {
+        golden: w.golden(),
+        workload: w.clone(),
+        edge,
+    })
+}
+
+/// Outcome of a verified run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Chip-level statistics.
+    pub stats: RunStats,
+    /// The entry function's return value (`r1`).
+    pub ret: u64,
+    /// Whether outputs matched the golden reference.
+    pub correct: bool,
+    /// Power breakdown for the run.
+    pub power: PowerBreakdown,
+    /// Area of the organization in mm².
+    pub area_mm2: f64,
+}
+
+/// Runs a pre-compiled workload on `cfg`, verifying outputs.
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] on composition errors, simulation failures,
+/// or output mismatches.
+pub fn run_compiled(
+    cw: &CompiledWorkload,
+    cfg: &ProcessorConfig,
+) -> Result<RunOutcome, RunFailure> {
+    let mut m = Machine::new(cfg.sim);
+    for (addr, words) in &cw.workload.init_mem {
+        m.memory_mut().image.load_words(*addr, words);
+    }
+    let pid: ProcId = m
+        .compose(cfg.cores(), 0, cw.edge.clone(), &cw.workload.args)
+        .map_err(RunFailure::Compose)?;
+    let stats = m.run().map_err(RunFailure::Run)?;
+    let ret = m.register(pid, Reg::new(1));
+    cw.workload
+        .verify_against(&cw.golden, ret, &m.memory().image)
+        .map_err(RunFailure::Verify)?;
+    let area = AreaModel::at_130nm();
+    let energy = EnergyModel::at_130nm();
+    let pc = cfg.power_config();
+    let power = energy.power(&stats, &pc, &area);
+    let area_mm2 = match cfg.kind {
+        ProcessorKind::TFlex { cores } => area.tflex_mm2(cores),
+        ProcessorKind::Trips => area.trips_mm2(),
+    };
+    Ok(RunOutcome {
+        stats,
+        ret,
+        correct: true,
+        power,
+        area_mm2,
+    })
+}
+
+/// Compiles and runs a workload on `cfg` (convenience wrapper).
+///
+/// # Errors
+///
+/// See [`run_compiled`].
+pub fn run_workload(w: &Workload, cfg: &ProcessorConfig) -> Result<RunOutcome, RunFailure> {
+    let cw = compile_workload(w)?;
+    run_compiled(&cw, cfg)
+}
+
+/// Runs a workload at every requested TFlex composition size.
+///
+/// # Errors
+///
+/// Propagates the first failure.
+pub fn sweep(
+    w: &Workload,
+    sizes: &[usize],
+) -> Result<Vec<(usize, RunOutcome)>, RunFailure> {
+    let cw = compile_workload(w)?;
+    sizes
+        .iter()
+        .map(|&n| run_compiled(&cw, &ProcessorConfig::tflex(n)).map(|r| (n, r)))
+        .collect()
+}
+
+/// Measures the full Figure 6 speedup curve (all six sizes, normalized
+/// to one core).
+///
+/// # Errors
+///
+/// Propagates the first failure.
+pub fn speedup_curve(w: &Workload) -> Result<SpeedupCurve, RunFailure> {
+    let runs = sweep(w, &SIZES)?;
+    let base = runs
+        .iter()
+        .find(|(n, _)| *n == 1)
+        .map(|(_, r)| r.stats.cycles)
+        .expect("size 1 in SIZES");
+    let samples: Vec<(usize, f64)> = runs
+        .iter()
+        .map(|(n, r)| (*n, base as f64 / r.stats.cycles as f64))
+        .collect();
+    Ok(SpeedupCurve::new(w.name, &samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clp_workloads::suite;
+
+    #[test]
+    fn processor_config_cores() {
+        assert_eq!(ProcessorConfig::tflex(4).cores(), 4);
+        assert_eq!(ProcessorConfig::trips().cores(), 16);
+        assert_eq!(
+            ProcessorConfig::tflex(8).kind,
+            ProcessorKind::TFlex { cores: 8 }
+        );
+    }
+
+    #[test]
+    fn run_failure_renders() {
+        let e = RunFailure::Run(clp_sim::RunError::CycleLimit(9));
+        assert!(e.to_string().contains("9"));
+        let e = RunFailure::Compose(clp_sim::ComposeError::CoreBusy(3));
+        assert!(e.to_string().starts_with("compose"));
+    }
+
+    #[test]
+    fn bad_composition_is_reported_not_panicking() {
+        let w = suite::by_name("conv").unwrap();
+        let err = run_workload(&w, &ProcessorConfig::tflex(64)).unwrap_err();
+        assert!(matches!(err, RunFailure::Compose(_)));
+    }
+
+    #[test]
+    fn conv_runs_correctly_on_4_cores() {
+        let w = suite::by_name("conv").unwrap();
+        let r = run_workload(&w, &ProcessorConfig::tflex(4)).expect("runs");
+        assert!(r.correct);
+        assert!(r.stats.cycles > 100);
+        assert!(r.power.total() > 0.0);
+        assert!(r.area_mm2 > 1.0);
+    }
+
+    #[test]
+    fn trips_mode_runs_conv() {
+        let w = suite::by_name("conv").unwrap();
+        let r = run_workload(&w, &ProcessorConfig::trips()).expect("runs");
+        assert!(r.correct);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_sizes() {
+        let w = suite::by_name("bezier").unwrap();
+        let runs = sweep(&w, &[1, 4, 16]).expect("sweeps");
+        assert_eq!(runs.len(), 3);
+        for (n, r) in &runs {
+            assert!(r.correct, "incorrect at {n} cores");
+        }
+    }
+
+    #[test]
+    fn speedup_curve_normalizes_to_one() {
+        let w = suite::by_name("autocor").unwrap();
+        let c = speedup_curve(&w).expect("curve");
+        assert!((c.at(1) - 1.0).abs() < 1e-12);
+        assert!(c.best_speedup() >= 1.0);
+    }
+}

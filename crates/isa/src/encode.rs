@@ -1,0 +1,285 @@
+//! Binary instruction encoding.
+//!
+//! Instructions encode into a 64-bit primary word plus an optional 64-bit
+//! extension word carrying a wide immediate or a static branch target.
+//! The layout keeps the paper's nine-bit target fields explicit:
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..10  predication (0 none, 1 on-true, 2 on-false)
+//! bits 10..19  target 0 (9-bit: 2-bit operand slot | 7-bit instruction)
+//! bit  19      target 0 present
+//! bits 20..29  target 1
+//! bit  29      target 1 present
+//! bits 30..35  LSID (5-bit)
+//! bit  35      LSID present
+//! bits 36..39  exit ID (3-bit)
+//! bits 39..42  branch kind (3-bit)
+//! bit  42      branch info present
+//! bits 43..50  register number (7-bit)
+//! bit  50      register present
+//! bit  51      extension word follows
+//! bits 52..64  12-bit signed small immediate
+//! ```
+
+use crate::{BranchInfo, BranchKind, Instruction, Lsid, Opcode, PredSense, Reg, Target};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A binary-encoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EncodedInstruction {
+    /// The primary 64-bit word.
+    pub primary: u64,
+    /// Extension word for wide immediates or static branch targets.
+    pub ext: Option<u64>,
+}
+
+/// Failure to decode an [`EncodedInstruction`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Invalid predication field.
+    BadPred(u8),
+    /// Invalid target field (reserved operand-slot bits).
+    BadTarget(u16),
+    /// Invalid branch-kind field.
+    BadBranchKind(u8),
+    /// The extension bit is set but no extension word was provided.
+    MissingExtension,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::BadPred(b) => write!(f, "invalid predication field {b}"),
+            DecodeError::BadTarget(t) => write!(f, "invalid target field {t:#05x}"),
+            DecodeError::BadBranchKind(b) => write!(f, "invalid branch kind {b}"),
+            DecodeError::MissingExtension => write!(f, "extension word missing"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const IMM12_MIN: i64 = -(1 << 11);
+const IMM12_MAX: i64 = (1 << 11) - 1;
+
+/// Encodes a decoded instruction into its binary form.
+///
+/// # Panics
+///
+/// Panics if the instruction carries a transient builder ID (`>= 128`) in
+/// one of its targets; validated blocks never do.
+#[must_use]
+pub fn encode_instruction(inst: &Instruction) -> EncodedInstruction {
+    let mut w: u64 = u64::from(inst.opcode as u8);
+    w |= match inst.pred {
+        None => 0,
+        Some(PredSense::OnTrue) => 1,
+        Some(PredSense::OnFalse) => 2,
+    } << 8;
+    if let Some(t) = inst.targets[0] {
+        w |= u64::from(t.encode()) << 10;
+        w |= 1 << 19;
+    }
+    if let Some(t) = inst.targets[1] {
+        w |= u64::from(t.encode()) << 20;
+        w |= 1 << 29;
+    }
+    if let Some(l) = inst.lsid {
+        w |= (l.index() as u64) << 30;
+        w |= 1 << 35;
+    }
+    let mut ext: Option<u64> = None;
+    if let Some(b) = &inst.branch {
+        w |= u64::from(b.exit_id & 0x7) << 36;
+        w |= u64::from(b.kind.encode()) << 39;
+        w |= 1 << 42;
+        if let Some(target) = b.target {
+            ext = Some(target);
+        }
+    }
+    if let Some(r) = inst.reg {
+        w |= (r.index() as u64) << 43;
+        w |= 1 << 50;
+    }
+    if inst.opcode.has_immediate() {
+        if (IMM12_MIN..=IMM12_MAX).contains(&inst.imm) && ext.is_none() {
+            w |= ((inst.imm as u64) & 0xfff) << 52;
+        } else {
+            debug_assert!(ext.is_none(), "imm and branch target cannot both extend");
+            ext = Some(inst.imm as u64);
+        }
+    }
+    if ext.is_some() {
+        w |= 1 << 51;
+    }
+    EncodedInstruction { primary: w, ext }
+}
+
+/// Decodes a binary instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for malformed fields or a missing extension
+/// word.
+pub fn decode_instruction(enc: EncodedInstruction) -> Result<Instruction, DecodeError> {
+    let w = enc.primary;
+    let op_byte = (w & 0xff) as u8;
+    let opcode = Opcode::decode(op_byte).ok_or(DecodeError::BadOpcode(op_byte))?;
+    let mut inst = Instruction::new(opcode);
+
+    inst.pred = match (w >> 8) & 0x3 {
+        0 => None,
+        1 => Some(PredSense::OnTrue),
+        2 => Some(PredSense::OnFalse),
+        other => return Err(DecodeError::BadPred(other as u8)),
+    };
+
+    if (w >> 19) & 1 == 1 {
+        let bits = ((w >> 10) & 0x1ff) as u16;
+        inst.targets[0] = Some(Target::decode(bits).ok_or(DecodeError::BadTarget(bits))?);
+    }
+    if (w >> 29) & 1 == 1 {
+        let bits = ((w >> 20) & 0x1ff) as u16;
+        inst.targets[1] = Some(Target::decode(bits).ok_or(DecodeError::BadTarget(bits))?);
+    }
+    if (w >> 35) & 1 == 1 {
+        inst.lsid = Some(Lsid::new(((w >> 30) & 0x1f) as usize));
+    }
+
+    let has_ext = (w >> 51) & 1 == 1;
+    if has_ext && enc.ext.is_none() {
+        return Err(DecodeError::MissingExtension);
+    }
+
+    if (w >> 42) & 1 == 1 {
+        let kind_bits = ((w >> 39) & 0x7) as u8;
+        let kind = BranchKind::decode(kind_bits).ok_or(DecodeError::BadBranchKind(kind_bits))?;
+        let target = if matches!(kind, BranchKind::Return | BranchKind::Halt) {
+            None
+        } else {
+            Some(enc.ext.ok_or(DecodeError::MissingExtension)?)
+        };
+        inst.branch = Some(BranchInfo {
+            exit_id: ((w >> 36) & 0x7) as u8,
+            kind,
+            target,
+        });
+    } else if opcode.has_immediate() {
+        if has_ext {
+            inst.imm = enc.ext.ok_or(DecodeError::MissingExtension)? as i64;
+        } else {
+            // Sign-extend the 12-bit field.
+            inst.imm = ((((w >> 52) & 0xfff) as i64) << 52) >> 52;
+        }
+    }
+
+    if (w >> 50) & 1 == 1 {
+        inst.reg = Some(Reg::new(((w >> 43) & 0x7f) as usize));
+    }
+
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstId, Operand};
+
+    fn roundtrip(inst: &Instruction) {
+        let enc = encode_instruction(inst);
+        let dec = decode_instruction(enc).expect("decodes");
+        assert_eq!(&dec, inst);
+    }
+
+    #[test]
+    fn plain_alu_roundtrip() {
+        let mut i = Instruction::new(Opcode::Add);
+        i.push_target(Target::new(InstId::new(5), Operand::Left));
+        i.push_target(Target::new(InstId::new(127), Operand::Pred));
+        roundtrip(&i);
+    }
+
+    #[test]
+    fn small_and_wide_immediates() {
+        for imm in [0i64, 1, -1, 2047, -2048, 2048, -2049, i64::MAX, i64::MIN] {
+            let mut i = Instruction::new(Opcode::Movi);
+            i.imm = imm;
+            i.push_target(Target::new(InstId::new(0), Operand::Left));
+            let enc = encode_instruction(&i);
+            if (-2048..=2047).contains(&imm) {
+                assert!(enc.ext.is_none(), "imm {imm} should be inline");
+            } else {
+                assert!(enc.ext.is_some(), "imm {imm} needs extension");
+            }
+            roundtrip(&i);
+        }
+    }
+
+    #[test]
+    fn branch_with_target_uses_extension() {
+        let mut i = Instruction::new(Opcode::Bro);
+        i.pred = Some(PredSense::OnFalse);
+        i.branch = Some(BranchInfo {
+            exit_id: 3,
+            kind: BranchKind::Call,
+            target: Some(0xdead_beef_0000),
+        });
+        let enc = encode_instruction(&i);
+        assert_eq!(enc.ext, Some(0xdead_beef_0000));
+        roundtrip(&i);
+    }
+
+    #[test]
+    fn return_branch_roundtrip() {
+        let mut i = Instruction::new(Opcode::Bro);
+        i.branch = Some(BranchInfo {
+            exit_id: 1,
+            kind: BranchKind::Return,
+            target: None,
+        });
+        roundtrip(&i);
+    }
+
+    #[test]
+    fn memory_with_lsid_roundtrip() {
+        let mut i = Instruction::new(Opcode::St);
+        i.imm = -16;
+        i.lsid = Some(Lsid::new(31));
+        i.pred = Some(PredSense::OnTrue);
+        roundtrip(&i);
+    }
+
+    #[test]
+    fn reg_interface_roundtrip() {
+        let mut r = Instruction::new(Opcode::Read);
+        r.reg = Some(Reg::new(127));
+        r.push_target(Target::new(InstId::new(3), Operand::Right));
+        roundtrip(&r);
+        let mut w = Instruction::new(Opcode::Write);
+        w.reg = Some(Reg::new(0));
+        roundtrip(&w);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let e = EncodedInstruction {
+            primary: 0xff,
+            ext: None,
+        };
+        assert_eq!(decode_instruction(e), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn missing_extension_rejected() {
+        let mut i = Instruction::new(Opcode::Movi);
+        i.imm = 1 << 40;
+        let mut enc = encode_instruction(&i);
+        enc.ext = None;
+        assert_eq!(decode_instruction(enc), Err(DecodeError::MissingExtension));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the EDGE ISA: encoding round-trips, assembler
+//! round-trips, and builder-produced block validity.
+
+use clp_isa::{
+    asm, decode_instruction, encode_instruction, BlockBuilder, BranchInfo, BranchKind, InstId,
+    Instruction, Lsid, Opcode, Operand, PredSense, Reg, Target,
+};
+use proptest::prelude::*;
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        Just(Operand::Left),
+        Just(Operand::Right),
+        Just(Operand::Pred)
+    ]
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    (0usize..128, arb_operand()).prop_map(|(i, op)| Target::new(InstId::new(i), op))
+}
+
+fn arb_pred() -> impl Strategy<Value = Option<PredSense>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(PredSense::OnTrue)),
+        Just(Some(PredSense::OnFalse))
+    ]
+}
+
+/// A canonical random instruction: every field combination that the
+/// builder/compiler could legitimately produce.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let opcode = proptest::sample::select(Opcode::ALL.to_vec());
+    (
+        opcode,
+        arb_pred(),
+        any::<i64>(),
+        proptest::option::of(arb_target()),
+        proptest::option::of(arb_target()),
+        0usize..32,
+        0u8..8,
+        0usize..128,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(opcode, pred, imm, t0, t1, lsid, exit, regno, braddr)| {
+                let mut inst = Instruction::new(opcode);
+                inst.pred = pred;
+                inst.targets = [t0, t1];
+                if opcode.has_immediate() {
+                    inst.imm = imm;
+                }
+                if opcode.is_load() || opcode.is_store() {
+                    inst.lsid = Some(Lsid::new(lsid));
+                }
+                if opcode == Opcode::Bro {
+                    let kind = BranchKind::ALL[(exit as usize) % BranchKind::ALL.len()];
+                    let target = if matches!(kind, BranchKind::Return | BranchKind::Halt) {
+                        None
+                    } else {
+                        Some(braddr)
+                    };
+                    inst.branch = Some(BranchInfo {
+                        exit_id: exit,
+                        kind,
+                        target,
+                    });
+                }
+                if matches!(opcode, Opcode::Read | Opcode::Write) {
+                    inst.reg = Some(Reg::new(regno));
+                }
+                inst
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_instruction()) {
+        let enc = encode_instruction(&inst);
+        let dec = decode_instruction(enc).expect("canonical instructions decode");
+        prop_assert_eq!(dec, inst);
+    }
+
+    #[test]
+    fn target_encoding_is_injective(a in arb_target(), b in arb_target()) {
+        prop_assert_eq!(a.encode() == b.encode(), a == b);
+    }
+
+    /// Random straight-line dataflow programs built through the builder
+    /// always validate and survive an assembler round-trip.
+    #[test]
+    fn builder_blocks_roundtrip_through_asm(
+        seed_consts in proptest::collection::vec(-100i64..100, 1..4),
+        ops in proptest::collection::vec((0usize..6, any::<u16>(), any::<u16>()), 0..40),
+        nwrites in 1usize..8,
+    ) {
+        let mut b = BlockBuilder::new(0x4000);
+        let mut vals: Vec<_> = seed_consts.iter().map(|&c| b.movi(c)).collect();
+        for (kind, xa, xb) in ops {
+            let a = vals[(xa as usize) % vals.len()];
+            let c = vals[(xb as usize) % vals.len()];
+            let opcode = [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::And,
+                          Opcode::Or, Opcode::Xor][kind];
+            if a == c {
+                // binary ops allow both operands from one producer
+                vals.push(b.op2(opcode, a, c));
+            } else {
+                vals.push(b.op2(opcode, a, c));
+            }
+        }
+        for w in 0..nwrites {
+            let v = vals[w % vals.len()];
+            b.write(Reg::new(w), v);
+        }
+        b.branch(BranchKind::Halt, None, 0);
+        if let Ok(block) = b.finish() {
+            let text = asm::format_block(&block);
+            let parsed = asm::parse_block(&text).expect("formatted block parses");
+            prop_assert_eq!(parsed, block);
+        }
+        // Overflow (>128 instructions) is an acceptable outcome for the
+        // largest generated programs; finish() reporting it is correct.
+    }
+
+    /// `slice_for_core` partitions a block exactly, for every legal
+    /// composition size.
+    #[test]
+    fn slices_partition_block(n in 0usize..20, log_cores in 0u32..6) {
+        let n_cores = 1usize << log_cores;
+        let mut b = BlockBuilder::new(0);
+        for i in 0..n {
+            let v = b.movi(i as i64);
+            b.write(Reg::new(i % 32), v);
+        }
+        b.branch(BranchKind::Halt, None, 0);
+        let blk = b.finish().unwrap();
+        let mut seen = vec![false; blk.len()];
+        for core in 0..n_cores {
+            for (i, _) in blk.slice_for_core(core, n_cores) {
+                prop_assert!(!seen[i], "instruction {} in two slices", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,246 @@
+//! A generic set-associative cache bank (state + replacement only; data
+//! lives in the [`MemoryImage`](crate::MemoryImage)).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into a power-of-two number
+    /// of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        let sets = self.bytes / self.line_bytes / self.ways;
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        sets
+    }
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was absent; it has been installed. If a dirty line was
+    /// evicted, its line address is reported for write-back.
+    Miss {
+        /// Dirty victim line address, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl AccessResult {
+    /// True for [`AccessResult::Hit`].
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// One set-associative, LRU, write-back cache bank.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheBank {
+    geom: CacheGeometry,
+    lines: Vec<Line>,
+    tick: u64,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl CacheBank {
+    /// Creates an empty bank.
+    #[must_use]
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        CacheBank {
+            lines: vec![Line::default(); sets * geom.ways],
+            tick: 0,
+            set_mask: (sets - 1) as u64,
+            line_shift: geom.line_bytes.trailing_zeros(),
+            geom,
+        }
+    }
+
+    /// The bank's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (((addr >> self.line_shift) & self.set_mask) as usize) * self.geom.ways
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !((self.geom.line_bytes as u64) - 1)
+    }
+
+    /// Accesses `addr`, installing the line on a miss. `write` marks the
+    /// line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessResult {
+        self.tick += 1;
+        let base = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let set = &mut self.lines[base..base + self.geom.ways];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= write;
+            return AccessResult::Hit;
+        }
+        // Miss: choose the LRU way (preferring invalid lines).
+        let victim = (0..set.len())
+            .min_by_key(|&i| (set[i].valid, set[i].lru))
+            .expect("nonzero associativity");
+        let v = &mut set[victim];
+        let writeback = (v.valid && v.dirty).then(|| v.tag << self.line_shift);
+        *v = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        AccessResult::Miss { writeback }
+    }
+
+    /// True if the line containing `addr` is present.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let base = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lines[base..base + self.geom.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` (directory-initiated).
+    /// Returns `true` if a dirty copy was dropped (write-back needed).
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let base = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for l in &mut self.lines[base..base + self.geom.ways] {
+            if l.valid && l.tag == tag {
+                let was_dirty = l.dirty;
+                l.valid = false;
+                l.dirty = false;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every line (used only by tests and resets; composition
+    /// changes deliberately do *not* flush, per §4.7).
+    pub fn clear(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheBank {
+        CacheBank::new(CacheGeometry {
+            bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_sets() {
+        let g = CacheGeometry {
+            bytes: 8192,
+            line_bytes: 64,
+            ways: 2,
+        };
+        assert_eq!(g.sets(), 64);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = small();
+        assert!(matches!(c.access(0x40, false), AccessResult::Miss { .. }));
+        assert!(c.access(0x40, false).is_hit());
+        assert!(c.access(0x7f, false).is_hit(), "same line");
+        assert!(matches!(c.access(0x80, false), AccessResult::Miss { .. }));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small(); // 8 sets, 2 ways
+        let set_stride = 64 * 8;
+        let a = 0u64;
+        let b = a + set_stride as u64;
+        let d = b + set_stride as u64;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is MRU
+        c.access(d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let set_stride = 64 * 8u64;
+        c.access(0, true); // dirty
+        c.access(set_stride, false);
+        let r = c.access(2 * set_stride, false); // evicts line 0
+        assert_eq!(
+            r,
+            AccessResult::Miss {
+                writeback: Some(0)
+            }
+        );
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = small();
+        c.access(0x100, true);
+        assert!(c.invalidate(0x100));
+        assert!(!c.probe(0x100));
+        assert!(!c.invalidate(0x100), "already gone");
+        c.access(0x100, false);
+        assert!(!c.invalidate(0x100), "clean drop");
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = small();
+        assert_eq!(c.line_addr(0x7f), 0x40);
+        assert_eq!(c.line_addr(0x40), 0x40);
+    }
+}

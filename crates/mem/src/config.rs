@@ -1,0 +1,85 @@
+//! Memory-hierarchy sizing parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory system parameters (Table 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Per-core L1 D-cache capacity in bytes (8 KB).
+    pub l1d_bytes: usize,
+    /// L1 D-cache associativity (2-way).
+    pub l1d_ways: usize,
+    /// L1 D-cache hit latency in cycles (2).
+    pub l1d_hit_latency: u32,
+    /// Cache line size in bytes (64).
+    pub line_bytes: usize,
+    /// Per-core L1 I-cache capacity in bytes (8 KB).
+    pub l1i_bytes: usize,
+    /// L1 I-cache hit latency in cycles (1).
+    pub l1i_hit_latency: u32,
+    /// LSQ entries per bank (44).
+    pub lsq_entries: usize,
+    /// Total shared L2 capacity in bytes (4 MB).
+    pub l2_bytes: usize,
+    /// Number of S-NUCA L2 banks (32).
+    pub l2_banks: usize,
+    /// L2 associativity (8-way).
+    pub l2_ways: usize,
+    /// Minimum (closest-bank) L2 hit latency in cycles (5).
+    pub l2_min_latency: u32,
+    /// Maximum (farthest-bank) L2 hit latency in cycles (27).
+    pub l2_max_latency: u32,
+    /// Unloaded main-memory latency in cycles (150).
+    pub dram_latency: u32,
+    /// Extra latency for a directory-initiated forward/invalidate of a
+    /// line held by a remote L1.
+    pub coherence_penalty: u32,
+}
+
+impl MemConfig {
+    /// The TFlex/TRIPS parameters from Table 1.
+    #[must_use]
+    pub fn tflex() -> Self {
+        MemConfig {
+            l1d_bytes: 8 * 1024,
+            l1d_ways: 2,
+            l1d_hit_latency: 2,
+            line_bytes: 64,
+            l1i_bytes: 8 * 1024,
+            l1i_hit_latency: 1,
+            lsq_entries: 44,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_banks: 32,
+            l2_ways: 8,
+            l2_min_latency: 5,
+            l2_max_latency: 27,
+            dram_latency: 150,
+            coherence_penalty: 12,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::tflex()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_values() {
+        let c = MemConfig::tflex();
+        assert_eq!(c.l1d_bytes, 8192);
+        assert_eq!(c.l1d_ways, 2);
+        assert_eq!(c.l1d_hit_latency, 2);
+        assert_eq!(c.lsq_entries, 44);
+        assert_eq!(c.l2_bytes, 4 << 20);
+        assert_eq!(c.l2_banks, 32);
+        assert_eq!(c.l2_min_latency, 5);
+        assert_eq!(c.l2_max_latency, 27);
+        assert_eq!(c.dram_latency, 150);
+    }
+}

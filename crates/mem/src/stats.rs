@@ -1,0 +1,105 @@
+//! Memory-hierarchy event counters (consumed by the power model).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`MemorySystem`](crate::MemorySystem).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 D-cache hits.
+    pub l1d_hits: u64,
+    /// L1 D-cache misses.
+    pub l1d_misses: u64,
+    /// L1 I-cache hits.
+    pub l1i_hits: u64,
+    /// L1 I-cache misses.
+    pub l1i_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// DRAM accesses (fills + write-backs).
+    pub dram_accesses: u64,
+    /// LSQ insertions (loads + stores accepted).
+    pub lsq_inserts: u64,
+    /// LSQ associative searches (every load and store performs one).
+    pub lsq_searches: u64,
+    /// Requests NACKed because an LSQ bank was full.
+    pub lsq_nacks: u64,
+    /// Load/store ordering violations detected.
+    pub violations: u64,
+    /// Store-to-load forwards that hit at least one in-flight store byte.
+    pub forwards: u64,
+    /// Dirty L1 lines written back to L2.
+    pub l1_writebacks: u64,
+    /// Directory-initiated L1 invalidations.
+    pub invalidations: u64,
+    /// Directory-initiated dirty forwards.
+    pub dirty_forwards: u64,
+    /// Stores committed to the architectural image.
+    pub stores_committed: u64,
+}
+
+impl MemStats {
+    /// L1 D-cache hit rate.
+    #[must_use]
+    pub fn l1d_hit_rate(&self) -> f64 {
+        let total = self.l1d_hits + self.l1d_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, o: &MemStats) {
+        self.l1d_hits += o.l1d_hits;
+        self.l1d_misses += o.l1d_misses;
+        self.l1i_hits += o.l1i_hits;
+        self.l1i_misses += o.l1i_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.dram_accesses += o.dram_accesses;
+        self.lsq_inserts += o.lsq_inserts;
+        self.lsq_searches += o.lsq_searches;
+        self.lsq_nacks += o.lsq_nacks;
+        self.violations += o.violations;
+        self.forwards += o.forwards;
+        self.l1_writebacks += o.l1_writebacks;
+        self.invalidations += o.invalidations;
+        self.dirty_forwards += o.dirty_forwards;
+        self.stores_committed += o.stores_committed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_zero() {
+        assert_eq!(MemStats::default().l1d_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computes() {
+        let s = MemStats {
+            l1d_hits: 3,
+            l1d_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.l1d_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MemStats {
+            l1d_hits: 1,
+            dram_accesses: 2,
+            ..Default::default()
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.l1d_hits, 2);
+        assert_eq!(a.dram_accesses, 4);
+    }
+}

@@ -1,0 +1,410 @@
+//! The chip-level memory system facade driven by the simulator.
+
+use crate::cache::{AccessResult, CacheBank, CacheGeometry};
+use crate::config::MemConfig;
+use crate::image::MemoryImage;
+use crate::l2::NucaL2;
+use crate::lsq::{LsqBank, LsqInsert};
+use crate::stats::MemStats;
+use clp_isa::BLOCK_FRAME_BYTES;
+
+/// The participating-core index whose L1 D-cache/LSQ bank serves `addr`
+/// in an `n_cores` composition.
+///
+/// Per §4.5, the bank is selected by XORing high and low portions of the
+/// address (at line granularity) modulo the number of participating
+/// cores, so all bytes of one line always map to one bank.
+#[must_use]
+pub fn dbank_for(addr: u64, n_cores: usize) -> usize {
+    debug_assert!(n_cores.is_power_of_two());
+    let line = addr >> 6;
+    ((line ^ (line >> 9)) as usize) & (n_cores - 1)
+}
+
+/// Result of issuing a load to the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadResponse {
+    /// The load was accepted: its value and total access latency.
+    Ok {
+        /// The loaded value (store-forwarded where applicable).
+        value: u64,
+        /// Cycles until the value is available at the bank.
+        latency: u32,
+    },
+    /// The LSQ bank was full; retry after a back-off.
+    Nack,
+}
+
+/// Result of issuing a store to the memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreResponse {
+    /// The store was buffered. A detected ordering violation reports the
+    /// global sequence number of the youngest-offending load.
+    Ok {
+        /// Memory-order sequence of a violating younger load, if any.
+        violation: Option<u64>,
+    },
+    /// The LSQ bank was full; retry after a back-off.
+    Nack,
+}
+
+/// The full chip memory system: per-core L1 D/I banks and LSQ banks, the
+/// shared S-NUCA L2 with its directory, DRAM, and the architectural
+/// [`MemoryImage`].
+///
+/// Banks are indexed by *global* core ID (0..32); composed processors map
+/// their participant-relative bank hashes onto their member cores.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    /// The architectural memory contents.
+    pub image: MemoryImage,
+    l1d: Vec<CacheBank>,
+    l1i: Vec<CacheBank>,
+    lsq: Vec<LsqBank>,
+    l2: NucaL2,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system for a chip with `n_cores` cores.
+    #[must_use]
+    pub fn new(cfg: MemConfig, n_cores: usize) -> Self {
+        let dgeom = CacheGeometry {
+            bytes: cfg.l1d_bytes,
+            line_bytes: cfg.line_bytes,
+            ways: cfg.l1d_ways,
+        };
+        let igeom = CacheGeometry {
+            bytes: cfg.l1i_bytes,
+            line_bytes: cfg.line_bytes,
+            ways: 1,
+        };
+        MemorySystem {
+            image: MemoryImage::new(),
+            l1d: (0..n_cores).map(|_| CacheBank::new(dgeom)).collect(),
+            l1i: (0..n_cores).map(|_| CacheBank::new(igeom)).collect(),
+            lsq: (0..n_cores).map(|_| LsqBank::new(cfg.lsq_entries)).collect(),
+            l2: NucaL2::new(cfg),
+            stats: MemStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics (including L2/DRAM counters).
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        s.l2_hits = self.l2.hits;
+        s.l2_misses = self.l2.misses;
+        s.dram_accesses = self.l2.dram_accesses;
+        s
+    }
+
+    /// Occupancy of `core`'s LSQ bank.
+    #[must_use]
+    pub fn lsq_occupancy(&self, core: usize) -> usize {
+        self.lsq[core].len()
+    }
+
+    /// The youngest memory-order sequence in `core`'s LSQ bank (used by
+    /// the NACK protocol's age-based eviction).
+    #[must_use]
+    pub fn lsq_youngest(&self, core: usize) -> Option<u64> {
+        self.lsq[core].youngest_seq()
+    }
+
+    fn l1d_access(&mut self, core: usize, addr: u64, write: bool) -> u32 {
+        let line = self.l1d[core].line_addr(addr);
+        match self.l1d[core].access(addr, write) {
+            AccessResult::Hit => {
+                self.stats.l1d_hits += 1;
+                self.cfg.l1d_hit_latency
+            }
+            AccessResult::Miss { writeback } => {
+                self.stats.l1d_misses += 1;
+                if let Some(victim) = writeback {
+                    self.stats.l1_writebacks += 1;
+                    self.l2.writeback(victim);
+                    self.l2.evict_notify(core, victim);
+                }
+                let resp = self.l2.access(core, line, write);
+                for other in resp.actions.invalidate {
+                    if other < self.l1d.len() && other != core {
+                        self.stats.invalidations += 1;
+                        if self.l1d[other].invalidate(line) {
+                            self.stats.l1_writebacks += 1;
+                        }
+                    }
+                }
+                if resp.actions.forward_from.is_some() {
+                    self.stats.dirty_forwards += 1;
+                }
+                self.cfg.l1d_hit_latency + resp.latency
+            }
+        }
+    }
+
+    /// Issues a load at `core`'s bank with global memory order `seq`.
+    pub fn execute_load(&mut self, core: usize, seq: u64, addr: u64, size: u8) -> LoadResponse {
+        self.stats.lsq_searches += 1;
+        let before = self.image.read(addr, size);
+        match self.lsq[core].execute_load(seq, addr, size, &self.image) {
+            LsqInsert::Nack => {
+                self.stats.lsq_nacks += 1;
+                LoadResponse::Nack
+            }
+            LsqInsert::Ok(value) => {
+                self.stats.lsq_inserts += 1;
+                if value != before {
+                    self.stats.forwards += 1;
+                }
+                let latency = self.l1d_access(core, addr, false);
+                LoadResponse::Ok { value, latency }
+            }
+        }
+    }
+
+    /// Buffers a store at `core`'s bank with global memory order `seq`.
+    pub fn execute_store(
+        &mut self,
+        core: usize,
+        seq: u64,
+        addr: u64,
+        size: u8,
+        value: u64,
+    ) -> StoreResponse {
+        self.stats.lsq_searches += 1;
+        match self.lsq[core].execute_store(seq, addr, size, value) {
+            LsqInsert::Nack => {
+                self.stats.lsq_nacks += 1;
+                StoreResponse::Nack
+            }
+            LsqInsert::Ok(violation) => {
+                self.stats.lsq_inserts += 1;
+                if violation.is_some() {
+                    self.stats.violations += 1;
+                }
+                StoreResponse::Ok { violation }
+            }
+        }
+    }
+
+    /// Commits all buffered stores with `lo_seq <= seq < hi_seq` on the
+    /// given cores: values reach the architectural image and the D-cache
+    /// banks are updated (write-allocate). Returns the worst per-bank
+    /// commit latency, modelling banks draining their stores in parallel
+    /// at one store per cycle plus miss penalties.
+    pub fn commit_stores(&mut self, cores: &[usize], lo_seq: u64, hi_seq: u64) -> u32 {
+        cores
+            .iter()
+            .map(|&c| self.commit_stores_core(c, lo_seq, hi_seq))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Commits one core's buffered stores in `lo_seq..hi_seq`, returning
+    /// that bank's drain latency (one store per cycle plus miss
+    /// penalties).
+    pub fn commit_stores_core(&mut self, core: usize, lo_seq: u64, hi_seq: u64) -> u32 {
+        let mut image = std::mem::take(&mut self.image);
+        let committed = self.lsq[core].commit_range(lo_seq, hi_seq, &mut image);
+        self.image = image;
+        let mut bank_latency = 0;
+        for (addr, _size) in committed {
+            self.stats.stores_committed += 1;
+            bank_latency += 1 + self
+                .l1d_access(core, addr, true)
+                .saturating_sub(self.cfg.l1d_hit_latency);
+        }
+        bank_latency
+    }
+
+    /// Squashes all LSQ entries with `seq >= from_seq` on the given cores
+    /// (pipeline flush).
+    pub fn flush_from(&mut self, cores: &[usize], from_seq: u64) {
+        for &core in cores {
+            self.lsq[core].flush_from(from_seq);
+        }
+    }
+
+    /// Fetches `core`'s slice of the block at `block_addr` from its
+    /// I-cache (participant index `part` of `n_cores`), returning the
+    /// fetch latency.
+    pub fn fetch_block_slice(
+        &mut self,
+        core: usize,
+        block_addr: u64,
+        part: usize,
+        n_cores: usize,
+    ) -> u32 {
+        let slice_bytes = (BLOCK_FRAME_BYTES as usize / n_cores).max(1);
+        let start = block_addr + (part * slice_bytes) as u64;
+        let lines = slice_bytes.div_ceil(self.cfg.line_bytes).max(1);
+        let mut worst_miss = 0u32;
+        for l in 0..lines {
+            let addr = start + (l * self.cfg.line_bytes) as u64;
+            match self.l1i[core].access(addr, false) {
+                AccessResult::Hit => {
+                    self.stats.l1i_hits += 1;
+                }
+                AccessResult::Miss { .. } => {
+                    self.stats.l1i_misses += 1;
+                    let resp = self.l2.access(core, self.l1i[core].line_addr(addr), false);
+                    worst_miss = worst_miss.max(resp.latency);
+                }
+            }
+        }
+        self.cfg.l1i_hit_latency + worst_miss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MemorySystem {
+        MemorySystem::new(MemConfig::tflex(), 32)
+    }
+
+    #[test]
+    fn dbank_keeps_lines_together() {
+        for addr in (0..4096u64).step_by(8) {
+            let line_base = addr & !63;
+            assert_eq!(dbank_for(addr, 8), dbank_for(line_base, 8));
+        }
+    }
+
+    #[test]
+    fn dbank_spreads_lines() {
+        let mut counts = [0usize; 4];
+        for line in 0..64u64 {
+            counts[dbank_for(line * 64, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn load_miss_then_hit_latency() {
+        let mut m = system();
+        m.image.write_u64(0x1000, 5);
+        let r1 = m.execute_load(0, 0, 0x1000, 8);
+        let LoadResponse::Ok { value, latency } = r1 else {
+            panic!("nack");
+        };
+        assert_eq!(value, 5);
+        assert!(latency > 150, "cold miss goes to DRAM: {latency}");
+        let r2 = m.execute_load(0, 1, 0x1008, 8);
+        let LoadResponse::Ok { latency, .. } = r2 else {
+            panic!("nack");
+        };
+        assert_eq!(latency, 2, "same line now hits");
+    }
+
+    #[test]
+    fn speculative_store_invisible_until_commit() {
+        let mut m = system();
+        let r = m.execute_store(0, 32, 0x40, 8, 99);
+        assert!(matches!(r, StoreResponse::Ok { violation: None }));
+        assert_eq!(m.image.read_u64(0x40), 0, "not yet architectural");
+        // A younger load through the same bank sees the forwarded value.
+        let LoadResponse::Ok { value, .. } = m.execute_load(0, 40, 0x40, 8) else {
+            panic!("nack");
+        };
+        assert_eq!(value, 99);
+        m.commit_stores(&[0], 32, 64);
+        assert_eq!(m.image.read_u64(0x40), 99);
+        assert_eq!(m.stats().stores_committed, 1);
+    }
+
+    #[test]
+    fn flush_discards_speculative_store() {
+        let mut m = system();
+        m.execute_store(0, 64, 0x40, 8, 7);
+        m.flush_from(&[0], 64);
+        m.commit_stores(&[0], 0, 1000);
+        assert_eq!(m.image.read_u64(0x40), 0);
+    }
+
+    #[test]
+    fn violation_reported_through_system() {
+        let mut m = system();
+        m.execute_load(0, 100, 0x80, 8);
+        let r = m.execute_store(0, 50, 0x80, 8, 1);
+        assert_eq!(
+            r,
+            StoreResponse::Ok {
+                violation: Some(100)
+            }
+        );
+        assert_eq!(m.stats().violations, 1);
+    }
+
+    #[test]
+    fn nacks_counted() {
+        let mut m = MemorySystem::new(
+            MemConfig {
+                lsq_entries: 1,
+                ..MemConfig::tflex()
+            },
+            2,
+        );
+        m.execute_load(0, 0, 0, 8);
+        let r = m.execute_load(0, 1, 64, 8);
+        assert_eq!(r, LoadResponse::Nack);
+        assert_eq!(m.stats().lsq_nacks, 1);
+    }
+
+    #[test]
+    fn icache_fetch_hits_after_first() {
+        let mut m = system();
+        let cold = m.fetch_block_slice(3, 0x4000, 3, 8);
+        assert!(cold > 5);
+        let warm = m.fetch_block_slice(3, 0x4000, 3, 8);
+        assert_eq!(warm, 1, "I-cache hit is 1 cycle");
+        let s = m.stats();
+        assert_eq!(s.l1i_misses, 1);
+        assert_eq!(s.l1i_hits, 1);
+    }
+
+    #[test]
+    fn commit_latency_reflects_store_count() {
+        let mut m = system();
+        // Warm the lines so commit is hit-only.
+        for i in 0..4 {
+            m.execute_load(0, i, 0x200 + i * 64, 8);
+        }
+        m.commit_stores(&[0], 0, 1000);
+        for i in 0..4u64 {
+            m.execute_store(0, 320 + i, 0x200 + i * 64, 8, i);
+        }
+        let lat = m.commit_stores(&[0], 320, 352);
+        assert_eq!(lat, 4, "four stores drain at one per cycle");
+    }
+
+    #[test]
+    fn cross_bank_isolation() {
+        // Stores in one core's bank do not forward to another bank;
+        // the hash guarantees same-line ops share a bank, so use two
+        // different lines mapping to different banks.
+        let mut m = system();
+        let a = 0x40u64;
+        let mut b = 0x80u64;
+        while dbank_for(b, 4) == dbank_for(a, 4) {
+            b += 64;
+        }
+        m.execute_store(dbank_for(a, 4), 0, a, 8, 11);
+        let LoadResponse::Ok { value, .. } =
+            m.execute_load(dbank_for(b, 4), 1, b, 8)
+        else {
+            panic!("nack")
+        };
+        assert_eq!(value, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the memory system: the LSQ against a reference
+//! memory model, cache state-machine invariants, and bank-hash stability.
+
+use clp_mem::{dbank_for, CacheBank, CacheGeometry, LsqBank, LsqInsert, MemoryImage};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A memory operation in program order.
+#[derive(Clone, Debug)]
+enum MemOp {
+    Load { addr: u64 },
+    Store { addr: u64, value: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<MemOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..16).prop_map(|a| MemOp::Load { addr: 0x100 + a * 8 }),
+            (0u64..16, any::<u64>())
+                .prop_map(|(a, v)| MemOp::Store { addr: 0x100 + a * 8, value: v }),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    /// Loads executed in program order against the LSQ return exactly
+    /// what a flat reference memory would, and committing produces the
+    /// same final memory.
+    #[test]
+    fn lsq_in_order_matches_flat_memory(ops in arb_ops()) {
+        let mut image = MemoryImage::new();
+        let mut lsq = LsqBank::new(64);
+        let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let seq = i as u64;
+            match *op {
+                MemOp::Load { addr } => {
+                    let LsqInsert::Ok(v) = lsq.execute_load(seq, addr, 8, &image) else {
+                        panic!("bank sized to never NACK");
+                    };
+                    let want = reference.get(&addr).copied().unwrap_or(0);
+                    prop_assert_eq!(v, want, "load at {:#x}", addr);
+                }
+                MemOp::Store { addr, value } => {
+                    let LsqInsert::Ok(violation) =
+                        lsq.execute_store(seq, addr, 8, value) else {
+                        panic!("bank sized to never NACK");
+                    };
+                    // Program order: a store never sees younger performed
+                    // loads, so no violation in in-order execution.
+                    prop_assert_eq!(violation, None);
+                    reference.insert(addr, value);
+                }
+            }
+        }
+        lsq.commit_range(0, ops.len() as u64, &mut image);
+        for (addr, want) in reference {
+            prop_assert_eq!(image.read_u64(addr), want);
+        }
+    }
+
+    /// Out-of-order execution with a flush-on-violation policy converges
+    /// to the same final memory as in-order execution.
+    #[test]
+    fn lsq_violations_are_exactly_the_reordered_conflicts(
+        ops in arb_ops(),
+        swap_at in any::<prop::sample::Index>(),
+    ) {
+        if ops.len() < 2 {
+            return Ok(());
+        }
+        // Execute with two adjacent operations swapped in time (but
+        // keeping their program-order sequence numbers).
+        let k = swap_at.index(ops.len() - 1);
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.swap(k, k + 1);
+
+        let image = MemoryImage::new();
+        let mut lsq = LsqBank::new(64);
+        let mut violated = false;
+        for &i in &order {
+            match ops[i] {
+                MemOp::Load { addr } => {
+                    let _ = lsq.execute_load(i as u64, addr, 8, &image);
+                }
+                MemOp::Store { addr, value } => {
+                    if let LsqInsert::Ok(Some(_)) =
+                        lsq.execute_store(i as u64, addr, 8, value)
+                    {
+                        violated = true;
+                    }
+                }
+            }
+        }
+        // A violation is possible only if the swapped pair was an
+        // (older store, younger load) to overlapping addresses.
+        let conflict = matches!(
+            (&ops[k], &ops[k + 1]),
+            (MemOp::Store { addr: a, .. }, MemOp::Load { addr: b }) if a == b
+        );
+        if violated {
+            prop_assert!(conflict, "violation without a real conflict");
+        }
+    }
+
+    /// The cache never reports a hit for a line it has not been asked
+    /// about, and probing after access always hits.
+    #[test]
+    fn cache_probe_after_access_hits(addrs in prop::collection::vec(0u64..0x10000, 1..64)) {
+        let mut c = CacheBank::new(CacheGeometry {
+            bytes: 2048,
+            line_bytes: 64,
+            ways: 2,
+        });
+        for &a in &addrs {
+            let _ = c.access(a, false);
+            prop_assert!(c.probe(a), "just-accessed line must be present");
+        }
+    }
+
+    /// Bank hashing is line-stable and in range for every composition.
+    #[test]
+    fn dbank_line_stable(addr in any::<u64>(), log_cores in 0u32..6) {
+        let n = 1usize << log_cores;
+        let b = dbank_for(addr, n);
+        prop_assert!(b < n);
+        prop_assert_eq!(b, dbank_for(addr & !63, n));
+        prop_assert_eq!(b, dbank_for(addr | 63, n));
+    }
+}

@@ -1,0 +1,410 @@
+//! The cycle-stepped mesh network model.
+
+use crate::region::Coord;
+use crate::stats::MeshStats;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a mesh node (a TFlex core).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Output directions of a mesh router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    East,
+    West,
+    North,
+    South,
+    Local,
+}
+
+const DIRS: [Dir; 5] = [Dir::East, Dir::West, Dir::North, Dir::South, Dir::Local];
+
+/// Mesh geometry and link parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Number of columns.
+    pub width: usize,
+    /// Number of rows.
+    pub height: usize,
+    /// Messages a router may forward per output direction per cycle.
+    ///
+    /// The TRIPS operand network has bandwidth 1; TFlex doubles it (§5).
+    pub link_bandwidth: usize,
+}
+
+impl MeshConfig {
+    /// The 4x8 core-array mesh with TFlex's doubled operand bandwidth.
+    #[must_use]
+    pub fn tflex_operand() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 8,
+            link_bandwidth: 2,
+        }
+    }
+
+    /// The 4x8 core-array mesh with single-issue (TRIPS-like) operand
+    /// bandwidth.
+    #[must_use]
+    pub fn trips_operand() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 8,
+            link_bandwidth: 1,
+        }
+    }
+
+    /// The control-message network (one message per link per cycle).
+    #[must_use]
+    pub fn control() -> Self {
+        MeshConfig {
+            width: 4,
+            height: 8,
+            link_bandwidth: 1,
+        }
+    }
+
+    /// Number of nodes in the mesh.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(node.0 < self.nodes(), "node {node} outside mesh");
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
+    }
+
+    /// The node at coordinates `c`.
+    #[must_use]
+    pub fn node_at(&self, c: Coord) -> NodeId {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Manhattan hop distance between two nodes.
+    #[must_use]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<M> {
+    at: NodeId,
+    dst: NodeId,
+    payload: M,
+    injected_at: u64,
+    seq: u64,
+}
+
+/// A deterministic, dimension-order-routed 2-D mesh.
+///
+/// Each [`Mesh::step`] advances one cycle: every queued message moves at
+/// most one hop, subject to per-direction link bandwidth. Messages whose
+/// destination equals their source are delivered on the next step without
+/// consuming link bandwidth (callers usually bypass the mesh entirely for
+/// the local case).
+#[derive(Debug)]
+pub struct Mesh<M> {
+    cfg: MeshConfig,
+    /// Per-node queue of messages waiting to be routed.
+    queues: Vec<VecDeque<InFlight<M>>>,
+    /// Messages that arrive at the *next* step (one-cycle hop latency).
+    arriving: Vec<(NodeId, InFlight<M>)>,
+    delivered: Vec<(NodeId, M)>,
+    cycle: u64,
+    next_seq: u64,
+    stats: MeshStats,
+}
+
+impl<M> Mesh<M> {
+    /// Creates an idle mesh.
+    #[must_use]
+    pub fn new(cfg: MeshConfig) -> Self {
+        Mesh {
+            queues: (0..cfg.nodes()).map(|_| VecDeque::new()).collect(),
+            arriving: Vec::new(),
+            delivered: Vec::new(),
+            cycle: 0,
+            next_seq: 0,
+            stats: MeshStats::default(),
+            cfg,
+        }
+    }
+
+    /// The mesh configuration.
+    #[must_use]
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// Accumulated traffic statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    /// Injects a message at `src` destined for `dst`; it becomes routable
+    /// on the next [`Mesh::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` lies outside the mesh.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, payload: M) {
+        assert!(src.0 < self.cfg.nodes(), "src {src} outside mesh");
+        assert!(dst.0 < self.cfg.nodes(), "dst {dst} outside mesh");
+        self.stats.injected += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues[src.0].push_back(InFlight {
+            at: src,
+            dst,
+            payload,
+            injected_at: self.cycle,
+            seq,
+        });
+    }
+
+    /// True if no messages are queued, flying, or awaiting pickup.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.delivered.is_empty()
+            && self.arriving.is_empty()
+            && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Next hop direction under X-then-Y dimension-order routing.
+    fn route(&self, at: NodeId, dst: NodeId) -> Dir {
+        let a = self.cfg.coord(at);
+        let d = self.cfg.coord(dst);
+        if a.x < d.x {
+            Dir::East
+        } else if a.x > d.x {
+            Dir::West
+        } else if a.y < d.y {
+            Dir::South
+        } else if a.y > d.y {
+            Dir::North
+        } else {
+            Dir::Local
+        }
+    }
+
+    fn neighbor(&self, at: NodeId, dir: Dir) -> NodeId {
+        let c = self.cfg.coord(at);
+        let n = match dir {
+            Dir::East => Coord { x: c.x + 1, y: c.y },
+            Dir::West => Coord { x: c.x - 1, y: c.y },
+            Dir::South => Coord { x: c.x, y: c.y + 1 },
+            Dir::North => Coord { x: c.x, y: c.y - 1 },
+            Dir::Local => c,
+        };
+        self.cfg.node_at(n)
+    }
+
+    /// Advances the mesh by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+
+        // Each router forwards up to `link_bandwidth` messages per output
+        // direction, in FIFO order (stable by sequence number).
+        let bw = self.cfg.link_bandwidth;
+        for node in 0..self.queues.len() {
+            let mut budget = [bw; 5];
+            let mut remaining: VecDeque<InFlight<M>> = VecDeque::new();
+            while let Some(msg) = self.queues[node].pop_front() {
+                let dir = self.route(msg.at, msg.dst);
+                let di = DIRS.iter().position(|&d| d == dir).expect("dir indexed");
+                if budget[di] == 0 {
+                    self.stats.stalled_cycles += 1;
+                    remaining.push_back(msg);
+                    continue;
+                }
+                budget[di] -= 1;
+                match dir {
+                    Dir::Local => {
+                        self.stats.delivered += 1;
+                        self.stats.total_latency += self.cycle - msg.injected_at;
+                        self.delivered.push((msg.dst, msg.payload));
+                    }
+                    _ => {
+                        self.stats.link_traversals += 1;
+                        let next = self.neighbor(msg.at, dir);
+                        self.arriving.push((
+                            next,
+                            InFlight {
+                                at: next,
+                                ..msg
+                            },
+                        ));
+                    }
+                }
+            }
+            self.queues[node] = remaining;
+        }
+
+        // Hop latency: forwarded messages are routable next cycle.
+        let mut arriving = std::mem::take(&mut self.arriving);
+        arriving.sort_by_key(|(_, m)| m.seq);
+        for (node, msg) in arriving {
+            self.queues[node.0].push_back(msg);
+        }
+    }
+
+    /// Removes and returns all messages delivered by previous steps.
+    pub fn drain_delivered(&mut self) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MeshConfig {
+        MeshConfig {
+            width: 4,
+            height: 4,
+            link_bandwidth: 1,
+        }
+    }
+
+    fn run_until_delivered(mesh: &mut Mesh<u32>, max: usize) -> Vec<(NodeId, u32, u64)> {
+        let mut out = Vec::new();
+        for cycle in 1..=max as u64 {
+            mesh.step();
+            for (n, p) in mesh.drain_delivered() {
+                out.push((n, p, cycle));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hop_count_matches_manhattan_distance() {
+        let cfg = small();
+        // node 0 = (0,0), node 15 = (3,3): 6 hops + 1 delivery cycle.
+        let mut mesh = Mesh::new(cfg);
+        mesh.inject(NodeId(0), NodeId(15), 7);
+        let out = run_until_delivered(&mut mesh, 20);
+        assert_eq!(out, vec![(NodeId(15), 7, 7)]);
+        assert_eq!(cfg.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(mesh.stats().link_traversals, 6);
+    }
+
+    #[test]
+    fn local_message_delivered_next_cycle() {
+        let mut mesh = Mesh::new(small());
+        mesh.inject(NodeId(5), NodeId(5), 1);
+        let out = run_until_delivered(&mut mesh, 3);
+        assert_eq!(out, vec![(NodeId(5), 1, 1)]);
+        assert_eq!(mesh.stats().link_traversals, 0);
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let cfg = small();
+        let mut mesh: Mesh<()> = Mesh::new(cfg);
+        // (0,0) -> (2,1): route should be E, E, S.
+        assert_eq!(mesh.route(NodeId(0), NodeId(6)), Dir::East);
+        assert_eq!(mesh.route(NodeId(2), NodeId(6)), Dir::South);
+        assert_eq!(mesh.route(NodeId(6), NodeId(6)), Dir::Local);
+        mesh.inject(NodeId(0), NodeId(6), ());
+        for _ in 0..10 {
+            mesh.step();
+        }
+        assert_eq!(mesh.drain_delivered().len(), 1);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        // Two messages from node 0 heading east must share the E link:
+        // second is delayed by one cycle.
+        let mut mesh = Mesh::new(small());
+        mesh.inject(NodeId(0), NodeId(3), 1);
+        mesh.inject(NodeId(0), NodeId(3), 2);
+        let out = run_until_delivered(&mut mesh, 20);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].2 + 1, out[1].2, "second message one cycle later");
+        assert!(mesh.stats().stalled_cycles > 0);
+    }
+
+    #[test]
+    fn double_bandwidth_removes_pairwise_contention() {
+        let mut cfg = small();
+        cfg.link_bandwidth = 2;
+        let mut mesh = Mesh::new(cfg);
+        mesh.inject(NodeId(0), NodeId(3), 1);
+        mesh.inject(NodeId(0), NodeId(3), 2);
+        let out = run_until_delivered(&mut mesh, 20);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].2, out[1].2, "both arrive together at bw=2");
+    }
+
+    #[test]
+    fn fifo_order_preserved_between_same_pair() {
+        let mut mesh = Mesh::new(small());
+        for i in 0..5 {
+            mesh.inject(NodeId(1), NodeId(14), i);
+        }
+        let out = run_until_delivered(&mut mesh, 40);
+        let payloads: Vec<u32> = out.iter().map(|&(_, p, _)| p).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut mesh = Mesh::new(small());
+        assert!(mesh.is_idle());
+        mesh.inject(NodeId(0), NodeId(1), 9);
+        assert!(!mesh.is_idle());
+        let _ = run_until_delivered(&mut mesh, 10);
+        assert!(mesh.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn inject_out_of_range_panics() {
+        let mut mesh: Mesh<()> = Mesh::new(small());
+        mesh.inject(NodeId(99), NodeId(0), ());
+    }
+
+    #[test]
+    fn stats_track_latency() {
+        let mut mesh = Mesh::new(small());
+        mesh.inject(NodeId(0), NodeId(1), 0);
+        let _ = run_until_delivered(&mut mesh, 10);
+        let s = mesh.stats();
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.total_latency, 2); // 1 hop + 1 delivery cycle
+        assert!((s.avg_latency() - 2.0).abs() < 1e-9);
+    }
+}

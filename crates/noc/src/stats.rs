@@ -1,0 +1,68 @@
+//! Traffic statistics for a mesh network.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`Mesh`](crate::Mesh) over its lifetime.
+///
+/// `link_traversals` is the quantity the power model charges router/wire
+/// energy for; `stalled_cycles` measures contention.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshStats {
+    /// Messages injected.
+    pub injected: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Total hop traversals across all messages.
+    pub link_traversals: u64,
+    /// Message-cycles spent waiting for link bandwidth.
+    pub stalled_cycles: u64,
+    /// Sum of per-message delivery latencies (cycles).
+    pub total_latency: u64,
+}
+
+impl MeshStats {
+    /// Mean delivery latency in cycles (0 if nothing was delivered).
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Merges counters from another stats block (e.g. across meshes).
+    pub fn merge(&mut self, other: &MeshStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.link_traversals += other.link_traversals;
+        self.stalled_cycles += other.stalled_cycles;
+        self.total_latency += other.total_latency;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_latency_handles_empty() {
+        assert_eq!(MeshStats::default().avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = MeshStats {
+            injected: 1,
+            delivered: 1,
+            link_traversals: 3,
+            stalled_cycles: 0,
+            total_latency: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.injected, 2);
+        assert_eq!(a.link_traversals, 6);
+        assert_eq!(a.total_latency, 8);
+    }
+}

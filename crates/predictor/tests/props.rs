@@ -1,0 +1,113 @@
+//! Property tests for the composed predictor: speculative state is
+//! exactly restored by rollback, repair converges, and the RAS behaves
+//! as a stack under arbitrary call/return interleavings.
+
+use clp_isa::BranchKind;
+use clp_predictor::{ComposedPredictor, ExitOutcome, PredictorConfig, ReturnAddressStack};
+use proptest::prelude::*;
+
+fn outcome(kind: BranchKind, target: u64, exit: u8) -> ExitOutcome {
+    ExitOutcome {
+        exit_id: exit,
+        kind,
+        target,
+    }
+}
+
+proptest! {
+    /// Rolling back a prediction restores the predictor to a state that
+    /// predicts identically (tables untrained, histories restored).
+    #[test]
+    fn rollback_restores_prediction_behavior(
+        warmup in prop::collection::vec((0u64..8, 0u8..4), 0..40),
+        probe_block in 0u64..8,
+    ) {
+        let mut p = ComposedPredictor::new(PredictorConfig::tflex(), 4);
+        for (blk, exit) in warmup {
+            let addr = 0x1000 + blk * 512;
+            let pred = p.predict(addr);
+            let actual = outcome(BranchKind::Branch, 0x1000 + u64::from(exit) * 512, exit);
+            let miss = pred.target != actual.target;
+            p.resolve(addr, &pred, &actual, miss);
+        }
+        let addr = 0x1000 + probe_block * 512;
+        // Predict, roll back, predict again: identical results.
+        let first = p.predict(addr);
+        p.rollback(&first);
+        let second = p.predict(addr);
+        prop_assert_eq!(first.exit_id, second.exit_id);
+        prop_assert_eq!(first.kind, second.kind);
+        prop_assert_eq!(first.target, second.target);
+        p.rollback(&second);
+    }
+
+    /// A steady branch pattern converges: after enough training, the
+    /// misprediction rate over the last half is below 25%.
+    #[test]
+    fn steady_patterns_converge(period in 1usize..4, n_banks in prop::sample::select(vec![1usize, 4, 16])) {
+        let mut p = ComposedPredictor::new(PredictorConfig::tflex(), n_banks);
+        let blocks: Vec<u64> = (0..period as u64).map(|i| 0x4000 + i * 512).collect();
+        let mut late_misses = 0;
+        let total = 400;
+        for i in 0..total {
+            let cur = blocks[i % period];
+            let next = blocks[(i + 1) % period];
+            let pred = p.predict(cur);
+            let actual = outcome(BranchKind::Branch, next, 0);
+            let miss = pred.target != actual.target;
+            if i >= total / 2 && miss {
+                late_misses += 1;
+            }
+            p.resolve(cur, &pred, &actual, miss);
+        }
+        prop_assert!(
+            late_misses <= total / 8,
+            "{late_misses} late misses on a period-{period} pattern"
+        );
+    }
+
+    /// The distributed RAS is a stack: any push/pop sequence that never
+    /// overflows capacity pops exactly what was pushed, LIFO.
+    #[test]
+    fn ras_is_lifo(ops in prop::collection::vec(prop::option::of(1u64..1000), 1..64)) {
+        let mut ras = ReturnAddressStack::new(4, 16);
+        let mut model: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    if model.len() < ras.capacity() {
+                        ras.push(addr);
+                        model.push(addr);
+                    }
+                }
+                None => {
+                    let (got, _) = ras.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // The top-of-stack core follows sequential partitioning.
+            if !model.is_empty() {
+                prop_assert_eq!(ras.top_core(), (model.len() - 1) / 16);
+            }
+        }
+    }
+
+    /// Push checkpoints fully undo pushes even at wraparound.
+    #[test]
+    fn ras_push_checkpoint_roundtrip(
+        prefix in prop::collection::vec(1u64..1000, 0..40),
+        value in 1u64..1000,
+    ) {
+        let mut ras = ReturnAddressStack::new(2, 8);
+        for &v in &prefix {
+            ras.push(v);
+        }
+        let depth = ras.depth();
+        let top = ras.top_core();
+        let ckpt = ras.push(value);
+        ras.repair(ckpt);
+        prop_assert_eq!(ras.depth(), depth);
+        prop_assert_eq!(ras.top_core(), top);
+    }
+}

@@ -1,0 +1,47 @@
+fn main() {
+    use clp_compiler::{compile, CompileOptions, FunctionBuilder, ProgramBuilder};
+    use clp_isa::Opcode;
+    let mut f = FunctionBuilder::new("branchy", 2);
+    let base = f.param(0);
+    let n = f.param(1);
+    let i = f.c(0);
+    let odds = f.c(0);
+    let (h, body, odd_bb, even_bb, next, exit) = (
+        f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(),
+    );
+    f.jump(h);
+    f.switch_to(h);
+    let c = f.bin(Opcode::Tlt, i, n);
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    let eight = f.c(8);
+    let off = f.bin(Opcode::Mul, i, eight);
+    let addr = f.bin(Opcode::Add, base, off);
+    let v = f.load(addr, 0);
+    let one = f.c(1);
+    let bit = f.bin(Opcode::And, v, one);
+    f.branch(bit, odd_bb, even_bb);
+    f.switch_to(odd_bb);
+    let vp1 = f.bin(Opcode::Add, v, one);
+    f.store(addr, 0, vp1);
+    f.bin_into(odds, Opcode::Add, odds, one);
+    f.jump(next);
+    f.switch_to(even_bb);
+    let two = f.c(2);
+    let v2 = f.bin(Opcode::Mul, v, two);
+    f.store(addr, 0, v2);
+    f.jump(next);
+    f.switch_to(next);
+    f.bin_into(i, Opcode::Add, i, one);
+    f.jump(h);
+    f.switch_to(exit);
+    f.ret(Some(odds));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    let p = pb.finish(id);
+    let edge = compile(&p, &CompileOptions::default()).unwrap();
+    for (addr, block) in edge.iter() {
+        println!("=== block {addr:#x} ===");
+        println!("{}", clp_isa::asm::format_block(block));
+    }
+}

@@ -1,0 +1,1843 @@
+//! The cycle-stepped TFlex machine: composition, distributed fetch,
+//! dataflow execution, distributed commit, and flush protocols.
+//!
+//! ## Modeling notes (see DESIGN.md)
+//!
+//! * The **operand network** is a real contended mesh ([`clp_noc::Mesh`])
+//!   — operand bandwidth is one of the two TFlex optimizations the paper
+//!   calls out, so contention is modeled at link granularity.
+//! * **Control messages** (fetch commands, hand-offs, completion
+//!   notifications, commit handshakes) are charged analytic Manhattan-hop
+//!   latencies without contention; with
+//!   [`ProtocolTiming::Instant`](crate::ProtocolTiming) they cost one
+//!   cycle, reproducing the idealized-handshake ablation of §6.4.
+//! * Functional state (memory image, register values) is updated through
+//!   speculation-safe structures (LSQ buffering, versioned registers), so
+//!   every run checks end-to-end correctness against the IR interpreter.
+
+use crate::config::{ProtocolTiming, SimConfig};
+use crate::regfile::{RegFile, RegRead};
+use crate::stats::{CommitLatencyBreakdown, ProcStats, RunStats};
+use clp_isa::{
+    Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target,
+};
+use clp_mem::{dbank_for, LoadResponse, MemorySystem, StoreResponse};
+use clp_noc::{region_for, Mesh, NodeId, RegionError};
+use clp_predictor::{block_owner, ComposedPredictor, ExitOutcome, Prediction};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Identifies a logical processor within a [`Machine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+/// Failure to compose a logical processor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The requested region is invalid or does not fit.
+    Region(RegionError),
+    /// One of the requested cores already belongs to a processor.
+    CoreBusy(usize),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::Region(e) => write!(f, "{e}"),
+            ComposeError::CoreBusy(c) => write!(f, "core {c} already composed"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+impl From<RegionError> for ComposeError {
+    fn from(e: RegionError) -> Self {
+        ComposeError::Region(e)
+    }
+}
+
+/// Failure during a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle budget was exhausted.
+    CycleLimit(u64),
+    /// No forward progress for a long time (a protocol deadlock — this is
+    /// a simulator bug if it ever fires).
+    Deadlock {
+        /// Cycle at which the stall was detected.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::CycleLimit(n) => write!(f, "exceeded cycle budget of {n}"),
+            RunError::Deadlock { cycle } => write!(f, "no progress near cycle {cycle}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum OpMsg {
+    /// A dataflow operand (None = null token) for a consumer slot.
+    Operand {
+        proc: usize,
+        seq: u64,
+        target: Target,
+        value: Option<u64>,
+    },
+    /// Register-read request from an instruction's core to the bank.
+    ReadReq {
+        proc: usize,
+        seq: u64,
+        reg: Reg,
+        targets: [Option<Target>; 2],
+    },
+    /// Register write forwarded to its bank.
+    WriteFwd {
+        proc: usize,
+        seq: u64,
+        reg: Reg,
+        value: Option<u64>,
+    },
+    /// Memory request to a D-cache/LSQ bank.
+    MemReq {
+        proc: usize,
+        seq: u64,
+        lsid: u8,
+        store: bool,
+        addr: u64,
+        size: u8,
+        value: u64,
+        targets: [Option<Target>; 2],
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Ev {
+    /// Operand-class message delivered locally (same-core fast path, bank
+    /// responses, NACK retries).
+    Op(usize, OpMsg),
+    /// One block output resolved. `lsid` is set when the output is a
+    /// store slot (accepted store or null), which also feeds the
+    /// conservative-ordering machinery for dependence-violating blocks.
+    OutputDone {
+        proc: usize,
+        seq: u64,
+        lsid: Option<u8>,
+    },
+    /// The block's exit branch resolved.
+    Branch {
+        proc: usize,
+        seq: u64,
+        outcome: ExitOutcome,
+    },
+    /// Next-block hand-off arrived at the new owner.
+    HandOff { proc: usize, addr: BlockAddr },
+    /// Fetch command arrived at a participating core.
+    FetchCmd {
+        proc: usize,
+        seq: u64,
+        part: usize,
+    },
+    /// Route a produced value from `from` to the given targets.
+    SendOperands {
+        from: usize,
+        proc: usize,
+        seq: u64,
+        targets: [Option<Target>; 2],
+        value: Option<u64>,
+    },
+    /// All commit acknowledgments arrived at the owner.
+    CommitDone { proc: usize, seq: u64 },
+    /// A window slot became visible as free to the fetch engine.
+    SlotFree { proc: usize },
+}
+
+// ---------------------------------------------------------------------------
+// Per-instruction and per-block state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, Default)]
+struct OpState {
+    dispatched: bool,
+    queued: bool,
+    fired: bool,
+    got: [bool; 3],
+    val: [Option<u64>; 3], // Some(None-is-null) flattened: value when got
+    is_null: [bool; 3],
+}
+
+#[derive(Clone, Debug)]
+struct DispatchState {
+    ids: Vec<u8>,
+    next: usize,
+    start_at: u64,
+    done: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Blk {
+    seq: u64,
+    addr: BlockAddr,
+    block: Block,
+    ops: Vec<OpState>,
+    outputs_needed: usize,
+    outputs_done: usize,
+    resolved: bool,
+    outcome: Option<ExitOutcome>,
+    /// Prediction this block's owner made for its successor.
+    next_pred: Option<Prediction>,
+    /// Address actually fetched after this block (speculatively or not).
+    spec_next: Option<BlockAddr>,
+    committing: bool,
+    /// Dependence-predictor state: blocks that previously violated run
+    /// with conservative load ordering (loads wait for older-LSID stores).
+    conservative: bool,
+    /// Bitmask of resolved store LSIDs (accepted or nulled).
+    stores_resolved: u32,
+    /// Bitmask of store LSIDs the block declares.
+    store_mask: u32,
+    /// Loads deferred by conservative ordering: `(part, inst id)`.
+    deferred_loads: Vec<(usize, u8)>,
+    dispatch: Vec<DispatchState>,
+    dispatch_pending_cores: usize,
+    // timing marks
+    t_init: u64,
+    predict_cycles: f64,
+    hand_off_cycles: f64,
+    t_cmds_sent: u64,
+    t_last_cmd: u64,
+    t_dispatch_done: u64,
+}
+
+impl Blk {
+    fn owner_part(&self, n: usize, centralized: bool) -> usize {
+        if centralized {
+            0
+        } else {
+            block_owner(self.addr, n)
+        }
+    }
+}
+
+/// A scheduled execution completion: `(done_cycle, seq, inst, result)`.
+type ExecDone = (u64, u64, u8, Option<u64>);
+
+#[derive(Clone, Debug)]
+struct PendingFetch {
+    addr: BlockAddr,
+    ready_at: u64,
+    hand_off_cycles: f64,
+}
+
+#[derive(Clone, Debug)]
+struct WaitingRead {
+    seq: u64,
+    reg: Reg,
+    targets: [Option<Target>; 2],
+    bank_core: usize,
+}
+
+struct Proc {
+    cores: Vec<usize>, // global core ids
+    n: usize,
+    /// Physical base of this processor's address space: every data and
+    /// instruction address is translated by this offset, isolating
+    /// multiprogrammed workloads that use identical virtual layouts.
+    addr_base: u64,
+    program: EdgeProgram,
+    predictor: ComposedPredictor,
+    regs: RegFile,
+    blocks: BTreeMap<u64, Blk>,
+    next_seq: u64,
+    pending: Option<PendingFetch>,
+    /// Target of the youngest live prediction: the hand-off the fetch
+    /// engine is willing to accept next.
+    chain_next: Option<BlockAddr>,
+    slots_free: usize,
+    max_inflight: usize,
+    halted: bool,
+    /// Sequence number of a resolved (possibly wrong-path) halt block;
+    /// fetch stops while set, and flushing that block clears it.
+    halt_seq: Option<u64>,
+    /// Block addresses that suffered a load/store ordering violation:
+    /// re-fetches of these run loads conservatively (the dependence
+    /// predictor that keeps same-block violations from livelocking).
+    violated_addrs: std::collections::BTreeSet<BlockAddr>,
+    stats: ProcStats,
+    waiting_reads: Vec<WaitingRead>,
+    /// Per participant core: ready-to-issue (seq, inst) entries.
+    ready: Vec<BTreeSet<(u64, u8)>>,
+    /// Per participant core: (done_cycle, seq, inst, result).
+    exec: Vec<VecDeque<ExecDone>>,
+}
+
+// ---------------------------------------------------------------------------
+// The machine
+// ---------------------------------------------------------------------------
+
+/// A TFlex chip: 32 cores, a shared memory system, and any number of
+/// dynamically composed logical processors.
+pub struct Machine {
+    cfg: SimConfig,
+    now: u64,
+    mem: MemorySystem,
+    opnet: Mesh<OpMsg>,
+    local: BTreeMap<u64, Vec<Ev>>,
+    procs: Vec<Proc>,
+    /// global core -> (proc, participant index)
+    core_map: Vec<Option<(usize, usize)>>,
+    last_progress: u64,
+}
+
+impl Machine {
+    /// Creates an idle machine.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let cores = cfg.chip_cores();
+        Machine {
+            now: 0,
+            mem: MemorySystem::new(cfg.mem, cores),
+            opnet: Mesh::new(cfg.operand_net),
+            local: BTreeMap::new(),
+            procs: Vec::new(),
+            core_map: vec![None; cores],
+            last_progress: 0,
+            cfg,
+        }
+    }
+
+    /// The simulator configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the memory system (workload setup: initial
+    /// image) — only meaningful before [`Machine::run`].
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Read access to the memory system (output verification).
+    #[must_use]
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Composes a logical processor from `n_cores` cores (region `index`
+    /// of the standard tiling) and loads `program` with up to 8 integer
+    /// arguments in `r1..`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError`] if the region is invalid or overlaps an
+    /// existing processor.
+    pub fn compose(
+        &mut self,
+        n_cores: usize,
+        index: usize,
+        program: EdgeProgram,
+        args: &[u64],
+    ) -> Result<ProcId, ComposeError> {
+        let base = (self.procs.len() as u64) << 36;
+        self.compose_at(n_cores, index, program, args, base)
+    }
+
+    /// Like [`Machine::compose`], but with an explicit address-space
+    /// base. Composing a new processor with the base of a *decomposed*
+    /// predecessor hands the data over through the cache-coherence
+    /// protocol — the §4.7 story: the new interleaving misses, and the
+    /// directory forwards or invalidates the old banks' lines, with no
+    /// flush on the composition change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError`] if the region is invalid or overlaps an
+    /// active processor.
+    pub fn compose_at(
+        &mut self,
+        n_cores: usize,
+        index: usize,
+        program: EdgeProgram,
+        args: &[u64],
+        addr_base: u64,
+    ) -> Result<ProcId, ComposeError> {
+        let nodes = region_for(&self.cfg.operand_net, n_cores, index)?;
+        let cores: Vec<usize> = nodes.iter().map(|n| n.0).collect();
+        for &c in &cores {
+            if self.core_map[c].is_some() {
+                return Err(ComposeError::CoreBusy(c));
+            }
+        }
+        let pid = self.procs.len();
+        for (p, &c) in cores.iter().enumerate() {
+            self.core_map[c] = Some((pid, p));
+        }
+        let pred_banks = if self.cfg.centralized_control { 1 } else { n_cores };
+        let mut regs = RegFile::new(clp_isa::NUM_ARCH_REGS);
+        for (i, &a) in args.iter().enumerate().take(8) {
+            regs.set_committed(Reg::new(1 + i), a);
+        }
+        regs.set_committed(Reg::SP, self.cfg.stack_top);
+        let max_inflight = self.cfg.max_inflight.unwrap_or(n_cores).max(1);
+        let entry = program.entry();
+        self.procs.push(Proc {
+            cores,
+            n: n_cores,
+            addr_base,
+            program,
+            predictor: ComposedPredictor::new(self.cfg.predictor, pred_banks),
+            regs,
+            blocks: BTreeMap::new(),
+            next_seq: 0,
+            pending: Some(PendingFetch {
+                addr: entry,
+                ready_at: 0,
+                hand_off_cycles: 0.0,
+            }),
+            chain_next: None,
+            slots_free: max_inflight,
+            max_inflight,
+            halted: false,
+            halt_seq: None,
+            violated_addrs: std::collections::BTreeSet::new(),
+            stats: ProcStats::default(),
+            waiting_reads: Vec::new(),
+            ready: vec![BTreeSet::new(); n_cores],
+            exec: vec![VecDeque::new(); n_cores],
+        });
+        Ok(ProcId(pid))
+    }
+
+    // -- helpers ----------------------------------------------------------
+
+    fn hops(&self, a: usize, b: usize) -> u64 {
+        self.cfg.operand_net.hops(NodeId(a), NodeId(b)) as u64
+    }
+
+    fn ctrl_delay(&self, a: usize, b: usize) -> u64 {
+        match self.cfg.protocol {
+            ProtocolTiming::Instant => 1,
+            ProtocolTiming::Modeled => 1 + self.hops(a, b),
+        }
+    }
+
+    fn push_local(&mut self, at: u64, ev: Ev) {
+        let at = at.max(self.now + 1);
+        self.local.entry(at).or_default().push(ev);
+    }
+
+    /// Routes a produced value (or null token) to targets, from `from`.
+    fn route_operands(
+        &mut self,
+        from: usize,
+        proc: usize,
+        seq: u64,
+        targets: &[Option<Target>; 2],
+        value: Option<u64>,
+    ) {
+        let (n, cores): (usize, Vec<usize>) = {
+            let p = &self.procs[proc];
+            (p.n, p.cores.clone())
+        };
+        for t in targets.iter().flatten() {
+            let part = t.inst.core_of(n);
+            let dst = cores[part];
+            let msg = OpMsg::Operand {
+                proc,
+                seq,
+                target: *t,
+                value,
+            };
+            if dst == from {
+                self.push_local(self.now + 1, Ev::Op(dst, msg));
+            } else {
+                self.opnet.inject(NodeId(from), NodeId(dst), msg);
+            }
+        }
+    }
+
+    fn send_op(&mut self, from: usize, to: usize, msg: OpMsg) {
+        if from == to {
+            self.push_local(self.now + 1, Ev::Op(to, msg));
+        } else {
+            self.opnet.inject(NodeId(from), NodeId(to), msg);
+        }
+    }
+
+    // -- fetch engine -------------------------------------------------------
+
+    fn fetch_stage(&mut self, pi: usize) {
+        let now = self.now;
+        let can_install = {
+            let p = &self.procs[pi];
+            !p.halted
+                && p.halt_seq.is_none()
+                && p.slots_free > 0
+                && p.pending
+                    .as_ref()
+                    .is_some_and(|f| f.ready_at <= now)
+        };
+        if !can_install {
+            return;
+        }
+        // A pending fetch of a block that does not exist (wrong-path
+        // beyond program bounds) waits until a redirect replaces it.
+        let addr = self.procs[pi].pending.as_ref().expect("checked").addr;
+        if self.procs[pi].program.block(addr).is_none() {
+            return;
+        }
+        let pending = self.procs[pi].pending.take().expect("checked");
+        self.install_block(pi, pending);
+    }
+
+    fn install_block(&mut self, pi: usize, pending: PendingFetch) {
+        let now = self.now;
+        self.last_progress = now;
+        let (seq, owner_core, n, speculate) = {
+            let p = &mut self.procs[pi];
+            let seq = p.next_seq;
+            p.next_seq += 1;
+            p.slots_free -= 1;
+            let n = p.n;
+            let owner_part = if self.cfg.centralized_control {
+                0
+            } else {
+                block_owner(pending.addr, n)
+            };
+            (seq, p.cores[owner_part], n, p.max_inflight > 1)
+        };
+        let block = self.procs[pi]
+            .program
+            .block(pending.addr)
+            .expect("caller checked")
+            .clone();
+
+        // Declare register writes so younger readers wait (write mask is
+        // part of the block header, known at fetch).
+        for &(_, reg) in block.writes() {
+            self.procs[pi].regs.declare_write(reg, seq);
+        }
+
+        // Per-core dispatch slices.
+        let mut dispatch = Vec::with_capacity(n);
+        for part in 0..n {
+            let ids: Vec<u8> = block
+                .slice_for_core(part, n)
+                .map(|(i, _)| i as u8)
+                .collect();
+            dispatch.push(DispatchState {
+                ids,
+                next: 0,
+                start_at: u64::MAX,
+                done: false,
+            });
+        }
+
+        let outputs_needed = block.output_count();
+        let nops = block.len();
+        let store_mask = block
+            .store_lsids()
+            .iter()
+            .fold(0u32, |m, &l| m | (1 << l));
+        let conservative = self.procs[pi].violated_addrs.contains(&pending.addr);
+        let mut blk = Blk {
+            seq,
+            addr: pending.addr,
+            block,
+            ops: vec![OpState::default(); nops],
+            outputs_needed,
+            outputs_done: 0,
+            resolved: false,
+            outcome: None,
+            next_pred: None,
+            spec_next: None,
+            committing: false,
+            conservative,
+            stores_resolved: 0,
+            store_mask,
+            deferred_loads: Vec::new(),
+            dispatch,
+            dispatch_pending_cores: n,
+            t_init: now,
+            predict_cycles: 0.0,
+            hand_off_cycles: pending.hand_off_cycles,
+            t_cmds_sent: now + 1,
+            t_last_cmd: now + 1,
+            t_dispatch_done: now + 1,
+        };
+
+        // Tag access (1 cycle), then broadcast fetch commands.
+        blk.t_cmds_sent = now + 1;
+        blk.t_last_cmd = now + 1;
+        for part in 0..n {
+            let dst = self.procs[pi].cores[part];
+            let d = self.ctrl_delay(owner_core, dst);
+            self.push_local(
+                now + 1 + d,
+                Ev::FetchCmd {
+                    proc: pi,
+                    seq,
+                    part,
+                },
+            );
+        }
+
+        // Predict the successor and hand off control.
+        if speculate {
+            let pred = self.procs[pi].predictor.predict(pending.addr);
+            let pred_lat = u64::from(self.procs[pi].predictor.latency());
+            blk.predict_cycles = pred_lat as f64;
+            // RAS traffic: a push/pop message to the stack-top core.
+            let ras_extra = match pred.ras_core {
+                Some(rc) if !self.cfg.centralized_control => {
+                    let rc_core = self.procs[pi].cores[rc.min(n - 1)];
+                    self.ctrl_delay(owner_core, rc_core)
+                }
+                _ => 0,
+            };
+            let next_owner_part = if self.cfg.centralized_control {
+                0
+            } else {
+                block_owner(pred.target, n)
+            };
+            let next_owner_core = self.procs[pi].cores[next_owner_part];
+            let send_at = now + 1 + pred_lat + ras_extra;
+            let flight = self.ctrl_delay(owner_core, next_owner_core);
+            blk.spec_next = Some(pred.target);
+            blk.next_pred = Some(pred);
+            self.procs[pi].chain_next = Some(pred.target);
+            self.push_local(
+                send_at + flight,
+                Ev::HandOff {
+                    proc: pi,
+                    addr: pred.target,
+                },
+            );
+        }
+        self.procs[pi].blocks.insert(seq, blk);
+    }
+
+    fn on_handoff(&mut self, pi: usize, addr: BlockAddr) {
+        // Wrong-path hand-offs are dropped when the proc already halted,
+        // a redirect replaced the chain, or the speculation they continue
+        // was squashed.
+        let (accept, prev_owner, next_owner) = {
+            let p = &self.procs[pi];
+            if p.halted || p.halt_seq.is_some() || p.pending.is_some() || p.chain_next != Some(addr) {
+                (false, 0, 0)
+            } else {
+                let po = p
+                    .blocks
+                    .values()
+                    .next_back()
+                    .map(|b| b.owner_part(p.n, self.cfg.centralized_control))
+                    .unwrap_or(0);
+                let no = if self.cfg.centralized_control {
+                    0
+                } else {
+                    block_owner(addr, p.n)
+                };
+                (true, p.cores[po], p.cores[no])
+            }
+        };
+        if !accept {
+            return;
+        }
+        let flight = self.ctrl_delay(prev_owner, next_owner) as f64;
+        self.procs[pi].chain_next = None;
+        self.procs[pi].pending = Some(PendingFetch {
+            addr,
+            ready_at: self.now,
+            hand_off_cycles: flight,
+        });
+    }
+
+    // -- dispatch -----------------------------------------------------------
+
+    fn on_fetch_cmd(&mut self, pi: usize, seq: u64, part: usize) {
+        let now = self.now;
+        let (core, addr, n, exists) = {
+            let p = &self.procs[pi];
+            match p.blocks.get(&seq) {
+                Some(b) => (p.cores[part], b.addr, p.n, true),
+                None => (0, 0, 1, false),
+            }
+        };
+        if !exists {
+            return;
+        }
+        let lat = self
+            .mem
+            .fetch_block_slice(core, addr.wrapping_add(self.procs[pi].addr_base), part, n);
+        let p = &mut self.procs[pi];
+        if let Some(b) = p.blocks.get_mut(&seq) {
+            b.t_last_cmd = b.t_last_cmd.max(now);
+            let ds = &mut b.dispatch[part];
+            ds.start_at = now + u64::from(lat);
+            if ds.ids.is_empty() {
+                ds.done = true;
+                b.dispatch_pending_cores -= 1;
+                b.t_dispatch_done = b.t_dispatch_done.max(now);
+            }
+        }
+    }
+
+    fn dispatch_stage(&mut self, pi: usize) {
+        let now = self.now;
+        let n = self.procs[pi].n;
+        let bw = self.cfg.core.dispatch_per_cycle;
+        let seqs: Vec<u64> = self.procs[pi].blocks.keys().copied().collect();
+        for part in 0..n {
+            let mut budget = bw;
+            for &seq in &seqs {
+                if budget == 0 {
+                    break;
+                }
+                // Collect ids to dispatch this cycle.
+                let mut to_dispatch: Vec<u8> = Vec::new();
+                {
+                    let b = match self.procs[pi].blocks.get_mut(&seq) {
+                        Some(b) => b,
+                        None => continue,
+                    };
+                    let ds = &mut b.dispatch[part];
+                    if ds.done || ds.start_at > now {
+                        continue;
+                    }
+                    while budget > 0 && ds.next < ds.ids.len() {
+                        to_dispatch.push(ds.ids[ds.next]);
+                        ds.next += 1;
+                        budget -= 1;
+                    }
+                    if ds.next == ds.ids.len() {
+                        ds.done = true;
+                        b.dispatch_pending_cores -= 1;
+                        b.t_dispatch_done = b.t_dispatch_done.max(now);
+                    }
+                }
+                for id in to_dispatch {
+                    self.dispatch_inst(pi, seq, part, id);
+                }
+            }
+        }
+    }
+
+    fn dispatch_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
+        self.last_progress = self.now;
+        let (opcode, reg, targets) = {
+            let p = &mut self.procs[pi];
+            let b = p.blocks.get_mut(&seq).expect("dispatching live block");
+            b.ops[id as usize].dispatched = true;
+            let inst = &b.block.instructions()[id as usize];
+            (inst.opcode, inst.reg, inst.targets)
+        };
+        match opcode {
+            Opcode::Read => {
+                let reg = reg.expect("read has reg");
+                let (bank_core, from) = {
+                    let p = &self.procs[pi];
+                    (p.cores[reg.bank_of(p.n)], p.cores[part])
+                };
+                self.send_op(
+                    from,
+                    bank_core,
+                    OpMsg::ReadReq {
+                        proc: pi,
+                        seq,
+                        reg,
+                        targets,
+                    },
+                );
+            }
+            _ => {
+                self.maybe_ready(pi, seq, part, id);
+            }
+        }
+    }
+
+    /// Enqueues the instruction for issue if all its inputs are present.
+    fn maybe_ready(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
+        enum Action {
+            None,
+            Queue,
+            Write {
+                from: usize,
+                bank_core: usize,
+                reg: Reg,
+                value: Option<u64>,
+            },
+        }
+        let action = {
+            let p = &mut self.procs[pi];
+            let Some(b) = p.blocks.get_mut(&seq) else {
+                return;
+            };
+            let inst = &b.block.instructions()[id as usize];
+            if inst.opcode == Opcode::Read {
+                return;
+            }
+            let arity = inst.data_arity();
+            let need_pred = inst.is_predicated();
+            let is_write = inst.opcode == Opcode::Write;
+            let reg = inst.reg;
+            let st = &mut b.ops[id as usize];
+            if !st.dispatched || st.queued || st.fired {
+                Action::None
+            } else {
+                let have = (arity < 1 || st.got[0]) && (arity < 2 || st.got[1]);
+                let have_pred = !need_pred || st.got[2];
+                if !(have && have_pred) {
+                    Action::None
+                } else if is_write {
+                    st.fired = true;
+                    let value = if st.is_null[0] { None } else { st.val[0] };
+                    let reg = reg.expect("write has reg");
+                    Action::Write {
+                        from: p.cores[part],
+                        bank_core: p.cores[reg.bank_of(p.n)],
+                        reg,
+                        value,
+                    }
+                } else {
+                    st.queued = true;
+                    Action::Queue
+                }
+            }
+        };
+        match action {
+            Action::None => {}
+            Action::Queue => {
+                self.procs[pi].ready[part].insert((seq, id));
+            }
+            Action::Write {
+                from,
+                bank_core,
+                reg,
+                value,
+            } => {
+                let p = &mut self.procs[pi];
+                p.stats.insts_fired += 1;
+                p.stats.reg_writes += 1;
+                self.send_op(
+                    from,
+                    bank_core,
+                    OpMsg::WriteFwd {
+                        proc: pi,
+                        seq,
+                        reg,
+                        value,
+                    },
+                );
+            }
+        }
+    }
+
+    // -- issue & execute ----------------------------------------------------
+
+    fn issue_stage(&mut self, pi: usize) {
+        let n = self.procs[pi].n;
+        for part in 0..n {
+            let mut total = self.cfg.core.issue_width;
+            let mut fp = self.cfg.core.fp_issue;
+            let picks: Vec<(u64, u8)> = {
+                let p = &self.procs[pi];
+                let mut picks = Vec::new();
+                for &(seq, id) in &p.ready[part] {
+                    if total == 0 {
+                        break;
+                    }
+                    let Some(b) = p.blocks.get(&seq) else { continue };
+                    let is_fp =
+                        b.block.instructions()[id as usize].opcode.class() == OpcodeClass::Float;
+                    if is_fp {
+                        if fp == 0 {
+                            continue;
+                        }
+                        fp -= 1;
+                    }
+                    total -= 1;
+                    picks.push((seq, id));
+                }
+                picks
+            };
+            for (seq, id) in picks {
+                self.procs[pi].ready[part].remove(&(seq, id));
+                self.execute_inst(pi, seq, part, id);
+            }
+        }
+    }
+
+    fn execute_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
+        self.last_progress = self.now;
+        let now = self.now;
+        let (opcode, imm, lsid, branch, targets, pred, vals, nulls) = {
+            let p = &mut self.procs[pi];
+            let Some(b) = p.blocks.get_mut(&seq) else {
+                return;
+            };
+            let st = &mut b.ops[id as usize];
+            st.fired = true;
+            let inst = &b.block.instructions()[id as usize];
+            (
+                inst.opcode,
+                inst.imm,
+                inst.lsid,
+                inst.branch,
+                inst.targets,
+                inst.pred,
+                st.val,
+                st.is_null,
+            )
+        };
+        {
+            let p = &mut self.procs[pi];
+            p.stats.insts_fired += 1;
+            if opcode.class() == OpcodeClass::Float {
+                p.stats.fp_ops += 1;
+            } else {
+                p.stats.int_ops += 1;
+            }
+        }
+
+        // Predicated-off instructions consume the slot and vanish.
+        if let Some(sense) = pred {
+            let pv = vals[2].unwrap_or(0);
+            let pv = if nulls[2] { 0 } else { pv };
+            if !sense.matches(pv) {
+                return;
+            }
+        }
+
+        let left = if nulls[0] { 0 } else { vals[0].unwrap_or(0) };
+        let right = if nulls[1] { 0 } else { vals[1].unwrap_or(0) };
+        let latency = u64::from(opcode.latency());
+
+        match opcode {
+            Opcode::Bro => {
+                let info = branch.expect("bro has branch info");
+                let actual = match info.kind {
+                    BranchKind::Return => left,
+                    _ => info
+                        .target
+                        .unwrap_or(self.procs[pi].blocks[&seq].addr + 512),
+                };
+                let outcome = ExitOutcome {
+                    exit_id: info.exit_id,
+                    kind: info.kind,
+                    target: actual,
+                };
+                let (owner_core, from) = {
+                    let p = &self.procs[pi];
+                    let b = &p.blocks[&seq];
+                    let op = b.owner_part(p.n, self.cfg.centralized_control);
+                    (p.cores[op], p.cores[part])
+                };
+                let d = self.ctrl_delay(from, owner_core);
+                self.push_local(
+                    now + latency + d,
+                    Ev::Branch {
+                        proc: pi,
+                        seq,
+                        outcome,
+                    },
+                );
+            }
+            op if op.is_load() || op.is_store() => {
+                let l = lsid.expect("memory op has lsid").index() as u8;
+                if op.is_load() {
+                    // Conservative ordering for previously-violating
+                    // blocks: the load waits until every older-LSID store
+                    // slot has resolved (the LSID order is acyclic, so
+                    // this cannot deadlock).
+                    let defer = {
+                        let b = &self.procs[pi].blocks[&seq];
+                        let older = b.store_mask & ((1u32 << l) - 1);
+                        b.conservative && older & !b.stores_resolved != 0
+                    };
+                    if defer {
+                        self.procs[pi]
+                            .blocks
+                            .get_mut(&seq)
+                            .expect("exists")
+                            .deferred_loads
+                            .push((part, id));
+                        return;
+                    }
+                }
+                self.send_mem_req(pi, seq, part, id, op.is_store(), l, imm, left, right, targets);
+            }
+            Opcode::Null if lsid.is_some() => {
+                // Store-slot nullification: an output resolves.
+                let (owner_core, from) = {
+                    let p = &self.procs[pi];
+                    let b = &p.blocks[&seq];
+                    let op = b.owner_part(p.n, self.cfg.centralized_control);
+                    (p.cores[op], p.cores[part])
+                };
+                let d = self.ctrl_delay(from, owner_core);
+                self.push_local(
+                    now + latency + d,
+                    Ev::OutputDone {
+                        proc: pi,
+                        seq,
+                        lsid: Some(lsid.expect("checked").index() as u8),
+                    },
+                );
+            }
+            Opcode::Null => {
+                // Null token to consumers (typically a WRITE).
+                let from = self.procs[pi].cores[part];
+                self.push_local(
+                    now + latency,
+                    Ev::SendOperands {
+                        from,
+                        proc: pi,
+                        seq,
+                        targets,
+                        value: None,
+                    },
+                );
+            }
+            _ => {
+                let result = clp_isa::value::eval(opcode, imm, left, right);
+                let from = self.procs[pi].cores[part];
+                self.procs[pi].exec[part].push_back((now + latency, seq, id, Some(result)));
+                let _ = from;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_mem_req(
+        &mut self,
+        pi: usize,
+        seq: u64,
+        part: usize,
+        _id: u8,
+        store: bool,
+        lsid: u8,
+        imm: i64,
+        left: u64,
+        right: u64,
+        targets: [Option<Target>; 2],
+    ) {
+        let ea = ((left as i64).wrapping_add(imm) as u64)
+            .wrapping_add(self.procs[pi].addr_base);
+        let size = {
+            let b = &self.procs[pi].blocks[&seq];
+            match b.block.instructions()[_id as usize].opcode {
+                Opcode::Ldb | Opcode::Stb => 1,
+                _ => 8,
+            }
+        };
+        let (bank_core, from) = {
+            let p = &self.procs[pi];
+            let bank_part = dbank_for(ea, p.n);
+            (p.cores[bank_part], p.cores[part])
+        };
+        let msg = OpMsg::MemReq {
+            proc: pi,
+            seq,
+            lsid,
+            store,
+            addr: ea,
+            size,
+            value: right,
+            targets,
+        };
+        if bank_core == from {
+            self.push_local(self.now + 1, Ev::Op(bank_core, msg));
+        } else {
+            self.opnet.inject(NodeId(from), NodeId(bank_core), msg);
+        }
+    }
+
+    fn completion_stage(&mut self, pi: usize) {
+        let now = self.now;
+        let n = self.procs[pi].n;
+        for part in 0..n {
+            loop {
+                let item = {
+                    let q = &mut self.procs[pi].exec[part];
+                    // exec is in issue order; latencies vary, so scan.
+                    let pos = q.iter().position(|&(d, _, _, _)| d <= now);
+                    match pos {
+                        Some(i) => q.remove(i),
+                        None => None,
+                    }
+                };
+                let Some((_, seq, id, result)) = item else {
+                    break;
+                };
+                let (alive, targets) = {
+                    let p = &self.procs[pi];
+                    match p.blocks.get(&seq) {
+                        Some(b) => (true, b.block.instructions()[id as usize].targets),
+                        None => (false, [None, None]),
+                    }
+                };
+                if alive {
+                    let from = self.procs[pi].cores[part];
+                    self.route_operands(from, pi, seq, &targets, result);
+                }
+            }
+        }
+    }
+
+    // -- message handling -----------------------------------------------------
+
+    fn handle_op(&mut self, core: usize, msg: OpMsg) {
+        match msg {
+            OpMsg::Operand {
+                proc,
+                seq,
+                target,
+                value,
+            } => {
+                let part = match self.core_map[core] {
+                    Some((pp, part)) if pp == proc => part,
+                    _ => return,
+                };
+                {
+                    let p = &mut self.procs[proc];
+                    let Some(b) = p.blocks.get_mut(&seq) else {
+                        return;
+                    };
+                    let st = &mut b.ops[target.inst.index()];
+                    let slot = target.operand.encode() as usize;
+                    st.got[slot] = true;
+                    st.val[slot] = value;
+                    st.is_null[slot] = value.is_none();
+                }
+                self.maybe_ready(proc, seq, part, target.inst.index() as u8);
+            }
+            OpMsg::ReadReq {
+                proc,
+                seq,
+                reg,
+                targets,
+            } => {
+                if !self.procs[proc].blocks.contains_key(&seq) {
+                    return;
+                }
+                self.try_read(proc, seq, reg, targets, core);
+            }
+            OpMsg::WriteFwd {
+                proc,
+                seq,
+                reg,
+                value,
+            } => {
+                let alive = self.procs[proc].blocks.contains_key(&seq);
+                if !alive {
+                    return;
+                }
+                self.procs[proc].regs.forward_write(reg, seq, value);
+                // Output resolves at the owner.
+                let owner_core = {
+                    let p = &self.procs[proc];
+                    let b = &p.blocks[&seq];
+                    let op = b.owner_part(p.n, self.cfg.centralized_control);
+                    p.cores[op]
+                };
+                let d = self.ctrl_delay(core, owner_core);
+                self.push_local(
+                    self.now + d,
+                    Ev::OutputDone {
+                        proc,
+                        seq,
+                        lsid: None,
+                    },
+                );
+                self.retry_waiting_reads(proc, reg);
+            }
+            OpMsg::MemReq {
+                proc,
+                seq,
+                lsid,
+                store,
+                addr,
+                size,
+                value,
+                targets,
+            } => {
+                if !self.procs[proc].blocks.contains_key(&seq) {
+                    return;
+                }
+                let gseq = seq * 32 + u64::from(lsid);
+                if store {
+                    match self.mem.execute_store(core, gseq, addr, size, value) {
+                        StoreResponse::Nack => {
+                            self.procs[proc].stats.nack_retries += 1;
+                            self.overflow_flush(proc, core, seq);
+                            let retry = self.now + u64::from(self.cfg.nack_retry);
+                            self.push_local(
+                                retry,
+                                Ev::Op(
+                                    core,
+                                    OpMsg::MemReq {
+                                        proc,
+                                        seq,
+                                        lsid,
+                                        store,
+                                        addr,
+                                        size,
+                                        value,
+                                        targets,
+                                    },
+                                ),
+                            );
+                        }
+                        StoreResponse::Ok { violation } => {
+                            self.procs[proc].stats.stores += 1;
+                            let owner_core = {
+                                let p = &self.procs[proc];
+                                let b = &p.blocks[&seq];
+                                let op = b.owner_part(p.n, self.cfg.centralized_control);
+                                p.cores[op]
+                            };
+                            let d = self.ctrl_delay(core, owner_core);
+                            self.push_local(
+                                self.now + d,
+                                Ev::OutputDone {
+                                    proc,
+                                    seq,
+                                    lsid: Some(lsid),
+                                },
+                            );
+                            if let Some(vseq) = violation {
+                                self.procs[proc].stats.violations += 1;
+                                let vblock = vseq / 32;
+                                self.violation_flush(proc, vblock);
+                            }
+                        }
+                    }
+                } else {
+                    match self.mem.execute_load(core, gseq, addr, size) {
+                        LoadResponse::Nack => {
+                            self.procs[proc].stats.nack_retries += 1;
+                            self.overflow_flush(proc, core, seq);
+                            let retry = self.now + u64::from(self.cfg.nack_retry);
+                            self.push_local(
+                                retry,
+                                Ev::Op(
+                                    core,
+                                    OpMsg::MemReq {
+                                        proc,
+                                        seq,
+                                        lsid,
+                                        store,
+                                        addr,
+                                        size,
+                                        value,
+                                        targets,
+                                    },
+                                ),
+                            );
+                        }
+                        LoadResponse::Ok { value, latency } => {
+                            self.procs[proc].stats.loads += 1;
+                            self.push_local(
+                                self.now + u64::from(latency),
+                                Ev::SendOperands {
+                                    from: core,
+                                    proc,
+                                    seq,
+                                    targets,
+                                    value: Some(value),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_read(
+        &mut self,
+        proc: usize,
+        seq: u64,
+        reg: Reg,
+        targets: [Option<Target>; 2],
+        bank_core: usize,
+    ) {
+        match self.procs[proc].regs.read(reg, seq) {
+            RegRead::Ready(v) => {
+                self.procs[proc].stats.reg_reads += 1;
+                self.push_local(
+                    self.now + 1,
+                    Ev::SendOperands {
+                        from: bank_core,
+                        proc,
+                        seq,
+                        targets,
+                        value: Some(v),
+                    },
+                );
+            }
+            RegRead::Wait => {
+                self.procs[proc].waiting_reads.push(WaitingRead {
+                    seq,
+                    reg,
+                    targets,
+                    bank_core,
+                });
+            }
+        }
+    }
+
+    fn retry_waiting_reads(&mut self, proc: usize, reg: Reg) {
+        let waiting: Vec<WaitingRead> = {
+            let p = &mut self.procs[proc];
+            let (hit, keep): (Vec<_>, Vec<_>) =
+                p.waiting_reads.drain(..).partition(|w| w.reg == reg);
+            p.waiting_reads = keep;
+            hit
+        };
+        for w in waiting {
+            if self.procs[proc].blocks.contains_key(&w.seq) {
+                self.try_read(proc, w.seq, w.reg, w.targets, w.bank_core);
+            }
+        }
+    }
+
+    // -- owner logic: resolution, flush, commit -----------------------------
+
+    fn on_branch(&mut self, pi: usize, seq: u64, outcome: ExitOutcome) {
+        let now = self.now;
+        let exists = self.procs[pi].blocks.contains_key(&seq);
+        if !exists || self.procs[pi].blocks[&seq].resolved {
+            return;
+        }
+        {
+            let b = self.procs[pi].blocks.get_mut(&seq).expect("exists");
+            b.resolved = true;
+            b.outcome = Some(outcome);
+            b.outputs_done += 1; // the branch is an output
+        }
+        let next_pred = self.procs[pi].blocks[&seq].next_pred;
+        let spec_next = self.procs[pi].blocks[&seq].spec_next;
+        let addr = self.procs[pi].blocks[&seq].addr;
+        let is_halt = outcome.kind == BranchKind::Halt;
+
+        match next_pred {
+            Some(pred) => {
+                let mispredicted = is_halt || pred.target != outcome.target;
+                if mispredicted {
+                    self.procs[pi].stats.mispredicts += 1;
+                    // Roll back orphaned younger predictions, youngest first.
+                    self.flush_from(pi, seq + 1);
+                    {
+                        let p = &mut self.procs[pi];
+                        p.predictor.resolve(addr, &pred, &outcome, true);
+                        p.pending = None;
+                        p.chain_next = None;
+                        if is_halt {
+                            p.halt_seq = Some(seq);
+                        }
+                    }
+                    if !is_halt {
+                        // The flush broadcast must reach every core before
+                        // the corrected chain restarts.
+                        let (owner, cores) = {
+                            let p = &self.procs[pi];
+                            let op = if self.cfg.centralized_control {
+                                0
+                            } else {
+                                block_owner(addr, p.n)
+                            };
+                            (p.cores[op], p.cores.clone())
+                        };
+                        let redirect_delay = cores
+                            .iter()
+                            .map(|&c| self.ctrl_delay(owner, c))
+                            .max()
+                            .unwrap_or(1);
+                        self.procs[pi].pending = Some(PendingFetch {
+                            addr: outcome.target,
+                            ready_at: now + redirect_delay,
+                            hand_off_cycles: 0.0,
+                        });
+                    }
+                } else {
+                    let p = &mut self.procs[pi];
+                    p.predictor.resolve(addr, &pred, &outcome, false);
+                }
+            }
+            None => {
+                // Non-speculative sequencing (single-block windows or a
+                // freshly redirected chain whose successor is not yet
+                // pending).
+                if is_halt {
+                    self.flush_from(pi, seq + 1);
+                    self.procs[pi].halt_seq = Some(seq);
+                    self.procs[pi].pending = None;
+                    self.procs[pi].chain_next = None;
+                } else if spec_next.is_none() && self.procs[pi].max_inflight == 1 {
+                    let p = &mut self.procs[pi];
+                    if p.pending.is_none() {
+                        p.pending = Some(PendingFetch {
+                            addr: outcome.target,
+                            ready_at: now + 1,
+                            hand_off_cycles: 0.0,
+                        });
+                    }
+                }
+            }
+        }
+        self.check_commit(pi);
+    }
+
+    /// Rolls back orphaned predictions and squashes blocks `>= from`.
+    fn flush_from(&mut self, pi: usize, from: u64) {
+        let seqs: Vec<u64> = {
+            let p = &self.procs[pi];
+            p.blocks.range(from..).map(|(&s, _)| s).collect()
+        };
+        // Roll back orphaned speculation youngest-first (their own
+        // next_preds, i.e. predictions for blocks beyond them).
+        for &s in seqs.iter().rev() {
+            let pred = self.procs[pi]
+                .blocks
+                .get_mut(&s)
+                .and_then(|b| b.next_pred.take());
+            if let Some(p) = pred {
+                self.procs[pi].predictor.rollback(&p);
+            }
+        }
+        let p = &mut self.procs[pi];
+        if p.halt_seq.is_some_and(|h| h >= from) {
+            p.halt_seq = None;
+        }
+        for &s in &seqs {
+            p.blocks.remove(&s);
+            p.slots_free += 1;
+            p.stats.blocks_flushed += 1;
+        }
+        if !seqs.is_empty() {
+            // The block numbering restarts after the flushed range so
+            // stale in-flight messages can never alias re-fetched blocks.
+            p.regs.flush_from(from);
+            let cores = p.cores.clone();
+            for set in &mut p.ready {
+                set.retain(|&(s, _)| s < from);
+            }
+            for q in &mut p.exec {
+                q.retain(|&(_, s, _, _)| s < from);
+            }
+            p.waiting_reads.retain(|w| w.seq < from);
+            self.mem.flush_from(&cores, from * 32);
+            // Re-check reads that may have been waiting on flushed writers.
+            let regs: Vec<Reg> = (0..clp_isa::NUM_ARCH_REGS).map(Reg::new).collect();
+            let _ = regs;
+            let waiting: Vec<WaitingRead> =
+                self.procs[pi].waiting_reads.drain(..).collect();
+            for w in waiting {
+                if self.procs[pi].blocks.contains_key(&w.seq) {
+                    self.try_read(pi, w.seq, w.reg, w.targets, w.bank_core);
+                }
+            }
+        }
+        // The youngest surviving block no longer speculates a successor.
+        if let Some(b) = self.procs[pi].blocks.values_mut().next_back() {
+            if b.seq < from {
+                // Its spec_next (if it pointed at a flushed block) is now
+                // moot; keep next_pred for training at resolution.
+                if b.next_pred.is_none() {
+                    b.spec_next = None;
+                }
+            }
+        }
+    }
+
+    /// Forward progress for the NACK overflow protocol: a request from
+    /// the *oldest* in-flight block that keeps getting NACKed can only be
+    /// satisfied by freeing LSQ entries, so the youngest block is
+    /// squashed (and refetched later). Bank capacity (44) exceeds one
+    /// block's LSID budget (32), so the oldest block alone always fits.
+    fn overflow_flush(&mut self, pi: usize, bank_core: usize, nacked_seq: u64) {
+        // Age-based eviction (the forward-progress half of the NACK
+        // protocol): if the full bank holds entries from a block younger
+        // than the requester, squash that youngest block; its re-fetch
+        // re-executes long after the NACKed request retries, so older
+        // requests always make progress.
+        let Some(y_gseq) = self.mem.lsq_youngest(bank_core) else {
+            return;
+        };
+        let y_block = y_gseq / 32;
+        if y_block > nacked_seq && self.procs[pi].blocks.contains_key(&y_block) {
+            self.violation_flush(pi, y_block);
+        }
+    }
+
+    /// Flush after a load/store ordering violation at block `vblock`:
+    /// squash it and everything younger, then refetch the same address.
+    fn violation_flush(&mut self, pi: usize, vblock: u64) {
+        let Some(addr) = self.procs[pi].blocks.get(&vblock).map(|b| b.addr) else {
+            return;
+        };
+        // Train the dependence predictor: future fetches of this block
+        // order their loads behind older stores.
+        self.procs[pi].violated_addrs.insert(addr);
+        self.flush_from(pi, vblock);
+        let p = &mut self.procs[pi];
+        p.chain_next = None;
+        p.pending = Some(PendingFetch {
+            addr,
+            ready_at: self.now + 2,
+            hand_off_cycles: 0.0,
+        });
+    }
+
+    fn on_output_done(&mut self, pi: usize, seq: u64, lsid: Option<u8>) {
+        let mut ready_loads: Vec<(usize, u8)> = Vec::new();
+        if let Some(b) = self.procs[pi].blocks.get_mut(&seq) {
+            b.outputs_done += 1;
+            if let Some(l) = lsid {
+                b.stores_resolved |= 1 << l;
+                // Release conservative loads whose older stores resolved.
+                let resolved = b.stores_resolved;
+                let mask = b.store_mask;
+                let block = &b.block;
+                let mut still = Vec::new();
+                for (part, id) in b.deferred_loads.drain(..) {
+                    let ll = block.instructions()[id as usize]
+                        .lsid
+                        .expect("load has lsid")
+                        .index() as u8;
+                    let older = mask & ((1u32 << ll) - 1);
+                    if older & !resolved == 0 {
+                        ready_loads.push((part, id));
+                    } else {
+                        still.push((part, id));
+                    }
+                }
+                b.deferred_loads = still;
+            }
+        }
+        for (part, id) in ready_loads {
+            let (op_is_store, l, imm, left, right, targets) = {
+                let b = &self.procs[pi].blocks[&seq];
+                let inst = &b.block.instructions()[id as usize];
+                let st = &b.ops[id as usize];
+                (
+                    inst.opcode.is_store(),
+                    inst.lsid.expect("has lsid").index() as u8,
+                    inst.imm,
+                    if st.is_null[0] { 0 } else { st.val[0].unwrap_or(0) },
+                    if st.is_null[1] { 0 } else { st.val[1].unwrap_or(0) },
+                    inst.targets,
+                )
+            };
+            self.send_mem_req(pi, seq, part, id, op_is_store, l, imm, left, right, targets);
+        }
+        self.check_commit(pi);
+    }
+
+    fn check_commit(&mut self, pi: usize) {
+        let now = self.now;
+        let Some((&seq, _)) = self.procs[pi].blocks.iter().next() else {
+            return;
+        };
+        let ready = {
+            let b = &self.procs[pi].blocks[&seq];
+            !b.committing
+                && b.resolved
+                && b.outputs_done >= b.outputs_needed
+                && b.dispatch_pending_cores == 0
+        };
+        if !ready {
+            return;
+        }
+        self.last_progress = now;
+        // Commit: functional effects now; timing modeled analytically.
+        let (owner_core, cores, n) = {
+            let p = &self.procs[pi];
+            let b = &p.blocks[&seq];
+            let op = b.owner_part(p.n, self.cfg.centralized_control);
+            (p.cores[op], p.cores.clone(), p.n)
+        };
+        // Count register writes per bank before committing them.
+        let mut reg_writes_per_bank = vec![0u32; n];
+        {
+            let b = &self.procs[pi].blocks[&seq];
+            for &(_, reg) in b.block.writes() {
+                reg_writes_per_bank[reg.bank_of(n)] += 1;
+            }
+        }
+        self.procs[pi].regs.commit(seq);
+        let lo = seq * 32;
+        let hi = lo + 32;
+        let mut last_ack = now + 1;
+        let mut max_update = 0u64;
+        for (part, &core) in cores.iter().enumerate() {
+            let cmd = self.ctrl_delay(owner_core, core);
+            let store_lat = u64::from(self.mem.commit_stores_core(core, lo, hi));
+            let update = store_lat.max(u64::from(reg_writes_per_bank[part]));
+            max_update = max_update.max(update);
+            let ack = now + cmd + update + cmd;
+            last_ack = last_ack.max(ack);
+        }
+        {
+            let b = self.procs[pi].blocks.get_mut(&seq).expect("exists");
+            b.committing = true;
+            b.t_dispatch_done = b.t_dispatch_done.max(b.t_init);
+        }
+        // Record commit-latency components.
+        {
+            let p = &mut self.procs[pi];
+            p.stats.commit_lat_sum.arch_update += max_update as f64;
+            p.stats.commit_lat_sum.handshake +=
+                (last_ack - now) as f64 - max_update as f64;
+            p.stats.commit_samples += 1;
+        }
+        self.push_local(last_ack, Ev::CommitDone { proc: pi, seq });
+    }
+
+    fn on_commit_done(&mut self, pi: usize, seq: u64) {
+        let now = self.now;
+        let Some(b) = self.procs[pi].blocks.remove(&seq) else {
+            return;
+        };
+        self.last_progress = now;
+        let (owner_core, max_hop) = {
+            let p = &self.procs[pi];
+            let op = b.owner_part(p.n, self.cfg.centralized_control);
+            let owner = p.cores[op];
+            let mh = p
+                .cores
+                .iter()
+                .map(|&c| self.ctrl_delay(owner, c))
+                .max()
+                .unwrap_or(1);
+            (owner, mh)
+        };
+        let _ = owner_core;
+        {
+            let p = &mut self.procs[pi];
+            p.stats.blocks_committed += 1;
+            p.stats.insts_dispatched += b.block.len() as u64;
+            // Fig 9a components for this committed block.
+            p.stats.fetch_lat_sum.prediction += b.predict_cycles;
+            p.stats.fetch_lat_sum.tag_access += 1.0;
+            p.stats.fetch_lat_sum.hand_off += b.hand_off_cycles;
+            p.stats.fetch_lat_sum.fetch_distribution +=
+                b.t_last_cmd.saturating_sub(b.t_cmds_sent) as f64;
+            p.stats.fetch_lat_sum.dispatch +=
+                b.t_dispatch_done.saturating_sub(b.t_last_cmd) as f64;
+            p.stats.fetch_samples += 1;
+        }
+        // Dealloc: the fetch engine learns about the free slot after the
+        // dealloc broadcast reaches the prospective owner.
+        self.push_local(now + max_hop, Ev::SlotFree { proc: pi });
+        if b.outcome.map(|o| o.kind) == Some(BranchKind::Halt) {
+            let p = &mut self.procs[pi];
+            p.halted = true;
+            p.stats.cycles = now;
+        }
+        self.check_commit(pi);
+    }
+
+    // -- main loop ------------------------------------------------------------
+
+    /// Advances the machine one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        // 1. Networks.
+        self.opnet.step();
+        let delivered = self.opnet.drain_delivered();
+        for (node, msg) in delivered {
+            self.handle_op(node.0, msg);
+        }
+        // 2. Scheduled local/control events.
+        if let Some(evs) = self.local.remove(&self.now) {
+            for ev in evs {
+                match ev {
+                    Ev::Op(core, msg) => self.handle_op(core, msg),
+                    Ev::OutputDone { proc, seq, lsid } => {
+                        self.on_output_done(proc, seq, lsid)
+                    }
+                    Ev::Branch { proc, seq, outcome } => self.on_branch(proc, seq, outcome),
+                    Ev::HandOff { proc, addr } => self.on_handoff(proc, addr),
+                    Ev::FetchCmd { proc, seq, part } => self.on_fetch_cmd(proc, seq, part),
+                    Ev::SendOperands {
+                        from,
+                        proc,
+                        seq,
+                        targets,
+                        value,
+                    } => {
+                        if self.procs[proc].blocks.contains_key(&seq) {
+                            self.route_operands(from, proc, seq, &targets, value);
+                        }
+                    }
+                    Ev::CommitDone { proc, seq } => self.on_commit_done(proc, seq),
+                    Ev::SlotFree { proc } => {
+                        self.procs[proc].slots_free += 1;
+                    }
+                }
+            }
+        }
+        // 3. Per-proc pipeline stages.
+        for pi in 0..self.procs.len() {
+            if self.procs[pi].halted {
+                continue;
+            }
+            self.fetch_stage(pi);
+            self.dispatch_stage(pi);
+            self.completion_stage(pi);
+            self.issue_stage(pi);
+            self.check_commit(pi);
+        }
+    }
+
+    /// Runs until every composed processor halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::CycleLimit`] past the configured budget or
+    /// [`RunError::Deadlock`] if nothing progresses for a long time.
+    pub fn run(&mut self) -> Result<RunStats, RunError> {
+        while self.procs.iter().any(|p| !p.halted) {
+            if self.now >= self.cfg.max_cycles {
+                return Err(RunError::CycleLimit(self.cfg.max_cycles));
+            }
+            if self.now.saturating_sub(self.last_progress) > 500_000 {
+                return Err(RunError::Deadlock { cycle: self.now });
+            }
+            self.step();
+        }
+        Ok(self.collect_stats())
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let mut stats = RunStats {
+            cycles: self.now,
+            procs: self.procs.iter().map(|p| p.stats.clone()).collect(),
+            mem: self.mem.stats(),
+            operand_net: *self.opnet.stats(),
+            control_net: Default::default(),
+        };
+        for (i, p) in self.procs.iter().enumerate() {
+            stats.procs[i].predictor = *p.predictor.stats();
+            if stats.procs[i].cycles == 0 {
+                stats.procs[i].cycles = self.now;
+            }
+        }
+        stats
+    }
+
+    /// The committed value of register `reg` on processor `pid` (read
+    /// after the run; `r1` is the entry function's return value).
+    #[must_use]
+    pub fn register(&self, pid: ProcId, reg: Reg) -> u64 {
+        self.procs[pid.0].regs.committed(reg)
+    }
+
+    /// Releases a halted processor's cores so they can be recomposed.
+    /// The released cores' L1 caches are deliberately *not* flushed: the
+    /// directory keeps them coherent, which is what lets composition
+    /// changes hand data over on demand (§4.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor has not halted (its speculative state
+    /// would be dangling).
+    pub fn decompose(&mut self, pid: ProcId) {
+        assert!(
+            self.procs[pid.0].halted,
+            "decompose requires a halted processor"
+        );
+        for &c in &self.procs[pid.0].cores {
+            self.core_map[c] = None;
+        }
+        self.procs[pid.0].cores.clear();
+    }
+
+    /// The physical base of processor `pid`'s address space (multiply
+    /// composed programs use identical virtual layouts; read their final
+    /// memory at `addr_base + virtual`).
+    #[must_use]
+    pub fn addr_base(&self, pid: ProcId) -> u64 {
+        self.procs[pid.0].addr_base
+    }
+
+    /// Whether processor `pid` has halted.
+    #[must_use]
+    pub fn is_halted(&self, pid: ProcId) -> bool {
+        self.procs[pid.0].halted
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// A human-readable snapshot of in-flight state (stall debugging).
+    #[must_use]
+    pub fn debug_snapshot(&self) -> String {
+        let mut out = format!("cycle {}\n", self.now);
+        for (pi, p) in self.procs.iter().enumerate() {
+            out.push_str(&format!(
+                "proc{pi}: halted={} halt_seq={:?} slots_free={} pending={:?} chain_next={:?}\n",
+                p.halted, p.halt_seq, p.slots_free,
+                p.pending.as_ref().map(|f| (f.addr, f.ready_at)),
+                p.chain_next,
+            ));
+            for (seq, b) in &p.blocks {
+                out.push_str(&format!(
+                    "  blk {seq} @{:#x}: outputs {}/{} resolved={} committing={} disp_pending={}\n",
+                    b.addr, b.outputs_done, b.outputs_needed, b.resolved,
+                    b.committing, b.dispatch_pending_cores
+                ));
+                for (i, st) in b.ops.iter().enumerate() {
+                    let inst = &b.block.instructions()[i];
+                    if !st.fired {
+                        out.push_str(&format!(
+                            "    i{i} {} disp={} queued={} got={:?} arity={} pred={}\n",
+                            inst.opcode, st.dispatched, st.queued, st.got,
+                            inst.data_arity(), inst.is_predicated()
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "  rf pendings={:?} versions={:?}\n",
+                p.regs.pending_entries(),
+                p.regs.version_entries()
+            ));
+            out.push_str("  regs:");
+            for r in 9..24 {
+                out.push_str(&format!(" r{r}={}", p.regs.committed(Reg::new(r))));
+            }
+            out.push('\n');
+            out.push_str(&format!(
+                "  waiting_reads={:?} ready={:?} exec={:?} local_events={}\n",
+                p.waiting_reads.iter().map(|w| (w.seq, w.reg)).collect::<Vec<_>>(),
+                p.ready.iter().map(|r| r.len()).collect::<Vec<_>>(),
+                p.exec.iter().map(|q| q.len()).collect::<Vec<_>>(),
+                self.local.values().map(Vec::len).sum::<usize>(),
+            ));
+        }
+        out
+    }
+
+    /// The commit-latency breakdown helper for tests.
+    #[must_use]
+    pub fn commit_breakdown(&self, pid: ProcId) -> CommitLatencyBreakdown {
+        self.procs[pid.0].stats.commit_latency()
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation statistics, including the Figure 9 latency breakdowns.
+
+use clp_mem::MemStats;
+use clp_noc::MeshStats;
+use clp_predictor::PredictorStats;
+use serde::{Deserialize, Serialize};
+
+/// Average per-block distributed-fetch latency components (Figure 9a).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FetchLatencyBreakdown {
+    /// Next-block prediction (0 for unspeculated single-core runs).
+    pub prediction: f64,
+    /// I-cache tag access at the owner.
+    pub tag_access: f64,
+    /// Control hand-off from the previous owner.
+    pub hand_off: f64,
+    /// Broadcasting the fetch command to participating cores.
+    pub fetch_distribution: f64,
+    /// Fetching and dispatching the block's instructions into the window.
+    pub dispatch: f64,
+}
+
+impl FetchLatencyBreakdown {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.prediction + self.tag_access + self.hand_off + self.fetch_distribution + self.dispatch
+    }
+}
+
+/// Average per-block commit latency components (Figure 9b).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommitLatencyBreakdown {
+    /// Commit command + acknowledgment handshaking across cores.
+    pub handshake: f64,
+    /// Writing architectural state (register writes + store drain).
+    pub arch_update: f64,
+}
+
+impl CommitLatencyBreakdown {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.handshake + self.arch_update
+    }
+}
+
+/// Counters for one logical processor's run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Cycles until this processor halted.
+    pub cycles: u64,
+    /// Blocks committed.
+    pub blocks_committed: u64,
+    /// Blocks squashed (mispredict, violation, or wrong-path).
+    pub blocks_flushed: u64,
+    /// Instructions actually fired (including predicated no-op firings).
+    pub insts_fired: u64,
+    /// Instructions committed in committed blocks (dispatched slots).
+    pub insts_dispatched: u64,
+    /// Integer-class ALU executions.
+    pub int_ops: u64,
+    /// Floating-point executions.
+    pub fp_ops: u64,
+    /// Register-bank reads performed.
+    pub reg_reads: u64,
+    /// Register writes forwarded.
+    pub reg_writes: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Branch mispredictions (target-level).
+    pub mispredicts: u64,
+    /// Load/store ordering violations (pipeline flushes).
+    pub violations: u64,
+    /// Memory requests retried after an LSQ NACK.
+    pub nack_retries: u64,
+    /// Next-block predictor counters.
+    pub predictor: PredictorStats,
+    /// Accumulated fetch-latency components (sums; divide by
+    /// `fetch_samples`).
+    pub fetch_lat_sum: FetchLatencyBreakdown,
+    /// Blocks contributing to `fetch_lat_sum`.
+    pub fetch_samples: u64,
+    /// Accumulated commit-latency components.
+    pub commit_lat_sum: CommitLatencyBreakdown,
+    /// Blocks contributing to `commit_lat_sum`.
+    pub commit_samples: u64,
+}
+
+impl ProcStats {
+    /// Mean fetch-latency breakdown per block.
+    #[must_use]
+    pub fn fetch_latency(&self) -> FetchLatencyBreakdown {
+        let n = self.fetch_samples.max(1) as f64;
+        FetchLatencyBreakdown {
+            prediction: self.fetch_lat_sum.prediction / n,
+            tag_access: self.fetch_lat_sum.tag_access / n,
+            hand_off: self.fetch_lat_sum.hand_off / n,
+            fetch_distribution: self.fetch_lat_sum.fetch_distribution / n,
+            dispatch: self.fetch_lat_sum.dispatch / n,
+        }
+    }
+
+    /// Mean commit-latency breakdown per block.
+    #[must_use]
+    pub fn commit_latency(&self) -> CommitLatencyBreakdown {
+        let n = self.commit_samples.max(1) as f64;
+        CommitLatencyBreakdown {
+            handshake: self.commit_lat_sum.handshake / n,
+            arch_update: self.commit_lat_sum.arch_update / n,
+        }
+    }
+
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts_dispatched as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Chip-level statistics for a completed run (inputs to the power model).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total machine cycles simulated.
+    pub cycles: u64,
+    /// Per-logical-processor counters.
+    pub procs: Vec<ProcStats>,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+    /// Operand-network counters.
+    pub operand_net: MeshStats,
+    /// Control-network counters.
+    pub control_net: MeshStats,
+}
+
+impl RunStats {
+    /// Sums a field across processors.
+    #[must_use]
+    pub fn total_blocks_committed(&self) -> u64 {
+        self.procs.iter().map(|p| p.blocks_committed).sum()
+    }
+
+    /// Total committed instructions across processors.
+    #[must_use]
+    pub fn total_insts(&self) -> u64 {
+        self.procs.iter().map(|p| p.insts_dispatched).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let f = FetchLatencyBreakdown {
+            prediction: 3.0,
+            tag_access: 1.0,
+            hand_off: 2.0,
+            fetch_distribution: 4.0,
+            dispatch: 8.0,
+        };
+        assert!((f.total() - 18.0).abs() < 1e-12);
+        let c = CommitLatencyBreakdown {
+            handshake: 5.0,
+            arch_update: 2.0,
+        };
+        assert!((c.total() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_divide_by_samples() {
+        let mut p = ProcStats::default();
+        p.fetch_lat_sum.dispatch = 30.0;
+        p.fetch_samples = 10;
+        assert!((p.fetch_latency().dispatch - 3.0).abs() < 1e-12);
+        p.commit_lat_sum.handshake = 40.0;
+        p.commit_samples = 20;
+        assert!((p.commit_latency().handshake - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_guards_zero_cycles() {
+        let p = ProcStats::default();
+        assert_eq!(p.ipc(), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end correctness: IR programs compiled to EDGE and run on the
+//! TFlex machine must reproduce the IR interpreter's results at every
+//! composition size and in TRIPS mode.
+
+use clp_compiler::{compile, interpret, CompileOptions, FunctionBuilder, ProgramBuilder};
+use clp_isa::{Opcode, Reg};
+use clp_mem::MemoryImage;
+use clp_sim::{Machine, ProcId, SimConfig};
+
+/// Compiles, runs on `n_cores`, and returns (r1, cycles, machine).
+fn run_on(
+    program: &clp_compiler::Program,
+    args: &[u64],
+    cfg: SimConfig,
+    n_cores: usize,
+    init_mem: &[(u64, Vec<u64>)],
+) -> (u64, u64, Machine, ProcId) {
+    let edge = compile(program, &CompileOptions::default()).expect("compiles");
+    let mut m = Machine::new(cfg);
+    for (addr, words) in init_mem {
+        m.memory_mut().image.load_words(*addr, words);
+    }
+    let pid = m.compose(n_cores, 0, edge, args).expect("composes");
+    let stats = m.run().expect("runs to halt");
+    let r1 = m.register(pid, Reg::new(1));
+    (r1, stats.cycles, m, pid)
+}
+
+fn golden(program: &clp_compiler::Program, args: &[u64], init_mem: &[(u64, Vec<u64>)]) -> (Option<u64>, MemoryImage) {
+    let mut image = MemoryImage::new();
+    for (addr, words) in init_mem {
+        image.load_words(*addr, words);
+    }
+    let r = interpret(program, args, &mut image, 50_000_000).expect("interprets");
+    (r.ret, image)
+}
+
+fn straightline_program() -> clp_compiler::Program {
+    let mut f = FunctionBuilder::new("axpb", 3);
+    let (a, x, b) = (f.param(0), f.param(1), f.param(2));
+    let ax = f.bin(Opcode::Mul, a, x);
+    let y = f.bin(Opcode::Add, ax, b);
+    f.ret(Some(y));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    pb.finish(id)
+}
+
+fn loop_sum_program() -> clp_compiler::Program {
+    let mut f = FunctionBuilder::new("sum", 2);
+    let base = f.param(0);
+    let n = f.param(1);
+    let i = f.c(0);
+    let acc = f.c(0);
+    let (h, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+    f.jump(h);
+    f.switch_to(h);
+    let c = f.bin(Opcode::Tlt, i, n);
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    let eight = f.c(8);
+    let off = f.bin(Opcode::Mul, i, eight);
+    let addr = f.bin(Opcode::Add, base, off);
+    let v = f.load(addr, 0);
+    f.bin_into(acc, Opcode::Add, acc, v);
+    let one = f.c(1);
+    f.bin_into(i, Opcode::Add, i, one);
+    f.jump(h);
+    f.switch_to(exit);
+    f.ret(Some(acc));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    pb.finish(id)
+}
+
+fn branchy_store_program() -> clp_compiler::Program {
+    // Walk an array; store 2*v for even values, v+1 for odd, and count odds.
+    let mut f = FunctionBuilder::new("branchy", 2);
+    let base = f.param(0);
+    let n = f.param(1);
+    let i = f.c(0);
+    let odds = f.c(0);
+    let (h, body, odd_bb, even_bb, next, exit) = (
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+    );
+    f.jump(h);
+    f.switch_to(h);
+    let c = f.bin(Opcode::Tlt, i, n);
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    let eight = f.c(8);
+    let off = f.bin(Opcode::Mul, i, eight);
+    let addr = f.bin(Opcode::Add, base, off);
+    let v = f.load(addr, 0);
+    let one = f.c(1);
+    let bit = f.bin(Opcode::And, v, one);
+    f.branch(bit, odd_bb, even_bb);
+    f.switch_to(odd_bb);
+    let vp1 = f.bin(Opcode::Add, v, one);
+    f.store(addr, 0, vp1);
+    f.bin_into(odds, Opcode::Add, odds, one);
+    f.jump(next);
+    f.switch_to(even_bb);
+    let two = f.c(2);
+    let v2 = f.bin(Opcode::Mul, v, two);
+    f.store(addr, 0, v2);
+    f.jump(next);
+    f.switch_to(next);
+    f.bin_into(i, Opcode::Add, i, one);
+    f.jump(h);
+    f.switch_to(exit);
+    f.ret(Some(odds));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    pb.finish(id)
+}
+
+fn call_program() -> clp_compiler::Program {
+    // entry(n) = fib(n) by naive double recursion: exercises calls,
+    // returns, the RAS, and stack save/restore.
+    let mut pb = ProgramBuilder::new();
+    let fib = pb.declare();
+    let mut f = FunctionBuilder::new("fib", 1);
+    let n = f.param(0);
+    let two = f.c(2);
+    let small = f.bin(Opcode::Tlt, n, two);
+    let (base_bb, rec_bb, cont1, cont2) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.branch(small, base_bb, rec_bb);
+    f.switch_to(base_bb);
+    f.ret(Some(n));
+    f.switch_to(rec_bb);
+    let one = f.c(1);
+    let nm1 = f.bin(Opcode::Sub, n, one);
+    let a = f.vreg();
+    f.call(fib, &[nm1], Some(a), cont1);
+    f.switch_to(cont1);
+    let two2 = f.c(2);
+    let nm2 = f.bin(Opcode::Sub, n, two2);
+    let b = f.vreg();
+    f.call(fib, &[nm2], Some(b), cont2);
+    f.switch_to(cont2);
+    let s = f.bin(Opcode::Add, a, b);
+    f.ret(Some(s));
+    pb.set_function(fib, f.finish());
+    pb.finish(fib)
+}
+
+#[test]
+fn straightline_matches_interpreter_on_all_compositions() {
+    let p = straightline_program();
+    let args = [3u64, 7, 11];
+    let (ret, _) = golden(&p, &args, &[]);
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let (r1, cycles, _, _) = run_on(&p, &args, SimConfig::tflex(), n, &[]);
+        assert_eq!(Some(r1), ret, "wrong result on {n} cores");
+        assert!(cycles > 0 && cycles < 10_000, "cycles {cycles} on {n} cores");
+    }
+}
+
+#[test]
+fn loop_matches_interpreter_on_all_compositions() {
+    let p = loop_sum_program();
+    let data: Vec<u64> = (1..=40).collect();
+    let mem = vec![(0x1000u64, data.clone())];
+    let args = [0x1000u64, data.len() as u64];
+    let (ret, _) = golden(&p, &args, &mem);
+    assert_eq!(ret, Some((1..=40).sum::<u64>()));
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let (r1, _, _, _) = run_on(&p, &args, SimConfig::tflex(), n, &mem);
+        assert_eq!(Some(r1), ret, "wrong sum on {n} cores");
+    }
+}
+
+#[test]
+fn branchy_stores_match_interpreter_and_memory() {
+    let p = branchy_store_program();
+    let data: Vec<u64> = (0..32).map(|i| (i * 7 + 3) % 23).collect();
+    let mem = vec![(0x2000u64, data.clone())];
+    let args = [0x2000u64, data.len() as u64];
+    let (ret, gimage) = golden(&p, &args, &mem);
+    for n in [1usize, 2, 4, 8, 32] {
+        let (r1, _, m, _) = run_on(&p, &args, SimConfig::tflex(), n, &mem);
+        assert_eq!(Some(r1), ret, "odd count differs on {n} cores");
+        let got = m.memory().image.read_words(0x2000, data.len());
+        let want = gimage.read_words(0x2000, data.len());
+        assert_eq!(got, want, "memory differs on {n} cores");
+    }
+}
+
+#[test]
+fn recursion_matches_interpreter() {
+    let p = call_program();
+    let (ret, _) = golden(&p, &[10], &[]);
+    assert_eq!(ret, Some(55));
+    for n in [1usize, 4, 16] {
+        let (r1, _, _, _) = run_on(&p, &[10], SimConfig::tflex(), n, &[]);
+        assert_eq!(r1, 55, "fib(10) wrong on {n} cores");
+    }
+}
+
+#[test]
+fn trips_mode_is_functionally_identical() {
+    let p = branchy_store_program();
+    let data: Vec<u64> = (0..24).map(|i| i * 3 + 1).collect();
+    let mem = vec![(0x3000u64, data.clone())];
+    let args = [0x3000u64, data.len() as u64];
+    let (ret, _) = golden(&p, &args, &mem);
+    let (r1, cycles, _, _) = run_on(&p, &args, SimConfig::trips(), 16, &mem);
+    assert_eq!(Some(r1), ret);
+    assert!(cycles > 0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let p = branchy_store_program();
+    let data: Vec<u64> = (0..16).collect();
+    let mem = vec![(0x4000u64, data.clone())];
+    let args = [0x4000u64, data.len() as u64];
+    let (_, c1, _, _) = run_on(&p, &args, SimConfig::tflex(), 8, &mem);
+    let (_, c2, _, _) = run_on(&p, &args, SimConfig::tflex(), 8, &mem);
+    assert_eq!(c1, c2, "same config must give identical cycle counts");
+}
+
+#[test]
+fn composition_speeds_up_a_parallel_loop() {
+    // A loop with plenty of ILP should run faster on more cores.
+    let p = loop_sum_program();
+    let data: Vec<u64> = (0..200).collect();
+    let mem = vec![(0x8000u64, data.clone())];
+    let args = [0x8000u64, data.len() as u64];
+    let (_, c1, _, _) = run_on(&p, &args, SimConfig::tflex(), 1, &mem);
+    let (_, c16, _, _) = run_on(&p, &args, SimConfig::tflex(), 16, &mem);
+    assert!(
+        c16 < c1,
+        "16 cores ({c16} cycles) should beat 1 core ({c1} cycles)"
+    );
+}
+
+#[test]
+fn stats_are_populated() {
+    let p = loop_sum_program();
+    let data: Vec<u64> = (0..50).collect();
+    let mem = vec![(0x5000u64, data.clone())];
+    let args = [0x5000u64, data.len() as u64];
+    let edge = compile(&p, &CompileOptions::default()).expect("compiles");
+    let mut m = Machine::new(SimConfig::tflex());
+    m.memory_mut().image.load_words(0x5000, &data);
+    let _ = m.compose(8, 0, edge, &args).unwrap();
+    let stats = m.run().unwrap();
+    let ps = &stats.procs[0];
+    assert!(ps.blocks_committed > 40, "blocks {}", ps.blocks_committed);
+    assert!(ps.loads >= 50, "loads {}", ps.loads);
+    assert!(ps.reg_reads > 0 && ps.reg_writes > 0);
+    assert!(ps.predictor.predictions > 0);
+    assert!(stats.mem.l1d_hits > 0);
+    assert!(stats.operand_net.delivered > 0, "mesh should carry operands");
+    assert!(ps.fetch_samples > 0 && ps.commit_samples > 0);
+    assert!(ps.fetch_latency().dispatch >= 0.0);
+}

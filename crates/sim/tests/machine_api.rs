@@ -1,0 +1,188 @@
+//! API-level tests of the [`Machine`]: composition validation, register
+//! initialization, address-space bases, and error reporting.
+
+use clp_compiler::{compile, CompileOptions, FunctionBuilder, ProgramBuilder};
+use clp_isa::{Opcode, Reg};
+use clp_sim::{ComposeError, Machine, RunError, SimConfig};
+
+fn tiny_program() -> clp_isa::EdgeProgram {
+    let mut f = FunctionBuilder::new("t", 2);
+    let a = f.param(0);
+    let b = f.param(1);
+    let s = f.bin(Opcode::Add, a, b);
+    f.ret(Some(s));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    compile(&pb.finish(id), &CompileOptions::default()).expect("compiles")
+}
+
+#[test]
+fn compose_rejects_overlap_and_bad_sizes() {
+    let mut m = Machine::new(SimConfig::tflex());
+    let p = tiny_program();
+    assert!(m.compose(3, 0, p.clone(), &[]).is_err(), "non power of two");
+    assert!(m.compose(64, 0, p.clone(), &[]).is_err(), "too big");
+    m.compose(16, 0, p.clone(), &[]).expect("first half");
+    let err = m.compose(32, 0, p.clone(), &[]).unwrap_err();
+    assert!(matches!(err, ComposeError::CoreBusy(_)), "{err}");
+    // The second 16-core region is still free.
+    m.compose(16, 1, p, &[]).expect("second half");
+}
+
+#[test]
+fn arguments_arrive_in_r1_and_up() {
+    let mut m = Machine::new(SimConfig::tflex());
+    let pid = m.compose(2, 0, tiny_program(), &[40, 2]).unwrap();
+    m.run().expect("runs");
+    assert_eq!(m.register(pid, Reg::new(1)), 42);
+    assert!(m.is_halted(pid));
+}
+
+#[test]
+fn address_spaces_are_disjoint_per_processor() {
+    let mut m = Machine::new(SimConfig::tflex());
+    let a = m.compose(4, 0, tiny_program(), &[1, 1]).unwrap();
+    let b = m.compose(4, 1, tiny_program(), &[2, 2]).unwrap();
+    assert_ne!(m.addr_base(a), m.addr_base(b));
+    m.run().expect("both run");
+    assert_eq!(m.register(a, Reg::new(1)), 2);
+    assert_eq!(m.register(b, Reg::new(1)), 4);
+}
+
+#[test]
+fn cycle_limit_is_reported() {
+    // An infinite loop must hit the budget, not hang.
+    let mut f = FunctionBuilder::new("spin", 0);
+    let h = f.new_block();
+    f.jump(h);
+    f.switch_to(h);
+    let x = f.c(1);
+    let y = f.c(0);
+    let c = f.bin(Opcode::Tgt, x, y);
+    let exit = f.new_block();
+    f.branch(c, h, exit);
+    f.switch_to(exit);
+    f.ret(None);
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    let edge = compile(&pb.finish(id), &CompileOptions::default()).unwrap();
+
+    let mut cfg = SimConfig::tflex();
+    cfg.max_cycles = 5_000;
+    let mut m = Machine::new(cfg);
+    m.compose(2, 0, edge, &[]).unwrap();
+    assert_eq!(m.run(), Err(RunError::CycleLimit(5_000)));
+}
+
+#[test]
+fn snapshot_is_informative() {
+    let mut m = Machine::new(SimConfig::tflex());
+    let _ = m.compose(2, 0, tiny_program(), &[1, 2]).unwrap();
+    for _ in 0..3 {
+        m.step();
+    }
+    let snap = m.debug_snapshot();
+    assert!(snap.contains("proc0"), "{snap}");
+    assert!(snap.contains("cycle"), "{snap}");
+}
+
+#[test]
+fn error_types_render() {
+    assert_eq!(
+        RunError::CycleLimit(7).to_string(),
+        "exceeded cycle budget of 7"
+    );
+    assert!(RunError::Deadlock { cycle: 3 }.to_string().contains("3"));
+    assert!(ComposeError::CoreBusy(5).to_string().contains("5"));
+}
+
+#[test]
+fn stats_collected_even_for_multi_proc_runs() {
+    let mut m = Machine::new(SimConfig::tflex());
+    let _ = m.compose(8, 0, tiny_program(), &[3, 4]).unwrap();
+    let _ = m.compose(8, 1, tiny_program(), &[5, 6]).unwrap();
+    let stats = m.run().expect("runs");
+    assert_eq!(stats.procs.len(), 2);
+    for p in &stats.procs {
+        assert!(p.blocks_committed >= 2, "start + body blocks commit");
+        assert!(p.cycles > 0);
+    }
+}
+
+#[test]
+fn decompose_and_recompose_hand_data_over_coherently() {
+    // Phase 1: one core computes and commits results.
+    let producer = {
+        let mut f = FunctionBuilder::new("produce", 1);
+        let base = f.param(0);
+        let n = f.c(16);
+        let i = f.c(0);
+        let (h, b, x) = (f.new_block(), f.new_block(), f.new_block());
+        f.jump(h);
+        f.switch_to(h);
+        let c = f.bin(Opcode::Tlt, i, n);
+        f.branch(c, b, x);
+        f.switch_to(b);
+        let three = f.c(3);
+        let off = f.bin(Opcode::Shl, i, three);
+        let addr = f.bin(Opcode::Add, base, off);
+        let sq = f.bin(Opcode::Mul, i, i);
+        f.store(addr, 0, sq);
+        let one = f.c(1);
+        f.bin_into(i, Opcode::Add, i, one);
+        f.jump(h);
+        f.switch_to(x);
+        f.ret(Some(i));
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_function(f.finish());
+        compile(&pb.finish(id), &CompileOptions::default()).unwrap()
+    };
+    // Phase 2: an 8-core composition over the SAME cores sums the data.
+    let consumer = {
+        let mut f = FunctionBuilder::new("consume", 1);
+        let base = f.param(0);
+        let n = f.c(16);
+        let acc = f.c(0);
+        let i = f.c(0);
+        let (h, b, x) = (f.new_block(), f.new_block(), f.new_block());
+        f.jump(h);
+        f.switch_to(h);
+        let c = f.bin(Opcode::Tlt, i, n);
+        f.branch(c, b, x);
+        f.switch_to(b);
+        let three = f.c(3);
+        let off = f.bin(Opcode::Shl, i, three);
+        let addr = f.bin(Opcode::Add, base, off);
+        let v = f.load(addr, 0);
+        f.bin_into(acc, Opcode::Add, acc, v);
+        let one = f.c(1);
+        f.bin_into(i, Opcode::Add, i, one);
+        f.jump(h);
+        f.switch_to(x);
+        f.ret(Some(acc));
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_function(f.finish());
+        compile(&pb.finish(id), &CompileOptions::default()).unwrap()
+    };
+
+    let mut m = Machine::new(SimConfig::tflex());
+    let p1 = m.compose(1, 0, producer, &[0x7000]).unwrap();
+    m.run().expect("producer runs");
+    let base = m.addr_base(p1);
+    m.decompose(p1);
+
+    // Recompose the (overlapping) region at 8 cores in the same address
+    // space; the new interleaving reads the old core's committed data
+    // through the directory.
+    let p2 = m
+        .compose_at(8, 0, consumer, &[0x7000], base)
+        .expect("recomposes over freed cores");
+    m.run().expect("consumer runs");
+    let want: u64 = (0..16u64).map(|i| i * i).sum();
+    assert_eq!(m.register(p2, Reg::new(1)), want);
+    let stats = m.memory().stats();
+    assert!(
+        stats.dirty_forwards + stats.invalidations > 0,
+        "recomposition must exercise the coherence protocol"
+    );
+}

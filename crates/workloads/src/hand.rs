@@ -1,0 +1,208 @@
+//! The three hand-optimized kernels: `conv`, `ct`, `genalg`.
+//!
+//! "Hand-optimized" here means what it meant for TRIPS: loop bodies are
+//! unrolled and scheduled to fill hyperblocks with independent work.
+
+use crate::util::{for_loop, idx8, Lcg};
+use crate::{CheckSpec, IlpClass, Workload, WorkloadClass};
+use clp_compiler::{FunctionBuilder, ProgramBuilder};
+use clp_isa::Opcode;
+
+const IN: u64 = 0x1_0000_0000;
+const OUT: u64 = 0x1_0001_0000;
+const TAPS: u64 = 0x1_0002_0000;
+
+/// `conv`: an 8-tap FIR filter with the inner product fully unrolled
+/// (high ILP: eight independent multiplies per output).
+#[must_use]
+pub fn conv() -> Workload {
+    let n_out = 160usize;
+    let mut f = FunctionBuilder::new("conv", 3);
+    let input = f.param(0);
+    let out = f.param(1);
+    let taps = f.param(2);
+    // Preload the eight taps into registers (hand optimization).
+    let tap_regs: Vec<_> = (0..8)
+        .map(|k| {
+            let t = f.c(8 * k);
+            let a = f.bin(Opcode::Add, taps, t);
+            f.load(a, 0)
+        })
+        .collect();
+    let n = f.c(n_out as i64);
+    for_loop(&mut f, n, |f, i| {
+        let base = idx8(f, input, i);
+        let mut acc = f.c(0);
+        for (k, &tap) in tap_regs.iter().enumerate() {
+            let x = f.load(base, 8 * k as i64);
+            let prod = f.bin(Opcode::Mul, x, tap);
+            acc = f.bin(Opcode::Add, acc, prod);
+        }
+        let dst = idx8(f, out, i);
+        f.store(dst, 0, acc);
+    });
+    let zero = f.c(0);
+    f.ret(Some(zero));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+
+    let mut rng = Lcg::new(0xC0);
+    Workload {
+        name: "conv",
+        class: WorkloadClass::HandOptimized,
+        ilp: IlpClass::High,
+        program: pb.finish(id),
+        args: vec![IN, OUT, TAPS],
+        init_mem: vec![
+            (IN, rng.words(n_out + 8, 100)),
+            (TAPS, rng.words(8, 16)),
+        ],
+        check: CheckSpec {
+            check_ret: true,
+            regions: vec![(OUT, n_out)],
+        },
+    }
+}
+
+/// `ct`: divide-and-conquer checksum over an array via recursion
+/// (exercises calls, returns, the distributed RAS, and stack frames).
+#[must_use]
+pub fn ct() -> Workload {
+    let n = 128usize;
+    let mut pb = ProgramBuilder::new();
+    let tree = pb.declare();
+
+    // fn tree(base, lo, hi): if hi-lo <= 4 -> serial sum; else split.
+    let mut f = FunctionBuilder::new("tree", 3);
+    let base = f.param(0);
+    let lo = f.param(1);
+    let hi = f.param(2);
+    let span = f.bin(Opcode::Sub, hi, lo);
+    let four = f.c(4);
+    let small = f.bin(Opcode::Tle, span, four);
+    let (leaf, split, cont1, cont2) =
+        (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    f.branch(small, leaf, split);
+    // Leaf: serial sum of up to four elements.
+    f.switch_to(leaf);
+    let acc = f.c(0);
+    let j = f.vreg();
+    f.assign(j, lo);
+    let (lh, lb, lx) = (f.new_block(), f.new_block(), f.new_block());
+    f.jump(lh);
+    f.switch_to(lh);
+    let c = f.bin(Opcode::Tlt, j, hi);
+    f.branch(c, lb, lx);
+    f.switch_to(lb);
+    let a = idx8(&mut f, base, j);
+    let v = f.load(a, 0);
+    // Mix so order matters: acc = acc*3 + v.
+    let three = f.c(3);
+    let t = f.bin(Opcode::Mul, acc, three);
+    f.bin_into(acc, Opcode::Add, t, v);
+    let one = f.c(1);
+    f.bin_into(j, Opcode::Add, j, one);
+    f.jump(lh);
+    f.switch_to(lx);
+    f.ret(Some(acc));
+    // Split: mid = (lo+hi)/2; tree(lo,mid) then tree(mid,hi).
+    f.switch_to(split);
+    let sum_lo_hi = f.bin(Opcode::Add, lo, hi);
+    let two = f.c(2);
+    let mid = f.bin(Opcode::Div, sum_lo_hi, two);
+    let left = f.vreg();
+    f.call(tree, &[base, lo, mid], Some(left), cont1);
+    f.switch_to(cont1);
+    let right = f.vreg();
+    f.call(tree, &[base, mid, hi], Some(right), cont2);
+    f.switch_to(cont2);
+    let seven = f.c(7);
+    let lm = f.bin(Opcode::Mul, left, seven);
+    let s = f.bin(Opcode::Add, lm, right);
+    f.ret(Some(s));
+    pb.set_function(tree, f.finish());
+
+    let mut rng = Lcg::new(0xC7);
+    Workload {
+        name: "ct",
+        class: WorkloadClass::HandOptimized,
+        ilp: IlpClass::Low,
+        program: pb.finish(tree),
+        args: vec![IN, 0, n as u64],
+        init_mem: vec![(IN, rng.words(n, 1000))],
+        check: CheckSpec {
+            check_ret: true,
+            regions: vec![],
+        },
+    }
+}
+
+/// `genalg`: one generation of a toy genetic algorithm — fitness
+/// evaluation plus a conditional selection/crossover sweep (mixed ILP,
+/// data-dependent branches).
+#[must_use]
+pub fn genalg() -> Workload {
+    let pop = 96usize;
+    const FIT: u64 = 0x1_0003_0000;
+    let mut f = FunctionBuilder::new("genalg", 3);
+    let genes = f.param(0);
+    let fit = f.param(1);
+    let npop = f.param(2);
+    // Fitness: f(g) = popcount-ish via shifts (4 steps, unrolled).
+    for_loop(&mut f, npop, |f, i| {
+        let ga = idx8(f, genes, i);
+        let g = f.load(ga, 0);
+        let mut score = f.c(0);
+        for shift in [0i64, 13, 27, 45] {
+            let sh = f.c(shift);
+            let part = f.bin(Opcode::Shr, g, sh);
+            let mask = f.c(0x3ff);
+            let bits = f.bin(Opcode::And, part, mask);
+            score = f.bin(Opcode::Add, score, bits);
+        }
+        let fa = idx8(f, fit, i);
+        f.store(fa, 0, score);
+    });
+    // Selection sweep: neighbors tournament; winner's gene overwrites
+    // loser, mutated by XOR of the index.
+    let nm1 = {
+        let one = f.c(1);
+        f.bin(Opcode::Sub, npop, one)
+    };
+    let total = f.c(0);
+    for_loop(&mut f, nm1, |f, i| {
+        let fa = idx8(f, fit, i);
+        let cur = f.load(fa, 0);
+        let nxt = f.load(fa, 8);
+        let worse = f.bin(Opcode::Tlt, cur, nxt);
+        let (take_next, keep, join) = (f.new_block(), f.new_block(), f.new_block());
+        f.branch(worse, take_next, keep);
+        f.switch_to(take_next);
+        let ga = idx8(f, genes, i);
+        let g_next = f.load(ga, 8);
+        let mut_g = f.bin(Opcode::Xor, g_next, i);
+        f.store(ga, 0, mut_g);
+        f.jump(join);
+        f.switch_to(keep);
+        f.bin_into(total, Opcode::Add, total, cur);
+        f.jump(join);
+        f.switch_to(join);
+    });
+    f.ret(Some(total));
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+
+    let mut rng = Lcg::new(0x6A);
+    Workload {
+        name: "genalg",
+        class: WorkloadClass::HandOptimized,
+        ilp: IlpClass::Low,
+        program: pb.finish(id),
+        args: vec![IN, FIT, pop as u64],
+        init_mem: vec![(IN, rng.words(pop, u64::MAX / 2))],
+        check: CheckSpec {
+            check_ret: true,
+            regions: vec![(IN, pop), (FIT, pop)],
+        },
+    }
+}

@@ -1,0 +1,67 @@
+//! The benchmark suite registry.
+
+use crate::{eembc, hand, spec_fp, spec_int, versabench, Workload, WorkloadClass};
+
+/// All 26 workloads, in the paper's Figure 6 grouping: hand-optimized,
+/// EEMBC, Versabench, SPEC INT, then SPEC FP.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    vec![
+        hand::conv(),
+        hand::ct(),
+        hand::genalg(),
+        eembc::a2time(),
+        eembc::autocor(),
+        eembc::basefp(),
+        eembc::bezier(),
+        eembc::dither(),
+        eembc::rspeed(),
+        eembc::tblook(),
+        versabench::dot11b(),
+        versabench::b8b10(),
+        spec_int::gzip(),
+        spec_int::bzip2(),
+        spec_int::mcf(),
+        spec_int::parser(),
+        spec_int::twolf(),
+        spec_int::vpr(),
+        spec_int::gcc(),
+        spec_int::perlbmk(),
+        spec_fp::swim(),
+        spec_fp::mgrid(),
+        spec_fp::applu(),
+        spec_fp::art(),
+        spec_fp::equake(),
+        spec_fp::ammp(),
+    ]
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The 12 hand-optimized benchmarks used by the multiprogramming study
+/// (Figure 10): hand kernels + EEMBC + Versabench.
+#[must_use]
+pub fn hand_optimized() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| {
+            matches!(
+                w.class,
+                WorkloadClass::HandOptimized | WorkloadClass::Eembc | WorkloadClass::Versabench
+            )
+        })
+        .collect()
+}
+
+/// The 14 compiled (SPEC-like) benchmarks.
+#[must_use]
+pub fn compiled() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| matches!(w.class, WorkloadClass::SpecInt | WorkloadClass::SpecFp))
+        .collect()
+}

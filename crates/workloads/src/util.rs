@@ -1,0 +1,141 @@
+//! Shared helpers for kernel construction: loop scaffolds and
+//! deterministic pseudo-random data.
+
+use clp_compiler::{FunctionBuilder, VReg};
+use clp_isa::Opcode;
+
+/// Deterministic 64-bit LCG for reproducible input data.
+pub(crate) struct Lcg(u64);
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    /// A value in `0..bound`.
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// An `f64` in `[0, 1)`, stored as bits.
+    pub(crate) fn f64_bits(&mut self) -> u64 {
+        let x = (self.next() % 1_000_000) as f64 / 1_000_000.0;
+        x.to_bits()
+    }
+
+    pub(crate) fn words(&mut self, n: usize, bound: u64) -> Vec<u64> {
+        (0..n).map(|_| self.below(bound)).collect()
+    }
+
+    pub(crate) fn f64_words(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.f64_bits()).collect()
+    }
+}
+
+/// Emits `for i in 0..n { body }` with stride 1; leaves the cursor in the
+/// exit block and returns the induction register.
+pub(crate) fn for_loop(
+    f: &mut FunctionBuilder,
+    n: VReg,
+    mut body: impl FnMut(&mut FunctionBuilder, VReg),
+) -> VReg {
+    for_loop_step(f, n, 1, &mut body)
+}
+
+/// Emits `for i in 0..n step s { body }`.
+pub(crate) fn for_loop_step(
+    f: &mut FunctionBuilder,
+    n: VReg,
+    step: i64,
+    body: &mut dyn FnMut(&mut FunctionBuilder, VReg),
+) -> VReg {
+    let i = f.c(0);
+    let header = f.new_block();
+    let body_bb = f.new_block();
+    let exit = f.new_block();
+    f.jump(header);
+    f.switch_to(header);
+    let c = f.bin(Opcode::Tlt, i, n);
+    f.branch(c, body_bb, exit);
+    f.switch_to(body_bb);
+    body(f, i);
+    let s = f.c(step);
+    f.bin_into(i, Opcode::Add, i, s);
+    f.jump(header);
+    f.switch_to(exit);
+    i
+}
+
+/// `base + 8*i` addressing: returns the address register of element `i`.
+pub(crate) fn idx8(f: &mut FunctionBuilder, base: VReg, i: VReg) -> VReg {
+    let three = f.c(3);
+    let off = f.bin(Opcode::Shl, i, three);
+    f.bin(Opcode::Add, base, off)
+}
+
+/// `base + i` addressing for byte arrays.
+pub(crate) fn idx1(f: &mut FunctionBuilder, base: VReg, i: VReg) -> VReg {
+    f.bin(Opcode::Add, base, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clp_compiler::{interpret, ProgramBuilder};
+    use clp_mem::MemoryImage;
+
+    #[test]
+    fn lcg_is_deterministic_and_bounded() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..100 {
+            let x = a.below(50);
+            assert_eq!(x, b.below(50));
+            assert!(x < 50);
+        }
+        assert_ne!(Lcg::new(1).next(), Lcg::new(2).next());
+    }
+
+    #[test]
+    fn for_loop_scaffold_counts() {
+        let mut f = FunctionBuilder::new("count", 1);
+        let n = f.param(0);
+        let acc = f.c(0);
+        for_loop(&mut f, n, |f, _i| {
+            let one = f.c(1);
+            f.bin_into(acc, Opcode::Add, acc, one);
+        });
+        f.ret(Some(acc));
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_function(f.finish());
+        let p = pb.finish(id);
+        let mut image = MemoryImage::new();
+        let r = interpret(&p, &[17], &mut image, 10_000).unwrap();
+        assert_eq!(r.ret, Some(17));
+    }
+
+    #[test]
+    fn idx8_computes_word_addresses() {
+        let mut f = FunctionBuilder::new("ld3", 1);
+        let base = f.param(0);
+        let three = f.c(3);
+        let addr = idx8(&mut f, base, three);
+        let v = f.load(addr, 0);
+        f.ret(Some(v));
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_function(f.finish());
+        let p = pb.finish(id);
+        let mut image = MemoryImage::new();
+        image.load_words(0x100, &[10, 11, 12, 13]);
+        let r = interpret(&p, &[0x100], &mut image, 1_000).unwrap();
+        assert_eq!(r.ret, Some(13));
+    }
+}

@@ -1,0 +1,38 @@
+//! Adaptive composition: the paper's future-work story (§8) — run-time
+//! software monitors a thread and grows or shrinks its processor to the
+//! goal at hand, with no recompilation between epochs.
+//!
+//! ```sh
+//! cargo run --release --example adaptive [workload]
+//! ```
+
+use clp::core::{adapt_composition, AdaptGoal};
+use clp::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "conv".into());
+    let workload = suite::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload '{name}'"));
+
+    for (goal, label) in [
+        (AdaptGoal::Performance, "performance      "),
+        (AdaptGoal::AreaEfficiency, "area efficiency  "),
+        (AdaptGoal::PowerEfficiency, "power efficiency "),
+    ] {
+        let out = adapt_composition(&workload, goal, 4)?;
+        let path: Vec<String> = out
+            .history
+            .iter()
+            .map(|s| format!("{}c({})", s.cores, s.cycles))
+            .collect();
+        println!(
+            "{label} -> {:>2} cores   search path: {}",
+            out.cores,
+            path.join(" -> ")
+        );
+    }
+    println!();
+    println!("Same binary, three operating points — the composable array");
+    println!("moves between them at run time (cf. §8 of the paper).");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Workspace integration test: every workload in the suite runs
+//! correctly (verified against the reference interpreter) on a sample of
+//! TFlex compositions, on the TRIPS baseline configuration, and on the
+//! conventional out-of-order reference.
+
+use clp::baseline::{run_baseline, BaselineConfig};
+use clp::core::{compile_workload, run_compiled, ProcessorConfig};
+use clp::workloads::suite;
+
+#[test]
+fn every_workload_correct_on_tflex_1_and_8() {
+    for w in suite::all() {
+        let cw = compile_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for n in [1usize, 8] {
+            let r = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{} on {n} cores: {e}", w.name));
+            assert!(r.correct, "{} on {n} cores", w.name);
+            assert!(r.stats.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn every_workload_correct_on_tflex_2_16_32() {
+    for w in suite::all() {
+        let cw = compile_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for n in [2usize, 16, 32] {
+            let r = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                .unwrap_or_else(|e| panic!("{} on {n} cores: {e}", w.name));
+            assert!(r.correct, "{} on {n} cores", w.name);
+        }
+    }
+}
+
+#[test]
+fn every_workload_correct_on_trips() {
+    for w in suite::all() {
+        let cw = compile_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let r = run_compiled(&cw, &ProcessorConfig::trips())
+            .unwrap_or_else(|e| panic!("{} on TRIPS: {e}", w.name));
+        assert!(r.correct, "{} on TRIPS", w.name);
+    }
+}
+
+#[test]
+fn every_workload_correct_on_the_ooo_baseline() {
+    for w in suite::all() {
+        let golden = w.golden();
+        let r = run_baseline(&w.program, &w.args, &w.init_mem, &BaselineConfig::core2());
+        if w.check.check_ret {
+            assert_eq!(r.ret, golden.ret, "{} return value", w.name);
+        }
+        for &(base, len) in &w.check.regions {
+            for k in 0..len {
+                let a = base + 8 * k as u64;
+                assert_eq!(
+                    r.image.read_u64(a),
+                    golden.image.read_u64(a),
+                    "{} mem[{a:#x}]",
+                    w.name
+                );
+            }
+        }
+        assert!(r.cycles > 100, "{} suspiciously fast", w.name);
+    }
+}

@@ -1,0 +1,113 @@
+//! Shape-regression tests: pin the qualitative results the paper's
+//! figures claim, so refactors cannot silently flatten a curve or flip a
+//! comparison. (Exact cycle counts are free to drift; these inequalities
+//! are not.)
+
+use clp::core::{compile_workload, run_compiled, ProcessorConfig};
+use clp::power::{perf2_per_watt, perf_per_area};
+use clp::workloads::suite;
+
+fn cycles(name: &str, cores: usize) -> (u64, clp::core::RunOutcome) {
+    let cw = compile_workload(&suite::by_name(name).unwrap()).unwrap();
+    let r = run_compiled(&cw, &ProcessorConfig::tflex(cores)).unwrap();
+    (r.stats.cycles, r)
+}
+
+/// Fig. 6 shape: a high-ILP kernel speeds up substantially toward
+/// mid-size compositions; a serial kernel does not.
+#[test]
+fn high_ilp_scales_low_ilp_does_not() {
+    let (a1, _) = cycles("autocor", 1);
+    let (a8, _) = cycles("autocor", 8);
+    assert!(
+        a1 as f64 / a8 as f64 > 2.0,
+        "autocor speedup at 8 cores: {:.2}",
+        a1 as f64 / a8 as f64
+    );
+    // tblook (dependent-branch binary search, tiny footprint) gains
+    // little from more cores. (mcf is deliberately NOT used here: its
+    // pointer chase speeds up from composed L1 *capacity*, which is a
+    // real TFlex effect the paper calls out, not an ILP effect.)
+    let (t1, _) = cycles("tblook", 1);
+    let (t32, _) = cycles("tblook", 32);
+    assert!(
+        t1 as f64 / (t32 as f64) < 2.0,
+        "tblook must not scale like a parallel kernel"
+    );
+}
+
+/// Fig. 6 shape: 32 cores is past the knee for most work — bigger is not
+/// always faster.
+#[test]
+fn thirty_two_cores_is_past_the_knee_for_serial_code() {
+    let (t4, _) = cycles("tblook", 4);
+    let (t32, _) = cycles("tblook", 32);
+    assert!(
+        t32 > t4,
+        "tblook at 32 cores ({t32}) should be slower than at 4 ({t4})"
+    );
+}
+
+/// Fig. 7 shape: area efficiency peaks at small compositions.
+#[test]
+fn area_efficiency_peaks_small() {
+    for name in ["conv", "gcc"] {
+        let (c1, r1) = cycles(name, 1);
+        let (c16, r16) = cycles(name, 16);
+        let e1 = perf_per_area(c1, r1.area_mm2);
+        let e16 = perf_per_area(c16, r16.area_mm2);
+        assert!(e1 > e16, "{name}: 1-core must be more area-efficient");
+    }
+}
+
+/// Fig. 8 shape: power efficiency peaks strictly between the extremes
+/// for a kernel with moderate ILP.
+#[test]
+fn power_efficiency_peaks_in_the_middle() {
+    let (c1, r1) = cycles("conv", 1);
+    let (c4, r4) = cycles("conv", 4);
+    let (c32, r32) = cycles("conv", 32);
+    let e1 = perf2_per_watt(c1, r1.power.total());
+    let e4 = perf2_per_watt(c4, r4.power.total());
+    let e32 = perf2_per_watt(c32, r32.power.total());
+    assert!(e4 > e1, "4 cores should beat 1 on perf^2/W for conv");
+    assert!(e4 > e32, "4 cores should beat 32 on perf^2/W for conv");
+}
+
+/// Fig. 6's TRIPS comparison: the 8-core TFlex (same issue width and
+/// area) is at least as fast as the TRIPS baseline on high-ILP kernels.
+#[test]
+fn eight_core_tflex_matches_or_beats_trips() {
+    for name in ["conv", "autocor", "art"] {
+        let cw = compile_workload(&suite::by_name(name).unwrap()).unwrap();
+        let tflex = run_compiled(&cw, &ProcessorConfig::tflex(8)).unwrap();
+        let trips = run_compiled(&cw, &ProcessorConfig::trips()).unwrap();
+        assert!(
+            tflex.stats.cycles <= trips.stats.cycles * 11 / 10,
+            "{name}: 8-core TFlex ({}) should not lose badly to TRIPS ({})",
+            tflex.stats.cycles,
+            trips.stats.cycles
+        );
+    }
+}
+
+/// Fig. 5's window argument: the EDGE machine's large distributed window
+/// wins on memory-latency-bound pointer chasing.
+#[test]
+fn trips_beats_the_ooo_baseline_on_mcf() {
+    let w = suite::by_name("mcf").unwrap();
+    let cw = compile_workload(&w).unwrap();
+    let trips = run_compiled(&cw, &ProcessorConfig::trips()).unwrap();
+    let base = clp::baseline::run_baseline(
+        &w.program,
+        &w.args,
+        &w.init_mem,
+        &clp::baseline::BaselineConfig::core2(),
+    );
+    assert!(
+        trips.stats.cycles < base.cycles,
+        "TRIPS ({}) should beat the 96-entry-window baseline ({}) on mcf",
+        trips.stats.cycles,
+        base.cycles
+    );
+}
