@@ -265,7 +265,7 @@ mod tests {
             dp.weighted_speedup,
             best
         );
-        assert_eq!(dp.cores.iter().sum::<usize>() <= 32, true);
+        assert!(dp.cores.iter().sum::<usize>() <= 32);
     }
 
     #[test]
@@ -290,10 +290,7 @@ mod tests {
         let clp = optimal_clp(&curves).weighted_speedup;
         for &g in &SIZES {
             let cmp = fixed_cmp(&curves, g).weighted_speedup;
-            assert!(
-                clp >= cmp - 1e-9,
-                "CLP {clp} must dominate CMP-{g} {cmp}"
-            );
+            assert!(clp >= cmp - 1e-9, "CLP {clp} must dominate CMP-{g} {cmp}");
         }
         let vb = variable_best_cmp(&curves).weighted_speedup;
         assert!(clp >= vb - 1e-9);
@@ -301,8 +298,7 @@ mod tests {
 
     #[test]
     fn fixed_cmp_caps_at_processor_count() {
-        let curves: Vec<SpeedupCurve> =
-            (0..4).map(|i| curve(&format!("w{i}"), 0.5, 8)).collect();
+        let curves: Vec<SpeedupCurve> = (0..4).map(|i| curve(&format!("w{i}"), 0.5, 8)).collect();
         // CMP-16 has two processors: only two apps run.
         let a = fixed_cmp(&curves, 16);
         assert_eq!(a.cores.iter().filter(|&&c| c > 0).count(), 2);
@@ -310,8 +306,7 @@ mod tests {
 
     #[test]
     fn vb_cmp_requires_fitting_all_apps() {
-        let curves: Vec<SpeedupCurve> =
-            (0..8).map(|i| curve(&format!("w{i}"), 0.7, 32)).collect();
+        let curves: Vec<SpeedupCurve> = (0..8).map(|i| curve(&format!("w{i}"), 0.7, 32)).collect();
         let a = variable_best_cmp(&curves);
         // 8 apps: granularity at most 4.
         assert!(a.cores.iter().all(|&c| c <= 4 && c > 0));

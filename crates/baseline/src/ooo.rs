@@ -292,12 +292,8 @@ pub fn run_baseline(
                             ready_at,
                         );
                         let done = issue + u64::from(o.latency());
-                        frame.regs[dst.0 as usize] = value::eval(
-                            *o,
-                            0,
-                            frame.regs[a.0 as usize],
-                            frame.regs[b.0 as usize],
-                        );
+                        frame.regs[dst.0 as usize] =
+                            value::eval(*o, 0, frame.regs[a.0 as usize], frame.regs[b.0 as usize]);
                         frame.ready[dst.0 as usize] = done;
                         done
                     }
@@ -312,9 +308,7 @@ pub fn run_baseline(
                         let line = ea & !63;
                         let dep = last_store_done.get(&line).copied().unwrap_or(0);
                         let issue = unit_issue(&mut mem_free, ready_at.max(dep));
-                        let lat = cache_latency(
-                            &mut l1, &mut l2, &mut stats, cfg, ea, false,
-                        );
+                        let lat = cache_latency(&mut l1, &mut l2, &mut stats, cfg, ea, false);
                         let done = issue + u64::from(lat);
                         frame.regs[dst.0 as usize] = image.read(ea, size.bytes());
                         frame.ready[dst.0 as usize] = done;
@@ -580,7 +574,12 @@ mod tests {
 
         // Small ring (fits L1) vs large stride ring (misses).
         let small: Vec<u64> = (0..8).map(|k| 0x1000 + ((k + 1) % 8) * 8).collect();
-        let rs = run_baseline(&p, &[0x1000, 400], &[(0x1000, small)], &BaselineConfig::core2());
+        let rs = run_baseline(
+            &p,
+            &[0x1000, 400],
+            &[(0x1000, small)],
+            &BaselineConfig::core2(),
+        );
         let big_n = 4096u64;
         let big: Vec<u64> = (0..big_n)
             .map(|k| 0x1000 + (((k + 1) % big_n) * 1024) % (big_n * 8))
@@ -591,7 +590,12 @@ mod tests {
             let next = (k + 1) % big_n;
             big2[(k as usize) * 128] = 0x1000 + next * 1024;
         }
-        let rb = run_baseline(&p, &[0x1000, 400], &[(0x1000, big2)], &BaselineConfig::core2());
+        let rb = run_baseline(
+            &p,
+            &[0x1000, 400],
+            &[(0x1000, big2)],
+            &BaselineConfig::core2(),
+        );
         let _ = big;
         assert!(
             rb.cycles > rs.cycles * 3,

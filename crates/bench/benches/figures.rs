@@ -34,8 +34,7 @@ fn fig5_compare(c: &mut Criterion) {
     let cw = clp_core::compile_workload(&w).expect("compiles");
     c.bench_function("figures/fig5_rspeed", |b| {
         b.iter(|| {
-            let t = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::trips())
-                .expect("runs");
+            let t = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::trips()).expect("runs");
             let base = clp_baseline::run_baseline(
                 &w.program,
                 &w.args,
@@ -68,8 +67,8 @@ fn handshake_ablation(c: &mut Criterion) {
     let cw = clp_core::compile_workload(&workload("conv")).expect("compiles");
     c.bench_function("figures/ablation_handshake_conv_x16", |b| {
         b.iter(|| {
-            let modeled = clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(16))
-                .expect("runs");
+            let modeled =
+                clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(16)).expect("runs");
             let mut ideal = clp_core::ProcessorConfig::tflex(16);
             ideal.sim.protocol = clp_sim::ProtocolTiming::Instant;
             let ideal = clp_core::run_compiled(&cw, &ideal).expect("runs");

@@ -1,0 +1,38 @@
+//! The tracing-overhead guard: a full simulator run with a `NullSink`
+//! attached must be as fast as one with no tracer at all, proving the
+//! emission hooks compile down to a single predictable branch. The
+//! companion test `tests/obs_guard.rs` asserts the same property with a
+//! hard bound; this bench gives the measured numbers.
+
+use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
+use clp_obs::{NullSink, Tracer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let cfg = ProcessorConfig::tflex(8);
+
+    c.bench_function("obs/conv8/tracer-off", |b| {
+        let obs = ObsOptions::default();
+        b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
+    });
+    c.bench_function("obs/conv8/null-sink", |b| {
+        let obs = ObsOptions {
+            tracer: Tracer::new(NullSink),
+            sample_every: None,
+        };
+        b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
+    });
+    c.bench_function("obs/conv8/sampling-1k", |b| {
+        let obs = ObsOptions {
+            tracer: Tracer::off(),
+            sample_every: Some(1000),
+        };
+        b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
+    });
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -40,8 +40,7 @@ fn bench_simulator(c: &mut Criterion) {
     for n in [1usize, 8, 32] {
         c.bench_function(&format!("simulate/conv/x{n}"), |b| {
             b.iter(|| {
-                clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(n))
-                    .expect("runs")
+                clp_core::run_compiled(&cw, &clp_core::ProcessorConfig::tflex(n)).expect("runs")
             })
         });
     }

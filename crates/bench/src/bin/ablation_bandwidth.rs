@@ -24,8 +24,8 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let mut narrow_cfg = ProcessorConfig::tflex(n);
             narrow_cfg.sim.operand_net.link_bandwidth = 1;
-            let narrow = run_compiled(&cw, &narrow_cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let narrow =
+                run_compiled(&cw, &narrow_cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             ratios.push(narrow.stats.cycles as f64 / wide.stats.cycles as f64);
         }
         let pct = 100.0 * (geomean(&ratios) - 1.0);

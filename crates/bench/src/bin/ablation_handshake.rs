@@ -34,9 +34,7 @@ fn main() {
             ratios.push(modeled.stats.cycles as f64 / ideal.stats.cycles as f64);
         }
         let overhead_pct = 100.0 * (geomean(&ratios) - 1.0);
-        println!(
-            "{n:>2} cores: modeled handshakes cost {overhead_pct:+.1}% vs instantaneous"
-        );
+        println!("{n:>2} cores: modeled handshakes cost {overhead_pct:+.1}% vs instantaneous");
         series.push(Point {
             cores: n,
             overhead_pct,

@@ -24,8 +24,8 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let mut single_cfg = ProcessorConfig::tflex(n);
             single_cfg.sim.core.issue_width = 1;
-            let single = run_compiled(&cw, &single_cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let single =
+                run_compiled(&cw, &single_cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             ratios.push(single.stats.cycles as f64 / dual.stats.cycles as f64);
         }
         let pct = 100.0 * (geomean(&ratios) - 1.0);

@@ -29,8 +29,11 @@ fn main() {
                 workload: w.clone(),
                 edge: compile(&w.program, opts).unwrap_or_else(|e| panic!("{}: {e}", w.name)),
             };
-            let placed = run_compiled(&make(&CompileOptions::default()), &ProcessorConfig::tflex(n))
-                .unwrap_or_else(|e| panic!("{} placed: {e}", w.name));
+            let placed = run_compiled(
+                &make(&CompileOptions::default()),
+                &ProcessorConfig::tflex(n),
+            )
+            .unwrap_or_else(|e| panic!("{} placed: {e}", w.name));
             let unplaced = run_compiled(&make(&unplaced_opts), &ProcessorConfig::tflex(n))
                 .unwrap_or_else(|e| panic!("{} unplaced: {e}", w.name));
             ratios.push(unplaced.stats.cycles as f64 / placed.stats.cycles as f64);

@@ -29,8 +29,8 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let mut central_cfg = ProcessorConfig::tflex(n);
             central_cfg.sim.centralized_control = true;
-            let central = run_compiled(&cw, &central_cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let central =
+                run_compiled(&cw, &central_cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             ratios.push(central.stats.cycles as f64 / dist.stats.cycles as f64);
             let rate = |r: &clp_core::RunOutcome| {
                 let p = &r.stats.procs[0].predictor;

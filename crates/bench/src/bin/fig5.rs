@@ -32,14 +32,17 @@ fn main() {
         rows.push(Row {
             name: w.name,
             class: format!("{:?}", w.class),
-            trips_cycles: trips.stats.cycles,
+            trips_cycles: trips.cycles(),
             baseline_cycles: base.cycles,
-            relative: base.cycles as f64 / trips.stats.cycles as f64,
+            relative: base.cycles as f64 / trips.cycles() as f64,
         });
     }
 
     println!("Figure 5: TRIPS performance relative to the conventional OoO reference");
-    println!("{:<10} {:>14} {:>12} {:>12} {:>9}", "benchmark", "class", "OoO cyc", "TRIPS cyc", "rel");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>9}",
+        "benchmark", "class", "OoO cyc", "TRIPS cyc", "rel"
+    );
     for r in &rows {
         println!(
             "{:<10} {:>14} {:>12} {:>12} {:>8.2}x",
@@ -48,7 +51,11 @@ fn main() {
     }
 
     let class_mean = |pred: &dyn Fn(&Row) -> bool| {
-        let v: Vec<f64> = rows.iter().filter(|r| pred(r)).map(|r| r.relative).collect();
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.relative)
+            .collect();
         geomean(&v)
     };
     let hand = class_mean(&|r| {
@@ -60,7 +67,9 @@ fn main() {
     let fp = class_mean(&|r| r.class == format!("{:?}", WorkloadClass::SpecFp));
     println!();
     println!("geomean  hand-optimized+embedded: {hand:.2}x   SPEC-INT-like: {int:.2}x   SPEC-FP-like: {fp:.2}x");
-    println!("paper    hand-optimized ~2.7x; EEMBC/Versabench ~1.5x; SPEC INT 0.64x; SPEC FP 0.97x");
+    println!(
+        "paper    hand-optimized ~2.7x; EEMBC/Versabench ~1.5x; SPEC INT 0.64x; SPEC FP 0.97x"
+    );
 
     save_json("fig5.json", &rows);
 }

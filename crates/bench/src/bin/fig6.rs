@@ -32,7 +32,7 @@ fn main() {
     let mut out = Vec::new();
     for r in &rows {
         let s: Vec<(usize, f64)> = SWEEP_SIZES.iter().map(|&n| (n, r.speedup_at(n))).collect();
-        let trips_speedup = r.cycles_at(1) as f64 / r.trips.stats.cycles as f64;
+        let trips_speedup = r.cycles_at(1) as f64 / r.trips.cycles() as f64;
         println!(
             "{:<10} {:>4} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6} {:>6.2}",
             r.workload.name,
@@ -65,14 +65,14 @@ fn main() {
     let avg_trips = geomean(
         &rows
             .iter()
-            .map(|r| r.cycles_at(1) as f64 / r.trips.stats.cycles as f64)
+            .map(|r| r.cycles_at(1) as f64 / r.trips.cycles() as f64)
             .collect::<Vec<_>>(),
     );
     let avg8_vs_trips = geomean(&rows.iter().map(|r| r.vs_trips_at(8)).collect::<Vec<_>>());
     let best_vs_trips = geomean(
         &rows
             .iter()
-            .map(|r| r.trips.stats.cycles as f64 / r.cycles_at(r.best_size()) as f64)
+            .map(|r| r.trips.cycles() as f64 / r.cycles_at(r.best_size()) as f64)
             .collect::<Vec<_>>(),
     );
     println!("AVG  BEST: {avg_best:.2}  (paper: ~4x, +13% over the best fixed size)");

@@ -33,9 +33,9 @@ fn main() {
         let eff: Vec<(usize, f64)> = r
             .tflex
             .iter()
-            .map(|(n, o)| (*n, perf_per_area(o.stats.cycles, o.area_mm2) / base))
+            .map(|(n, o)| (*n, perf_per_area(o.cycles(), o.area_mm2) / base))
             .collect();
-        let trips_eff = perf_per_area(r.trips.stats.cycles, r.trips.area_mm2) / base;
+        let trips_eff = perf_per_area(r.trips.cycles(), r.trips.area_mm2) / base;
         let peak = eff
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))

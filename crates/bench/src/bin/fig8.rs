@@ -33,10 +33,9 @@ fn main() {
         let eff: Vec<(usize, f64)> = r
             .tflex
             .iter()
-            .map(|(n, o)| (*n, perf2_per_watt(o.stats.cycles, o.power.total()) / base))
+            .map(|(n, o)| (*n, perf2_per_watt(o.cycles(), o.power.total()) / base))
             .collect();
-        let trips_eff =
-            perf2_per_watt(r.trips.stats.cycles, r.trips.power.total()) / base;
+        let trips_eff = perf2_per_watt(r.trips.cycles(), r.trips.power.total()) / base;
         let peak = eff
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))

@@ -27,16 +27,17 @@ fn main() {
         let mut commit = CommitLatencyBreakdown::default();
         let count = rows.len() as f64;
         for r in &rows {
-            let ps = &r.tflex[i].1.stats.procs[0];
-            let f = ps.fetch_latency();
-            fetch.prediction += f.prediction / count;
-            fetch.tag_access += f.tag_access / count;
-            fetch.hand_off += f.hand_off / count;
-            fetch.fetch_distribution += f.fetch_distribution / count;
-            fetch.dispatch += f.dispatch / count;
-            let c = ps.commit_latency();
-            commit.handshake += c.handshake / count;
-            commit.arch_update += c.arch_update / count;
+            // Figure inputs come through the stats registry, addressed by
+            // stable path rather than struct-field plucking.
+            let snap = &r.tflex[i].1.snapshot;
+            fetch.prediction += snap.expect("proc0/fetch_latency/prediction") / count;
+            fetch.tag_access += snap.expect("proc0/fetch_latency/tag_access") / count;
+            fetch.hand_off += snap.expect("proc0/fetch_latency/hand_off") / count;
+            fetch.fetch_distribution +=
+                snap.expect("proc0/fetch_latency/fetch_distribution") / count;
+            fetch.dispatch += snap.expect("proc0/fetch_latency/dispatch") / count;
+            commit.handshake += snap.expect("proc0/commit_latency/handshake") / count;
+            commit.arch_update += snap.expect("proc0/commit_latency/arch_update") / count;
         }
         series.push(Point {
             cores: n,
@@ -64,7 +65,10 @@ fn main() {
     }
     println!();
     println!("Figure 9b: distributed commit latency per block (cycles, suite average)");
-    println!("{:>5} {:>10} {:>12} {:>7}", "cores", "handshake", "arch-update", "total");
+    println!(
+        "{:>5} {:>10} {:>12} {:>7}",
+        "cores", "handshake", "arch-update", "total"
+    );
     for p in &series {
         println!(
             "{:>5} {:>10.1} {:>12.1} {:>7.1}",

@@ -1,29 +1,110 @@
 //! Command-line runner: one workload at one composition, with a full
-//! machine-state dump on failure. Handy for quick measurements and for
-//! debugging protocol stalls.
+//! machine-state dump on failure. Handy for quick measurements, for
+//! debugging protocol stalls, and for capturing traces.
 //!
 //! ```sh
 //! cargo run --release -p clp-bench --bin run_one -- mcf 16
+//! cargo run --release -p clp-bench --bin run_one -- \
+//!     802.11b 16 --trace out.json --stats-json stats.json --sample-every 500
 //! ```
+//!
+//! `--trace <path>` writes a Chrome trace-event JSON file (open at
+//! <https://ui.perfetto.dev>); `--stats-json <path>` writes the unified
+//! [`clp_obs::StatsSnapshot`]; `--sample-every <cycles>` sets the
+//! interval-sampling period (default 1000 when `--stats-json` is given).
 
 use clp_core::compile_workload;
 use clp_isa::Reg;
+use clp_obs::{ChromeTraceWriter, Tracer};
 use clp_sim::{Machine, SimConfig};
 use clp_workloads::suite;
 
+struct Args {
+    name: String,
+    cores: usize,
+    trace: Option<String>,
+    stats_json: Option<String>,
+    sample_every: Option<u64>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("run_one: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        name: "gzip".to_string(),
+        cores: 32,
+        trace: None,
+        stats_json: None,
+        sample_every: None,
+    };
+    let mut positional = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--trace" => args.trace = Some(flag_value("--trace")),
+            "--stats-json" => args.stats_json = Some(flag_value("--stats-json")),
+            "--sample-every" => {
+                let v = flag_value("--sample-every");
+                match v.parse() {
+                    Ok(p) if p > 0 => args.sample_every = Some(p),
+                    _ => die(&format!("--sample-every wants a period >= 1, got `{v}`")),
+                }
+            }
+            _ => {
+                match positional {
+                    0 => args.name = a,
+                    1 => match a.parse() {
+                        Ok(c) => args.cores = c,
+                        Err(_) => die(&format!("bad core count `{a}`")),
+                    },
+                    _ => die(&format!("unexpected argument `{a}`")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map_or("gzip", String::as_str);
-    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
-    let w = suite::by_name(name).expect("workload exists");
+    let args = parse_args();
+    let (name, n) = (args.name.as_str(), args.cores);
+    let w = suite::by_name(name).unwrap_or_else(|| {
+        let names: Vec<&str> = suite::all().into_iter().map(|w| w.name).collect();
+        die(&format!(
+            "unknown workload `{name}`; available: {}",
+            names.join(", ")
+        ))
+    });
     let cw = compile_workload(&w).expect("compiles");
+    // Fail on an unwritable output path now, not after a long run.
+    for path in args.trace.iter().chain(&args.stats_json) {
+        if let Err(e) = std::fs::write(path, "") {
+            die(&format!("cannot write `{path}`: {e}"));
+        }
+    }
     let mut cfg = SimConfig::tflex();
     cfg.max_cycles = 2_000_000;
     let mut m = Machine::new(cfg);
+    if let Some(path) = &args.trace {
+        m.set_tracer(Tracer::new(ChromeTraceWriter::new(path)));
+    }
+    if args.stats_json.is_some() || args.sample_every.is_some() {
+        m.set_sample_period(args.sample_every.unwrap_or(1000));
+    }
     for (addr, words) in &w.init_mem {
         m.memory_mut().image.load_words(*addr, words);
     }
-    let pid = m.compose(n, 0, cw.edge.clone(), &w.args).expect("composes");
+    let pid = m
+        .compose(n, 0, cw.edge.clone(), &w.args)
+        .unwrap_or_else(|e| die(&format!("cannot compose {n} cores: {e:?}")));
     match m.run() {
         Ok(stats) => {
             let ret = m.register(pid, Reg::new(1));
@@ -32,10 +113,23 @@ fn main() {
                 "{name} on {n} cores: {} cycles, ret={ret:#x}, correct={ok}",
                 stats.cycles
             );
+            let snapshot = m.snapshot();
+            if let Some(path) = &args.stats_json {
+                std::fs::write(path, snapshot.to_json()).expect("can write stats");
+                println!(
+                    "[stats -> {path}: {} intervals, ipc {:.2}]",
+                    snapshot.intervals.len(),
+                    snapshot.expect("proc0/ipc"),
+                );
+            }
         }
         Err(e) => {
             println!("{name} on {n} cores FAILED: {e}");
             println!("{}", m.debug_snapshot());
         }
+    }
+    if let Some(path) = &args.trace {
+        m.tracer().finish().expect("can write trace");
+        println!("[trace -> {path}]");
     }
 }

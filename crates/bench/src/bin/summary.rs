@@ -17,23 +17,22 @@ fn main() {
 
     match load("fig6.json") {
         Some(Value::Array(rows)) => {
-            let speedups: Vec<f64> = rows
-                .iter()
-                .filter_map(|r| r["best"].as_f64())
-                .collect();
+            let speedups: Vec<f64> = rows.iter().filter_map(|r| r["best"].as_f64()).collect();
             let avg_best =
                 (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
             let best16: Vec<f64> = rows
                 .iter()
                 .filter_map(|r| {
-                    r["speedups"].as_array()?.iter().find_map(|p| {
-                        (p[0].as_u64() == Some(16)).then(|| p[1].as_f64())?
-                    })
+                    r["speedups"]
+                        .as_array()?
+                        .iter()
+                        .find_map(|p| (p[0].as_u64() == Some(16)).then(|| p[1].as_f64())?)
                 })
                 .collect();
-            let avg16 =
-                (best16.iter().map(|s| s.ln()).sum::<f64>() / best16.len() as f64).exp();
-            println!("Fig 6   AVG x16 speedup {avg16:.2} (paper ~3.5); BEST {avg_best:.2} (paper ~4)");
+            let avg16 = (best16.iter().map(|s| s.ln()).sum::<f64>() / best16.len() as f64).exp();
+            println!(
+                "Fig 6   AVG x16 speedup {avg16:.2} (paper ~3.5); BEST {avg_best:.2} (paper ~4)"
+            );
         }
         _ => println!("Fig 6   [run the fig6 binary first]"),
     }

@@ -43,7 +43,7 @@ impl BenchRow {
         self.tflex
             .iter()
             .find(|(c, _)| *c == n)
-            .map(|(_, r)| r.stats.cycles)
+            .map(|(_, r)| r.cycles())
             .unwrap_or_else(|| panic!("size {n} not swept"))
     }
 
@@ -58,7 +58,7 @@ impl BenchRow {
     pub fn best_size(&self) -> usize {
         self.tflex
             .iter()
-            .min_by_key(|(_, r)| r.stats.cycles)
+            .min_by_key(|(_, r)| r.cycles())
             .map(|(c, _)| *c)
             .expect("swept")
     }
@@ -72,7 +72,7 @@ impl BenchRow {
     /// TFlex-vs-TRIPS speedup at a given size (>1 means TFlex wins).
     #[must_use]
     pub fn vs_trips_at(&self, n: usize) -> f64 {
-        self.trips.stats.cycles as f64 / self.cycles_at(n) as f64
+        self.trips.cycles() as f64 / self.cycles_at(n) as f64
     }
 }
 
@@ -149,10 +149,9 @@ pub fn order_by_ilp(rows: &mut [BenchRow]) {
 /// The directory where binaries drop machine-readable results.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var_os("CARGO_TARGET_DIR").unwrap_or_else(|| "target".into()),
-    )
-    .join("clp-results");
+    let dir =
+        PathBuf::from(std::env::var_os("CARGO_TARGET_DIR").unwrap_or_else(|| "target".into()))
+            .join("clp-results");
     std::fs::create_dir_all(&dir).expect("can create results dir");
     dir
 }

@@ -1,0 +1,72 @@
+//! Guards the cost of the observability hooks.
+//!
+//! Two properties: (1) attaching any sink must not perturb the simulated
+//! machine — cycle counts are bit-identical with tracing on, off, or
+//! null; (2) a `NullSink` run's wall-clock throughput stays within noise
+//! of a tracer-off run (the hooks are one branch, not a call).
+
+use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
+use clp_obs::{NullSink, RingRecorder, Tracer};
+use std::time::Instant;
+
+fn run_with(obs: &ObsOptions) -> u64 {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let r = run_compiled_observed(&cw, &ProcessorConfig::tflex(8), obs).expect("runs");
+    assert!(r.correct);
+    r.cycles()
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    let off = run_with(&ObsOptions::default());
+    let null = run_with(&ObsOptions {
+        tracer: Tracer::new(NullSink),
+        sample_every: None,
+    });
+    let ring = run_with(&ObsOptions {
+        tracer: Tracer::new(RingRecorder::new(4096)),
+        sample_every: Some(500),
+    });
+    assert_eq!(off, null, "NullSink changed the simulated cycle count");
+    assert_eq!(
+        off, ring,
+        "recording sink changed the simulated cycle count"
+    );
+}
+
+#[test]
+fn null_sink_throughput_within_noise_of_off() {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let cfg = ProcessorConfig::tflex(8);
+    let off_obs = ObsOptions::default();
+    let null_obs = ObsOptions {
+        tracer: Tracer::new(NullSink),
+        sample_every: None,
+    };
+
+    let time = |obs: &ObsOptions| {
+        // Warm-up, then best-of-3 to shed scheduler noise.
+        let _ = run_compiled_observed(&cw, &cfg, obs).expect("runs");
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = run_compiled_observed(&cw, &cfg, obs).expect("runs");
+                t.elapsed()
+            })
+            .min()
+            .expect("nonempty")
+    };
+
+    let off = time(&off_obs);
+    let null = time(&null_obs);
+    // Generous noise bound: the hooks add one branch per site, which is
+    // well under measurement jitter; 1.5x catches a real regression
+    // (e.g. events constructed on the disabled path) without flaking.
+    let ratio = null.as_secs_f64() / off.as_secs_f64();
+    assert!(
+        ratio < 1.5,
+        "NullSink run {ratio:.2}x slower than tracer-off ({null:?} vs {off:?})"
+    );
+}

@@ -185,8 +185,7 @@ impl<'a> BlockCtx<'a> {
                     let zero = self.zero()?;
                     let zvr = ValueRef::single(zero);
                     let op = if s { Opcode::Tne } else { Opcode::Teq };
-                    let norm =
-                        self.push(Instruction::new(op), Some(&vr), Some(&zvr), None)?;
+                    let norm = self.push(Instruction::new(op), Some(&vr), Some(&zvr), None)?;
                     acc = Some(match acc {
                         None => norm,
                         Some(prev) => self.push(
@@ -370,9 +369,7 @@ fn lower_block(
                 if uses_in_pred(later, dst) {
                     return true; // guard chains must always deliver
                 }
-                if later.kind.uses().contains(&dst)
-                    && !pred_subset(&op.pred, &later.pred)
-                {
+                if later.kind.uses().contains(&dst) && !pred_subset(&op.pred, &later.pred) {
                     return true;
                 }
                 if later.kind.dst() == Some(dst) {
@@ -673,8 +670,7 @@ fn compile_once(program: &Program, opts: &CompileOptions) -> Result<EdgeProgram,
         let mut cliques: Vec<BTreeSet<VReg>> = Vec::new();
         for (bi, hb) in hir.blocks.iter().enumerate() {
             let Some(hb) = hb else { continue };
-            let mut defs: BTreeSet<VReg> =
-                hb.ops.iter().filter_map(|o| o.kind.dst()).collect();
+            let mut defs: BTreeSet<VReg> = hb.ops.iter().filter_map(|o| o.kind.dst()).collect();
             if bi == f.entry.0 {
                 // The entry block also "defines" (writes back) its live-out
                 // parameters and link register.
@@ -687,8 +683,7 @@ fn compile_once(program: &Program, opts: &CompileOptions) -> Result<EdgeProgram,
                     live_out.extend(lv.live_in[t.0].iter().copied());
                 }
             }
-            let written: BTreeSet<VReg> =
-                defs.intersection(&live_out).copied().collect();
+            let written: BTreeSet<VReg> = defs.intersection(&live_out).copied().collect();
             if written.len() > 1 {
                 cliques.push(written);
             }
@@ -771,10 +766,9 @@ fn compile_once(program: &Program, opts: &CompileOptions) -> Result<EdgeProgram,
                 .blocks
                 .iter()
                 .filter_map(|b| match &b.term {
-                    Terminator::Call { dst, cont, .. } => Some((
-                        *cont,
-                        (*dst, saved_across_call(&lvs[fi], *cont, *dst)),
-                    )),
+                    Terminator::Call { dst, cont, .. } => {
+                        Some((*cont, (*dst, saved_across_call(&lvs[fi], *cont, *dst))))
+                    }
                     _ => None,
                 })
                 .collect(),
@@ -782,9 +776,8 @@ fn compile_once(program: &Program, opts: &CompileOptions) -> Result<EdgeProgram,
             entry_bb: f.entry,
             params: f.params.clone(),
         };
-        let entry_addr = |callee: crate::ir::FuncId| {
-            addr_of[callee.0][&program.functions[callee.0].entry]
-        };
+        let entry_addr =
+            |callee: crate::ir::FuncId| addr_of[callee.0][&program.functions[callee.0].entry];
         for bb in hirs[fi].layout_order() {
             let hb = hirs[fi].blocks[bb.0].as_ref().expect("in layout");
             let addr = addr_of[fi][&bb];

@@ -214,8 +214,11 @@ fn jump_pred_counts(blocks: &[Option<HirBlock>]) -> Vec<usize> {
 /// Runs hyperblock formation over `f`.
 #[must_use]
 pub fn form_hyperblocks(f: &Function, opts: &FormerOptions) -> HirFunction {
-    let mut blocks: Vec<Option<HirBlock>> =
-        f.blocks.iter().map(|b| Some(HirBlock::from_basic(b))).collect();
+    let mut blocks: Vec<Option<HirBlock>> = f
+        .blocks
+        .iter()
+        .map(|b| Some(HirBlock::from_basic(b)))
+        .collect();
     let blocks_before = blocks.len();
 
     // Pinned blocks can never be inlined: the entry (call target) and all
@@ -290,11 +293,11 @@ pub fn form_hyperblocks(f: &Function, opts: &FormerOptions) -> HirFunction {
                         forbidden.extend(pred_vregs(&other.pred));
                     }
                 }
-                if bblock.ops.iter().any(|o| {
-                    o.kind
-                        .dst()
-                        .is_some_and(|d| forbidden.contains(&d))
-                }) {
+                if bblock
+                    .ops
+                    .iter()
+                    .any(|o| o.kind.dst().is_some_and(|d| forbidden.contains(&d)))
+                {
                     continue;
                 }
 

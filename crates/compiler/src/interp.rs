@@ -121,16 +121,11 @@ pub fn interpret(
                 OpKind::Const { dst, value } => frame.regs[dst.0 as usize] = value as u64,
                 OpKind::ConstF { dst, value } => frame.regs[dst.0 as usize] = value.to_bits(),
                 OpKind::Un { dst, op, a } => {
-                    frame.regs[dst.0 as usize] =
-                        value::eval(op, 0, frame.regs[a.0 as usize], 0);
+                    frame.regs[dst.0 as usize] = value::eval(op, 0, frame.regs[a.0 as usize], 0);
                 }
                 OpKind::Bin { dst, op, a, b } => {
-                    frame.regs[dst.0 as usize] = value::eval(
-                        op,
-                        0,
-                        frame.regs[a.0 as usize],
-                        frame.regs[b.0 as usize],
-                    );
+                    frame.regs[dst.0 as usize] =
+                        value::eval(op, 0, frame.regs[a.0 as usize], frame.regs[b.0 as usize]);
                 }
                 OpKind::Load {
                     dst,
@@ -179,8 +174,7 @@ pub fn interpret(
                 if stack.len() >= MAX_CALL_DEPTH {
                     return Err(InterpError::StackOverflow(MAX_CALL_DEPTH));
                 }
-                let arg_vals: Vec<u64> =
-                    args.iter().map(|v| frame.regs[v.0 as usize]).collect();
+                let arg_vals: Vec<u64> = args.iter().map(|v| frame.regs[v.0 as usize]).collect();
                 let mut callee_frame = new_frame(*callee, &arg_vals);
                 callee_frame.ret_dst = *dst;
                 callee_frame.ret_bb = *cont;

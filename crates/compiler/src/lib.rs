@@ -154,7 +154,10 @@ impl fmt::Display for CompileError {
                 )
             }
             CompileError::PredicatedCallOrRet { function, bb } => {
-                write!(f, "'{function}' bb{bb} has a predicated call or return exit")
+                write!(
+                    f,
+                    "'{function}' bb{bb} has a predicated call or return exit"
+                )
             }
             CompileError::Block {
                 function,

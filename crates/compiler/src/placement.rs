@@ -91,15 +91,14 @@ pub fn schedule(insts: Vec<Instruction>, n_cores: usize) -> Vec<Instruction> {
     for (i, mut inst) in insts.into_iter().enumerate() {
         for slot in &mut inst.targets {
             if let Some(t) = slot {
-                *slot = Some(Target::new(
-                    InstId::new(new_id[t.inst.index()]),
-                    t.operand,
-                ));
+                *slot = Some(Target::new(InstId::new(new_id[t.inst.index()]), t.operand));
             }
         }
         out[new_id[i]] = Some(inst);
     }
-    out.into_iter().map(|i| i.expect("permutation total")).collect()
+    out.into_iter()
+        .map(|i| i.expect("permutation total"))
+        .collect()
 }
 
 /// Fraction of dataflow edges whose producer and consumer share a core in
@@ -187,9 +186,7 @@ mod tests {
 
     #[test]
     fn oversized_blocks_pass_through() {
-        let insts: Vec<Instruction> = (0..200)
-            .map(|_| Instruction::new(Opcode::Movi))
-            .collect();
+        let insts: Vec<Instruction> = (0..200).map(|_| Instruction::new(Opcode::Movi)).collect();
         let out = schedule(insts.clone(), 32);
         assert_eq!(out.len(), insts.len());
     }

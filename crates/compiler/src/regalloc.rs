@@ -164,11 +164,7 @@ pub fn allocate(
 /// The set of vregs a call block must save: values live into `cont`
 /// minus the call destination.
 #[must_use]
-pub fn saved_across_call(
-    lv: &Liveness,
-    cont: crate::ir::BbId,
-    dst: Option<VReg>,
-) -> Vec<VReg> {
+pub fn saved_across_call(lv: &Liveness, cont: crate::ir::BbId, dst: Option<VReg>) -> Vec<VReg> {
     lv.live_in[cont.0]
         .iter()
         .copied()

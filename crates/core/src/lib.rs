@@ -26,6 +26,6 @@ mod run;
 pub use adaptive::{adapt_composition, AdaptGoal, AdaptOutcome, AdaptStep};
 pub use multiprogram::{run_multiprogram, MultiOutcome, ProgramSpec};
 pub use run::{
-    compile_workload, run_compiled, run_workload, speedup_curve, sweep, CompiledWorkload,
-    ProcessorConfig, ProcessorKind, RunFailure, RunOutcome,
+    compile_workload, run_compiled, run_compiled_observed, run_workload, speedup_curve, sweep,
+    CompiledWorkload, ObsOptions, ProcessorConfig, ProcessorKind, RunFailure, RunOutcome,
 };

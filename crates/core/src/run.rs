@@ -3,6 +3,7 @@
 use clp_alloc::{SpeedupCurve, SIZES};
 use clp_compiler::{compile, CompileError, CompileOptions};
 use clp_isa::{EdgeProgram, Reg};
+use clp_obs::{StatsSnapshot, Tracer};
 use clp_power::{AreaModel, EnergyModel, PowerBreakdown, PowerConfig};
 use clp_sim::{Machine, ProcId, RunError, RunStats, SimConfig};
 use clp_workloads::{Golden, VerifyError, Workload};
@@ -123,6 +124,9 @@ pub fn compile_workload(w: &Workload) -> Result<CompiledWorkload, RunFailure> {
 pub struct RunOutcome {
     /// Chip-level statistics.
     pub stats: RunStats,
+    /// The unified stats registry for the run (tree of every subsystem's
+    /// counters, plus interval samples when sampling was enabled).
+    pub snapshot: StatsSnapshot,
     /// The entry function's return value (`r1`).
     pub ret: u64,
     /// Whether outputs matched the golden reference.
@@ -131,6 +135,27 @@ pub struct RunOutcome {
     pub power: PowerBreakdown,
     /// Area of the organization in mm².
     pub area_mm2: f64,
+}
+
+impl RunOutcome {
+    /// Total machine cycles, read through the stats registry — the
+    /// figure binaries take their inputs from the snapshot rather than
+    /// plucking raw stats fields.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.snapshot.expect("cycles") as u64
+    }
+}
+
+/// Observability options for a run.
+#[derive(Clone, Debug, Default)]
+pub struct ObsOptions {
+    /// Tracer to attach to the machine (default: off). The caller keeps
+    /// ownership of the sink and is responsible for
+    /// [`Tracer::finish`]-ing it after the run.
+    pub tracer: Tracer,
+    /// Record one interval sample every N cycles (default: no sampling).
+    pub sample_every: Option<u64>,
 }
 
 /// Runs a pre-compiled workload on `cfg`, verifying outputs.
@@ -143,7 +168,27 @@ pub fn run_compiled(
     cw: &CompiledWorkload,
     cfg: &ProcessorConfig,
 ) -> Result<RunOutcome, RunFailure> {
+    run_compiled_observed(cw, cfg, &ObsOptions::default())
+}
+
+/// Like [`run_compiled`], with tracing/sampling attached.
+///
+/// # Errors
+///
+/// Returns a [`RunFailure`] on composition errors, simulation failures,
+/// or output mismatches.
+pub fn run_compiled_observed(
+    cw: &CompiledWorkload,
+    cfg: &ProcessorConfig,
+    obs: &ObsOptions,
+) -> Result<RunOutcome, RunFailure> {
     let mut m = Machine::new(cfg.sim);
+    if obs.tracer.enabled() {
+        m.set_tracer(obs.tracer.clone());
+    }
+    if let Some(period) = obs.sample_every {
+        m.set_sample_period(period);
+    }
     for (addr, words) in &cw.workload.init_mem {
         m.memory_mut().image.load_words(*addr, words);
     }
@@ -151,6 +196,7 @@ pub fn run_compiled(
         .compose(cfg.cores(), 0, cw.edge.clone(), &cw.workload.args)
         .map_err(RunFailure::Compose)?;
     let stats = m.run().map_err(RunFailure::Run)?;
+    let snapshot = m.snapshot();
     let ret = m.register(pid, Reg::new(1));
     cw.workload
         .verify_against(&cw.golden, ret, &m.memory().image)
@@ -165,6 +211,7 @@ pub fn run_compiled(
     };
     Ok(RunOutcome {
         stats,
+        snapshot,
         ret,
         correct: true,
         power,
@@ -187,10 +234,7 @@ pub fn run_workload(w: &Workload, cfg: &ProcessorConfig) -> Result<RunOutcome, R
 /// # Errors
 ///
 /// Propagates the first failure.
-pub fn sweep(
-    w: &Workload,
-    sizes: &[usize],
-) -> Result<Vec<(usize, RunOutcome)>, RunFailure> {
+pub fn sweep(w: &Workload, sizes: &[usize]) -> Result<Vec<(usize, RunOutcome)>, RunFailure> {
     let cw = compile_workload(w)?;
     sizes
         .iter()

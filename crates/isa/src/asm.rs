@@ -168,7 +168,10 @@ pub fn parse_block(text: &str) -> Result<Block, AsmError> {
         if expect_idx != insts.len() {
             return Err(syntax(
                 line,
-                format!("label i{expect_idx} out of order (expected i{})", insts.len()),
+                format!(
+                    "label i{expect_idx} out of order (expected i{})",
+                    insts.len()
+                ),
             ));
         }
 
@@ -215,8 +218,8 @@ pub fn parse_block(text: &str) -> Result<Block, AsmError> {
             if tok == "->" {
                 expecting_targets = true;
             } else if expecting_targets {
-                let t = parse_target(tok)
-                    .ok_or_else(|| syntax(line, format!("bad target '{tok}'")))?;
+                let t =
+                    parse_target(tok).ok_or_else(|| syntax(line, format!("bad target '{tok}'")))?;
                 if !inst.push_target(t) {
                     return Err(syntax(line, "more than two targets"));
                 }
@@ -330,9 +333,7 @@ pub fn parse_program(text: &str) -> Result<EdgeProgram, AsmError> {
         }
     }
     let entry = entry.ok_or_else(|| syntax(0, "missing 'entry @<address>'"))?;
-    builder
-        .finish(entry)
-        .map_err(|e| syntax(0, e.to_string()))
+    builder.finish(entry).map_err(|e| syntax(0, e.to_string()))
 }
 
 #[cfg(test)]

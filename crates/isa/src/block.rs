@@ -66,7 +66,10 @@ impl fmt::Display for BlockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlockError::TooManyInstructions(n) => {
-                write!(f, "block has {n} instructions, max {MAX_BLOCK_INSTRUCTIONS}")
+                write!(
+                    f,
+                    "block has {n} instructions, max {MAX_BLOCK_INSTRUCTIONS}"
+                )
             }
             BlockError::TooManyReads(n) => write!(f, "block has {n} reads, max {MAX_BLOCK_READS}"),
             BlockError::TooManyWrites(n) => {
@@ -183,8 +186,7 @@ impl Block {
                 }
                 Opcode::Bro => {
                     let b = inst.branch.ok_or(BlockError::MissingAnnotation(i))?;
-                    let needs_target =
-                        !matches!(b.kind, BranchKind::Return | BranchKind::Halt);
+                    let needs_target = !matches!(b.kind, BranchKind::Return | BranchKind::Halt);
                     if needs_target != b.target.is_some() {
                         return Err(BlockError::BadBranchTarget(i));
                     }
@@ -293,8 +295,10 @@ impl Block {
             let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
             color[root] = GRAY;
             while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
-                let succs: Vec<usize> =
-                    instructions[node].targets().map(|t| t.inst.index()).collect();
+                let succs: Vec<usize> = instructions[node]
+                    .targets()
+                    .map(|t| t.inst.index())
+                    .collect();
                 if *edge < succs.len() {
                     let next = succs[*edge];
                     *edge += 1;
@@ -433,8 +437,7 @@ mod tests {
         mov.push_target(Target::new(InstId::new(2), Operand::Left));
         let mut wr = Instruction::new(Opcode::Write);
         wr.reg = Some(Reg::new(1));
-        let err =
-            Block::from_instructions(0, vec![movi, mov, wr, halt_branch()]).unwrap_err();
+        let err = Block::from_instructions(0, vec![movi, mov, wr, halt_branch()]).unwrap_err();
         assert!(matches!(err, BlockError::BadOperandSlot { from: 0, .. }));
     }
 

@@ -117,7 +117,9 @@ impl BlockBuilder {
         // Producer full: splice a mov that inherits one existing edge.
         // The mov fires whenever the producer fires (it is fed by it), so
         // no predicate is needed.
-        let stolen = self.insts[from.index()].targets[1].take().expect("slot 1 full");
+        let stolen = self.insts[from.index()].targets[1]
+            .take()
+            .expect("slot 1 full");
         let mut mov = Instruction::new(Opcode::Mov);
         mov.push_target(stolen);
         mov.push_target(t);

@@ -42,36 +42,34 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         0usize..128,
         any::<u64>(),
     )
-        .prop_map(
-            |(opcode, pred, imm, t0, t1, lsid, exit, regno, braddr)| {
-                let mut inst = Instruction::new(opcode);
-                inst.pred = pred;
-                inst.targets = [t0, t1];
-                if opcode.has_immediate() {
-                    inst.imm = imm;
-                }
-                if opcode.is_load() || opcode.is_store() {
-                    inst.lsid = Some(Lsid::new(lsid));
-                }
-                if opcode == Opcode::Bro {
-                    let kind = BranchKind::ALL[(exit as usize) % BranchKind::ALL.len()];
-                    let target = if matches!(kind, BranchKind::Return | BranchKind::Halt) {
-                        None
-                    } else {
-                        Some(braddr)
-                    };
-                    inst.branch = Some(BranchInfo {
-                        exit_id: exit,
-                        kind,
-                        target,
-                    });
-                }
-                if matches!(opcode, Opcode::Read | Opcode::Write) {
-                    inst.reg = Some(Reg::new(regno));
-                }
-                inst
-            },
-        )
+        .prop_map(|(opcode, pred, imm, t0, t1, lsid, exit, regno, braddr)| {
+            let mut inst = Instruction::new(opcode);
+            inst.pred = pred;
+            inst.targets = [t0, t1];
+            if opcode.has_immediate() {
+                inst.imm = imm;
+            }
+            if opcode.is_load() || opcode.is_store() {
+                inst.lsid = Some(Lsid::new(lsid));
+            }
+            if opcode == Opcode::Bro {
+                let kind = BranchKind::ALL[(exit as usize) % BranchKind::ALL.len()];
+                let target = if matches!(kind, BranchKind::Return | BranchKind::Halt) {
+                    None
+                } else {
+                    Some(braddr)
+                };
+                inst.branch = Some(BranchInfo {
+                    exit_id: exit,
+                    kind,
+                    target,
+                });
+            }
+            if matches!(opcode, Opcode::Read | Opcode::Write) {
+                inst.reg = Some(Reg::new(regno));
+            }
+            inst
+        })
 }
 
 proptest! {

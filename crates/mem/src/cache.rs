@@ -218,12 +218,7 @@ mod tests {
         c.access(0, true); // dirty
         c.access(set_stride, false);
         let r = c.access(2 * set_stride, false); // evicts line 0
-        assert_eq!(
-            r,
-            AccessResult::Miss {
-                writeback: Some(0)
-            }
-        );
+        assert_eq!(r, AccessResult::Miss { writeback: Some(0) });
     }
 
     #[test]

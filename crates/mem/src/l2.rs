@@ -64,7 +64,9 @@ impl NucaL2 {
             ways: cfg.l2_ways,
         };
         NucaL2 {
-            banks: (0..cfg.l2_banks).map(|_| CacheBank::new(per_bank)).collect(),
+            banks: (0..cfg.l2_banks)
+                .map(|_| CacheBank::new(per_bank))
+                .collect(),
             directory: HashMap::new(),
             dram_accesses: 0,
             hits: 0,

@@ -110,9 +110,7 @@ impl LsqBank {
             let src = self
                 .entries
                 .iter()
-                .filter(|e| {
-                    e.is_store && e.seq < seq && overlap(e.addr, e.size, baddr, 1)
-                })
+                .filter(|e| e.is_store && e.seq < seq && overlap(e.addr, e.size, baddr, 1))
                 .max_by_key(|e| e.seq);
             *byte = match src {
                 Some(st) => st.value.to_le_bytes()[(baddr - st.addr) as usize],

@@ -51,6 +51,29 @@ impl MemStats {
         }
     }
 
+    /// Renders these counters as a stats-registry node named `"mem"`.
+    #[must_use]
+    pub fn to_node(&self) -> clp_obs::StatsNode {
+        clp_obs::StatsNode::new("mem")
+            .count("l1d_hits", self.l1d_hits)
+            .count("l1d_misses", self.l1d_misses)
+            .count("l1i_hits", self.l1i_hits)
+            .count("l1i_misses", self.l1i_misses)
+            .count("l2_hits", self.l2_hits)
+            .count("l2_misses", self.l2_misses)
+            .count("dram_accesses", self.dram_accesses)
+            .count("lsq_inserts", self.lsq_inserts)
+            .count("lsq_searches", self.lsq_searches)
+            .count("lsq_nacks", self.lsq_nacks)
+            .count("violations", self.violations)
+            .count("forwards", self.forwards)
+            .count("l1_writebacks", self.l1_writebacks)
+            .count("invalidations", self.invalidations)
+            .count("dirty_forwards", self.dirty_forwards)
+            .count("stores_committed", self.stores_committed)
+            .gauge("l1d_hit_rate", self.l1d_hit_rate())
+    }
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, o: &MemStats) {
         self.l1d_hits += o.l1d_hits;

@@ -7,6 +7,7 @@ use crate::l2::NucaL2;
 use crate::lsq::{LsqBank, LsqInsert};
 use crate::stats::MemStats;
 use clp_isa::BLOCK_FRAME_BYTES;
+use clp_obs::{CacheLevel, TraceEvent, Tracer};
 
 /// The participating-core index whose L1 D-cache/LSQ bank serves `addr`
 /// in an `n_cores` composition.
@@ -64,6 +65,9 @@ pub struct MemorySystem {
     lsq: Vec<LsqBank>,
     l2: NucaL2,
     stats: MemStats,
+    tracer: Tracer,
+    /// Current machine cycle, advanced by the simulator for event stamps.
+    cycle: u64,
 }
 
 impl MemorySystem {
@@ -84,11 +88,27 @@ impl MemorySystem {
             image: MemoryImage::new(),
             l1d: (0..n_cores).map(|_| CacheBank::new(dgeom)).collect(),
             l1i: (0..n_cores).map(|_| CacheBank::new(igeom)).collect(),
-            lsq: (0..n_cores).map(|_| LsqBank::new(cfg.lsq_entries)).collect(),
+            lsq: (0..n_cores)
+                .map(|_| LsqBank::new(cfg.lsq_entries))
+                .collect(),
             l2: NucaL2::new(cfg),
             stats: MemStats::default(),
+            tracer: Tracer::off(),
+            cycle: 0,
             cfg,
         }
+    }
+
+    /// Attaches a tracer for memory-system events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Advances the cycle stamp used on emitted trace events (called by
+    /// the simulator once per machine cycle).
+    #[inline]
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
     }
 
     /// The configuration in use.
@@ -129,6 +149,12 @@ impl MemorySystem {
             }
             AccessResult::Miss { writeback } => {
                 self.stats.l1d_misses += 1;
+                self.tracer.emit(self.cycle, || TraceEvent::CacheMiss {
+                    level: CacheLevel::L1D,
+                    bank: core,
+                    addr: line,
+                    writeback: writeback.is_some(),
+                });
                 if let Some(victim) = writeback {
                     self.stats.l1_writebacks += 1;
                     self.l2.writeback(victim);
@@ -158,6 +184,8 @@ impl MemorySystem {
         match self.lsq[core].execute_load(seq, addr, size, &self.image) {
             LsqInsert::Nack => {
                 self.stats.lsq_nacks += 1;
+                self.tracer
+                    .emit(self.cycle, || TraceEvent::LsqNack { bank: core, addr });
                 LoadResponse::Nack
             }
             LsqInsert::Ok(value) => {
@@ -184,12 +212,16 @@ impl MemorySystem {
         match self.lsq[core].execute_store(seq, addr, size, value) {
             LsqInsert::Nack => {
                 self.stats.lsq_nacks += 1;
+                self.tracer
+                    .emit(self.cycle, || TraceEvent::LsqNack { bank: core, addr });
                 StoreResponse::Nack
             }
             LsqInsert::Ok(violation) => {
                 self.stats.lsq_inserts += 1;
                 if violation.is_some() {
                     self.stats.violations += 1;
+                    self.tracer
+                        .emit(self.cycle, || TraceEvent::MemViolation { bank: core, addr });
                 }
                 StoreResponse::Ok { violation }
             }
@@ -256,7 +288,14 @@ impl MemorySystem {
                 }
                 AccessResult::Miss { .. } => {
                     self.stats.l1i_misses += 1;
-                    let resp = self.l2.access(core, self.l1i[core].line_addr(addr), false);
+                    let line = self.l1i[core].line_addr(addr);
+                    self.tracer.emit(self.cycle, || TraceEvent::CacheMiss {
+                        level: CacheLevel::L1I,
+                        bank: core,
+                        addr: line,
+                        writeback: false,
+                    });
+                    let resp = self.l2.access(core, line, false);
                     worst_miss = worst_miss.max(resp.latency);
                 }
             }
@@ -400,9 +439,7 @@ mod tests {
             b += 64;
         }
         m.execute_store(dbank_for(a, 4), 0, a, 8, 11);
-        let LoadResponse::Ok { value, .. } =
-            m.execute_load(dbank_for(b, 4), 1, b, 8)
-        else {
+        let LoadResponse::Ok { value, .. } = m.execute_load(dbank_for(b, 4), 1, b, 8) else {
             panic!("nack")
         };
         assert_eq!(value, 0);

@@ -15,9 +15,13 @@ enum MemOp {
 fn arb_ops() -> impl Strategy<Value = Vec<MemOp>> {
     prop::collection::vec(
         prop_oneof![
-            (0u64..16).prop_map(|a| MemOp::Load { addr: 0x100 + a * 8 }),
-            (0u64..16, any::<u64>())
-                .prop_map(|(a, v)| MemOp::Store { addr: 0x100 + a * 8, value: v }),
+            (0u64..16).prop_map(|a| MemOp::Load {
+                addr: 0x100 + a * 8
+            }),
+            (0u64..16, any::<u64>()).prop_map(|(a, v)| MemOp::Store {
+                addr: 0x100 + a * 8,
+                value: v
+            }),
         ],
         1..40,
     )

@@ -2,6 +2,7 @@
 
 use crate::region::Coord;
 use crate::stats::MeshStats;
+use clp_obs::{TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -118,6 +119,7 @@ impl MeshConfig {
 #[derive(Debug)]
 struct InFlight<M> {
     at: NodeId,
+    src: NodeId,
     dst: NodeId,
     payload: M,
     injected_at: u64,
@@ -142,6 +144,9 @@ pub struct Mesh<M> {
     cycle: u64,
     next_seq: u64,
     stats: MeshStats,
+    tracer: Tracer,
+    /// Plane label used in trace events (`"operand"` / `"control"`).
+    plane: &'static str,
 }
 
 impl<M> Mesh<M> {
@@ -155,8 +160,17 @@ impl<M> Mesh<M> {
             cycle: 0,
             next_seq: 0,
             stats: MeshStats::default(),
+            tracer: Tracer::off(),
+            plane: "operand",
             cfg,
         }
+    }
+
+    /// Attaches a tracer; `plane` labels this mesh's events
+    /// (`"operand"` or `"control"`).
+    pub fn set_tracer(&mut self, tracer: Tracer, plane: &'static str) {
+        self.tracer = tracer;
+        self.plane = plane;
     }
 
     /// The mesh configuration.
@@ -185,6 +199,7 @@ impl<M> Mesh<M> {
         self.next_seq += 1;
         self.queues[src.0].push_back(InFlight {
             at: src,
+            src,
             dst,
             payload,
             injected_at: self.cycle,
@@ -244,6 +259,10 @@ impl<M> Mesh<M> {
                 let di = DIRS.iter().position(|&d| d == dir).expect("dir indexed");
                 if budget[di] == 0 {
                     self.stats.stalled_cycles += 1;
+                    self.tracer.emit(self.cycle, || TraceEvent::LinkContention {
+                        plane: self.plane,
+                        node,
+                    });
                     remaining.push_back(msg);
                     continue;
                 }
@@ -251,19 +270,20 @@ impl<M> Mesh<M> {
                 match dir {
                     Dir::Local => {
                         self.stats.delivered += 1;
-                        self.stats.total_latency += self.cycle - msg.injected_at;
+                        let latency = self.cycle - msg.injected_at;
+                        self.stats.total_latency += latency;
+                        self.tracer.emit(self.cycle, || TraceEvent::OperandRouted {
+                            plane: self.plane,
+                            src: msg.src.0,
+                            dst: msg.dst.0,
+                            latency,
+                        });
                         self.delivered.push((msg.dst, msg.payload));
                     }
                     _ => {
                         self.stats.link_traversals += 1;
                         let next = self.neighbor(msg.at, dir);
-                        self.arriving.push((
-                            next,
-                            InFlight {
-                                at: next,
-                                ..msg
-                            },
-                        ));
+                        self.arriving.push((next, InFlight { at: next, ..msg }));
                     }
                 }
             }

@@ -141,10 +141,7 @@ mod tests {
     fn non_power_of_two_rejected() {
         assert_eq!(region_rect(&chip(), 3), Err(RegionError::BadCoreCount(3)));
         assert_eq!(region_rect(&chip(), 0), Err(RegionError::BadCoreCount(0)));
-        assert_eq!(
-            region_rect(&chip(), 64),
-            Err(RegionError::BadCoreCount(64))
-        );
+        assert_eq!(region_rect(&chip(), 64), Err(RegionError::BadCoreCount(64)));
     }
 
     #[test]

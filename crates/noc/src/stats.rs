@@ -31,6 +31,18 @@ impl MeshStats {
         }
     }
 
+    /// Renders these counters as a stats-registry node named `name`.
+    #[must_use]
+    pub fn to_node(&self, name: &str) -> clp_obs::StatsNode {
+        clp_obs::StatsNode::new(name)
+            .count("injected", self.injected)
+            .count("delivered", self.delivered)
+            .count("link_traversals", self.link_traversals)
+            .count("stalled_cycles", self.stalled_cycles)
+            .count("total_latency", self.total_latency)
+            .gauge("avg_latency", self.avg_latency())
+    }
+
     /// Merges counters from another stats block (e.g. across meshes).
     pub fn merge(&mut self, other: &MeshStats) {
         self.injected += other.injected;

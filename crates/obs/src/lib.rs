@@ -1,0 +1,34 @@
+//! Observability for the CLP/TFlex simulation stack.
+//!
+//! The paper's results (Figures 5–10) are all derived views of
+//! microarchitectural events — fetch/commit latency breakdowns, operand
+//! network occupancy, flush causes. This crate makes those events
+//! first-class:
+//!
+//! - [`TraceEvent`] is a typed vocabulary for the block lifecycle
+//!   (fetch → issue → commit/flush), memory system activity (LSQ NACKs,
+//!   cache misses, ordering violations), operand/control mesh routing,
+//!   and next-block prediction.
+//! - [`TraceSink`] is the pluggable consumer trait, with three
+//!   implementations: [`NullSink`] (drops everything; used to prove the
+//!   hooks stay off the hot path), [`RingRecorder`] (last-N events in
+//!   memory, for tests and debugging), and [`ChromeTraceWriter`]
+//!   (Chrome trace-event JSON that loads directly in Perfetto).
+//! - [`Tracer`] is the cheap cloneable handle distributed to every
+//!   subsystem. When tracing is off it is a single `Option` branch and
+//!   the event-constructing closure never runs.
+//! - [`StatsSnapshot`] unifies the per-subsystem stats structs
+//!   (`ProcStats`, `MemStats`, `MeshStats`, `PredictorStats`) into one
+//!   hierarchical, serde-serializable tree, with optional per-interval
+//!   time series ([`IntervalSampler`]) so runs can report IPC and
+//!   network occupancy over time, not just end-of-run sums.
+
+pub mod event;
+pub mod sink;
+pub mod snapshot;
+
+pub use event::{CacheLevel, FlushReason, TraceEvent};
+pub use sink::{ChromeTraceWriter, NullSink, RingRecorder, TraceSink, Tracer};
+pub use snapshot::{
+    IntervalSample, IntervalSampler, Metric, MetricValue, SampleCounters, StatsNode, StatsSnapshot,
+};

@@ -1,0 +1,273 @@
+//! Trace sinks and the [`Tracer`] handle that feeds them.
+
+use crate::event::TraceEvent;
+use serde::Value;
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A consumer of cycle-stamped [`TraceEvent`]s.
+pub trait TraceSink: Send {
+    /// Records one event. `cycle` is the machine cycle the event occurred
+    /// on; within one run, calls arrive with non-decreasing cycles.
+    fn record(&mut self, cycle: u64, event: TraceEvent);
+
+    /// Finalizes the sink (e.g. writes buffered output). Called once when
+    /// the run ends; implementations must tolerate repeated calls.
+    fn finish(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that drops every event.
+///
+/// Used by the bench guard to prove the emission hooks cost nothing
+/// beyond the `Tracer`'s branch: recording through a `NullSink` performs
+/// no allocation and no work.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn record(&mut self, _cycle: u64, _event: TraceEvent) {}
+}
+
+/// An in-memory ring buffer keeping the most recent `capacity` events.
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: VecDeque<(u64, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A recorder holding at most `capacity` events (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingRecorder capacity must be positive");
+        RingRecorder {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, cycle: u64, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((cycle, event));
+    }
+}
+
+/// Writes the run as Chrome trace-event JSON, loadable in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+///
+/// Block lifecycles become async begin/end pairs (`ph: "b"`/`"e"`) so a
+/// block renders as a span from fetch to commit/flush; everything else
+/// is an instant (`ph: "i"`). One simulated cycle maps to one
+/// microsecond of trace time.
+pub struct ChromeTraceWriter {
+    path: PathBuf,
+    events: Vec<Value>,
+    written: bool,
+}
+
+impl ChromeTraceWriter {
+    /// A writer that will emit JSON to `path` on [`TraceSink::finish`].
+    #[must_use]
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        ChromeTraceWriter {
+            path: path.as_ref().to_path_buf(),
+            events: Vec::new(),
+            written: false,
+        }
+    }
+
+    fn push(&mut self, cycle: u64, ph: &str, name: String, ev: &TraceEvent, id: Option<u64>) {
+        let (pid, tid) = ev.track();
+        let mut obj = vec![
+            ("name".to_string(), Value::String(name)),
+            ("cat".to_string(), Value::String(ev.category().to_string())),
+            ("ph".to_string(), Value::String(ph.to_string())),
+            ("ts".to_string(), Value::UInt(cycle)),
+            ("pid".to_string(), Value::UInt(pid)),
+            ("tid".to_string(), Value::UInt(tid)),
+        ];
+        if let Some(id) = id {
+            obj.push(("id".to_string(), Value::String(format!("{id:#x}"))));
+        }
+        if ph == "i" {
+            // Thread-scoped instant.
+            obj.push(("s".to_string(), Value::String("t".to_string())));
+        }
+        let args: Vec<(String, Value)> = ev
+            .args()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        obj.push(("args".to_string(), Value::Object(args)));
+        self.events.push(Value::Object(obj));
+    }
+
+    /// Number of buffered trace records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for ChromeTraceWriter {
+    fn record(&mut self, cycle: u64, event: TraceEvent) {
+        match event {
+            TraceEvent::BlockFetched { proc, addr, .. } => {
+                // Async span: opened at fetch, closed at commit/flush.
+                let id = addr ^ ((proc as u64) << 48);
+                self.push(cycle, "b", format!("block {addr:#x}"), &event, Some(id));
+            }
+            TraceEvent::BlockCommitted { proc, addr, .. }
+            | TraceEvent::BlockFlushed { proc, addr, .. } => {
+                let id = addr ^ ((proc as u64) << 48);
+                self.push(cycle, "e", format!("block {addr:#x}"), &event, Some(id));
+                // Also drop an instant so the cause is visible at a glance.
+                self.push(cycle, "i", event.kind().to_string(), &event, None);
+            }
+            _ => self.push(cycle, "i", event.kind().to_string(), &event, None),
+        }
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        if self.written {
+            return Ok(());
+        }
+        let doc = Value::Object(vec![
+            (
+                "traceEvents".to_string(),
+                Value::Array(std::mem::take(&mut self.events)),
+            ),
+            (
+                "displayTimeUnit".to_string(),
+                Value::String("ms".to_string()),
+            ),
+        ]);
+        let text = serde_json::to_string(&doc)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&self.path, text)?;
+        self.written = true;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ChromeTraceWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChromeTraceWriter")
+            .field("path", &self.path)
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+/// The cheap, cloneable handle subsystems emit through.
+///
+/// `Tracer::off()` is the default everywhere: one `Option` check and the
+/// event-constructing closure never runs, so an untraced run pays a
+/// single predictable branch per hook. When tracing is on, all clones
+/// share one sink behind a mutex (the simulator is single-threaded per
+/// machine; the lock is uncontended).
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<Mutex<dyn TraceSink>>>);
+
+impl Tracer {
+    /// A disabled tracer (all hooks become a single branch).
+    #[must_use]
+    pub fn off() -> Self {
+        Tracer(None)
+    }
+
+    /// A tracer feeding `sink`.
+    #[must_use]
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Tracer(Some(Arc::new(Mutex::new(sink))))
+    }
+
+    /// A tracer sharing an existing sink handle (lets the caller keep
+    /// access to the sink, e.g. to inspect a [`RingRecorder`] afterwards).
+    #[must_use]
+    pub fn shared(sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        Tracer(Some(sink))
+    }
+
+    /// Whether a sink is attached.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records the event produced by `make` — which is only invoked when
+    /// a sink is attached, keeping the disabled path free of event
+    /// construction.
+    #[inline]
+    pub fn emit(&self, cycle: u64, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.lock()
+                .expect("trace sink poisoned")
+                .record(cycle, make());
+        }
+    }
+
+    /// Finalizes the sink (writes buffered output for file-backed sinks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's I/O error, if any.
+    pub fn finish(&self) -> std::io::Result<()> {
+        match &self.0 {
+            Some(sink) => sink.lock().expect("trace sink poisoned").finish(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer({})", if self.enabled() { "on" } else { "off" })
+    }
+}

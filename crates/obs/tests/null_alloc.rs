@@ -1,0 +1,70 @@
+//! Proves the disabled/null tracing path never touches the allocator.
+//!
+//! This file is its own test binary so the counting global allocator
+//! sees only this test's activity.
+
+use clp_obs::{NullSink, TraceEvent, Tracer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn emit_burst(tracer: &Tracer, n: u64) {
+    for cycle in 0..n {
+        tracer.emit(cycle, || TraceEvent::BlockFetched {
+            proc: 0,
+            core: 3,
+            addr: 0x1000 + cycle,
+            speculative: true,
+        });
+        tracer.emit(cycle, || TraceEvent::OperandRouted {
+            plane: "operand",
+            src: 1,
+            dst: 2,
+            latency: 4,
+        });
+        tracer.emit(cycle, || TraceEvent::InstIssued {
+            proc: 0,
+            core: 3,
+            block: 0x1000,
+            inst: 7,
+            opcode: "add",
+        });
+    }
+}
+
+#[test]
+fn null_sink_and_off_tracer_do_not_allocate() {
+    // Construct both tracers first — Tracer::new boxes the sink once.
+    let off = Tracer::off();
+    let null = Tracer::new(NullSink);
+    // Warm up any lazy runtime allocation.
+    emit_burst(&off, 1);
+    emit_burst(&null, 1);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    emit_burst(&off, 10_000);
+    emit_burst(&null, 10_000);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "tracing hooks allocated on the off/null path"
+    );
+}

@@ -151,7 +151,10 @@ mod tests {
     fn eight_cores_and_l2_fit_the_18mm_die() {
         let m = AreaModel::at_130nm();
         let die = chip_area_mm2(&m, 8, 1.5);
-        assert!(die < 18.0 * 18.0, "8 cores + 1.5MB = {die:.1} must fit 324mm²");
+        assert!(
+            die < 18.0 * 18.0,
+            "8 cores + 1.5MB = {die:.1} must fit 324mm²"
+        );
         assert!(die > 100.0, "the floorplan should not be absurdly small");
     }
 

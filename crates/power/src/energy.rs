@@ -166,12 +166,7 @@ impl PowerBreakdown {
 impl EnergyModel {
     /// Computes the average power breakdown of a completed run.
     #[must_use]
-    pub fn power(
-        &self,
-        stats: &RunStats,
-        cfg: &PowerConfig,
-        area: &AreaModel,
-    ) -> PowerBreakdown {
+    pub fn power(&self, stats: &RunStats, cfg: &PowerConfig, area: &AreaModel) -> PowerBreakdown {
         let cycles = stats.cycles.max(1) as f64;
         let seconds = cycles / self.frequency;
         let nj = 1.0e-9 / seconds; // W per nJ of total energy
@@ -302,7 +297,9 @@ mod tests {
             &AreaModel::at_130nm(),
         );
         let row = p.table_row("tflex-4");
-        for k in ["fetch", "exec", "L1D", "routers", "L2", "DRAM/IO", "clock", "leak", "total"] {
+        for k in [
+            "fetch", "exec", "L1D", "routers", "L2", "DRAM/IO", "clock", "leak", "total",
+        ] {
             assert!(row.contains(k), "missing {k}: {row}");
         }
     }

@@ -75,6 +75,23 @@ pub struct PredictorStats {
     pub exit_mispredictions: u64,
 }
 
+impl PredictorStats {
+    /// Renders these counters as a stats-registry node named `name`.
+    #[must_use]
+    pub fn to_node(&self, name: &str) -> clp_obs::StatsNode {
+        let rate = if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        };
+        clp_obs::StatsNode::new(name)
+            .count("predictions", self.predictions)
+            .count("mispredictions", self.mispredictions)
+            .count("exit_mispredictions", self.exit_mispredictions)
+            .gauge("misprediction_rate", rate)
+    }
+}
+
 /// The fully composed next-block predictor for one logical processor.
 ///
 /// Holds one identical [`ExitPredictor`]/[`TargetPredictor`] bank per
@@ -113,7 +130,10 @@ impl ComposedPredictor {
     #[must_use]
     pub fn new(cfg: PredictorConfig, n_cores: usize) -> Self {
         assert!(n_cores.is_power_of_two(), "composition must be 2^k cores");
-        assert!(cfg.is_valid(), "predictor table sizes must be powers of two");
+        assert!(
+            cfg.is_valid(),
+            "predictor table sizes must be powers of two"
+        );
         ComposedPredictor {
             banks: (0..n_cores)
                 .map(|_| Bank {
@@ -163,7 +183,9 @@ impl ComposedPredictor {
         let mut ras_core = None;
         let (target, ras_ckpt) = match kind {
             BranchKind::Branch => (
-                self.banks[owner].target.predict_branch_target(addr, exit_id),
+                self.banks[owner]
+                    .target
+                    .predict_branch_target(addr, exit_id),
                 self.ras.checkpoint(),
             ),
             BranchKind::Call => {

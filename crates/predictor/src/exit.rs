@@ -88,11 +88,7 @@ impl ExitPredictor {
             old_local_history: local_history,
         };
         // Speculative local-history update with the predicted exit.
-        self.local_l1[l1] = Self::shift_history(
-            local_history,
-            exit,
-            self.cfg.local_history_bits,
-        );
+        self.local_l1[l1] = Self::shift_history(local_history, exit, self.cfg.local_history_bits);
         (exit, choice, ckpt)
     }
 

@@ -72,7 +72,13 @@ impl TargetPredictor {
     }
 
     /// Trains the bank with a resolved exit.
-    pub fn train(&mut self, addr: BlockAddr, exit: u8, kind: BranchKind, target: Option<BlockAddr>) {
+    pub fn train(
+        &mut self,
+        addr: BlockAddr,
+        exit: u8,
+        kind: BranchKind,
+        target: Option<BlockAddr>,
+    ) {
         let idx = self.btype_index(addr, exit);
         self.btype[idx] = kind.encode();
         if let Some(t) = target {

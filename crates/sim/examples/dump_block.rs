@@ -7,7 +7,12 @@ fn main() {
     let i = f.c(0);
     let odds = f.c(0);
     let (h, body, odd_bb, even_bb, next, exit) = (
-        f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(), f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
+        f.new_block(),
     );
     f.jump(h);
     f.switch_to(h);

@@ -18,11 +18,10 @@
 use crate::config::{ProtocolTiming, SimConfig};
 use crate::regfile::{RegFile, RegRead};
 use crate::stats::{CommitLatencyBreakdown, ProcStats, RunStats};
-use clp_isa::{
-    Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target,
-};
+use clp_isa::{Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target};
 use clp_mem::{dbank_for, LoadResponse, MemorySystem, StoreResponse};
 use clp_noc::{region_for, Mesh, NodeId, RegionError};
+use clp_obs::{FlushReason, IntervalSampler, SampleCounters, StatsSnapshot, TraceEvent, Tracer};
 use clp_predictor::{block_owner, ComposedPredictor, ExitOutcome, Prediction};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -143,11 +142,7 @@ enum Ev {
     /// Next-block hand-off arrived at the new owner.
     HandOff { proc: usize, addr: BlockAddr },
     /// Fetch command arrived at a participating core.
-    FetchCmd {
-        proc: usize,
-        seq: u64,
-        part: usize,
-    },
+    FetchCmd { proc: usize, seq: u64, part: usize },
     /// Route a produced value from `from` to the given targets.
     SendOperands {
         from: usize,
@@ -297,6 +292,8 @@ pub struct Machine {
     /// global core -> (proc, participant index)
     core_map: Vec<Option<(usize, usize)>>,
     last_progress: u64,
+    tracer: Tracer,
+    sampler: Option<IntervalSampler>,
 }
 
 impl Machine {
@@ -312,8 +309,58 @@ impl Machine {
             procs: Vec::new(),
             core_map: vec![None; cores],
             last_progress: 0,
+            tracer: Tracer::off(),
+            sampler: None,
             cfg,
         }
+    }
+
+    /// Attaches a tracer; clones of the handle propagate to the memory
+    /// system and the operand network so every subsystem stamps events
+    /// into the same sink. Call before [`Machine::run`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mem.set_tracer(tracer.clone());
+        self.opnet.set_tracer(tracer.clone(), "operand");
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Enables per-interval sampling: one [`clp_obs::IntervalSample`]
+    /// every `period` cycles, surfaced through [`Machine::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_sample_period(&mut self, period: u64) {
+        self.sampler = Some(IntervalSampler::new(period));
+    }
+
+    fn sample_counters(&self) -> SampleCounters {
+        SampleCounters {
+            insts_committed: self.procs.iter().map(|p| p.stats.insts_committed).sum(),
+            blocks_committed: self.procs.iter().map(|p| p.stats.blocks_committed).sum(),
+            blocks_flushed: self.procs.iter().map(|p| p.stats.blocks_flushed).sum(),
+            operand_msgs: self.opnet.stats().delivered,
+        }
+    }
+
+    /// The unified stats registry for the run so far: end-of-run totals
+    /// as a navigable tree plus the sampled time series (which this call
+    /// finalizes — the last partial window is closed and the sampler
+    /// retired).
+    #[must_use]
+    pub fn snapshot(&mut self) -> StatsSnapshot {
+        let counters = self.sample_counters();
+        let intervals = match self.sampler.take() {
+            Some(s) => s.finish(self.now, counters),
+            None => Vec::new(),
+        };
+        self.collect_stats().to_snapshot(intervals)
     }
 
     /// The simulator configuration.
@@ -383,7 +430,11 @@ impl Machine {
         for (p, &c) in cores.iter().enumerate() {
             self.core_map[c] = Some((pid, p));
         }
-        let pred_banks = if self.cfg.centralized_control { 1 } else { n_cores };
+        let pred_banks = if self.cfg.centralized_control {
+            1
+        } else {
+            n_cores
+        };
         let mut regs = RegFile::new(clp_isa::NUM_ARCH_REGS);
         for (i, &a) in args.iter().enumerate().take(8) {
             regs.set_committed(Reg::new(1 + i), a);
@@ -484,9 +535,7 @@ impl Machine {
             !p.halted
                 && p.halt_seq.is_none()
                 && p.slots_free > 0
-                && p.pending
-                    .as_ref()
-                    .is_some_and(|f| f.ready_at <= now)
+                && p.pending.as_ref().is_some_and(|f| f.ready_at <= now)
         };
         if !can_install {
             return;
@@ -517,6 +566,14 @@ impl Machine {
             };
             (seq, p.cores[owner_part], n, p.max_inflight > 1)
         };
+        // A non-zero hand-off means this fetch continues a predicted
+        // chain; entry and redirect fetches are non-speculative.
+        self.tracer.emit(now, || TraceEvent::BlockFetched {
+            proc: pi,
+            core: owner_core,
+            addr: pending.addr,
+            speculative: pending.hand_off_cycles > 0.0,
+        });
         let block = self.procs[pi]
             .program
             .block(pending.addr)
@@ -546,10 +603,7 @@ impl Machine {
 
         let outputs_needed = block.output_count();
         let nops = block.len();
-        let store_mask = block
-            .store_lsids()
-            .iter()
-            .fold(0u32, |m, &l| m | (1 << l));
+        let store_mask = block.store_lsids().iter().fold(0u32, |m, &l| m | (1 << l));
         let conservative = self.procs[pi].violated_addrs.contains(&pending.addr);
         let mut blk = Blk {
             seq,
@@ -596,6 +650,11 @@ impl Machine {
         // Predict the successor and hand off control.
         if speculate {
             let pred = self.procs[pi].predictor.predict(pending.addr);
+            self.tracer.emit(now, || TraceEvent::BlockPredicted {
+                core: owner_core,
+                addr: pending.addr,
+                target: pred.target,
+            });
             let pred_lat = u64::from(self.procs[pi].predictor.latency());
             blk.predict_cycles = pred_lat as f64;
             // RAS traffic: a push/pop message to the stack-top core.
@@ -634,7 +693,8 @@ impl Machine {
         // was squashed.
         let (accept, prev_owner, next_owner) = {
             let p = &self.procs[pi];
-            if p.halted || p.halt_seq.is_some() || p.pending.is_some() || p.chain_next != Some(addr) {
+            if p.halted || p.halt_seq.is_some() || p.pending.is_some() || p.chain_next != Some(addr)
+            {
                 (false, 0, 0)
             } else {
                 let po = p
@@ -654,6 +714,12 @@ impl Machine {
         if !accept {
             return;
         }
+        self.tracer.emit(self.now, || TraceEvent::FetchHandoff {
+            proc: pi,
+            from_core: prev_owner,
+            to_core: next_owner,
+            addr,
+        });
         let flight = self.ctrl_delay(prev_owner, next_owner) as f64;
         self.procs[pi].chain_next = None;
         self.procs[pi].pending = Some(PendingFetch {
@@ -677,9 +743,9 @@ impl Machine {
         if !exists {
             return;
         }
-        let lat = self
-            .mem
-            .fetch_block_slice(core, addr.wrapping_add(self.procs[pi].addr_base), part, n);
+        let lat =
+            self.mem
+                .fetch_block_slice(core, addr.wrapping_add(self.procs[pi].addr_base), part, n);
         let p = &mut self.procs[pi];
         if let Some(b) = p.blocks.get_mut(&seq) {
             b.t_last_cmd = b.t_last_cmd.max(now);
@@ -857,7 +923,9 @@ impl Machine {
                     if total == 0 {
                         break;
                     }
-                    let Some(b) = p.blocks.get(&seq) else { continue };
+                    let Some(b) = p.blocks.get(&seq) else {
+                        continue;
+                    };
                     let is_fp =
                         b.block.instructions()[id as usize].opcode.class() == OpcodeClass::Float;
                     if is_fp {
@@ -881,7 +949,7 @@ impl Machine {
     fn execute_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
         self.last_progress = self.now;
         let now = self.now;
-        let (opcode, imm, lsid, branch, targets, pred, vals, nulls) = {
+        let (opcode, imm, lsid, branch, targets, pred, vals, nulls, blk_addr) = {
             let p = &mut self.procs[pi];
             let Some(b) = p.blocks.get_mut(&seq) else {
                 return;
@@ -898,6 +966,7 @@ impl Machine {
                 inst.pred,
                 st.val,
                 st.is_null,
+                b.addr,
             )
         };
         {
@@ -909,6 +978,14 @@ impl Machine {
                 p.stats.int_ops += 1;
             }
         }
+        let issue_core = self.procs[pi].cores[part];
+        self.tracer.emit(now, || TraceEvent::InstIssued {
+            proc: pi,
+            core: issue_core,
+            block: blk_addr,
+            inst: id as usize,
+            opcode: opcode.mnemonic(),
+        });
 
         // Predicated-off instructions consume the slot and vanish.
         if let Some(sense) = pred {
@@ -975,7 +1052,18 @@ impl Machine {
                         return;
                     }
                 }
-                self.send_mem_req(pi, seq, part, id, op.is_store(), l, imm, left, right, targets);
+                self.send_mem_req(
+                    pi,
+                    seq,
+                    part,
+                    id,
+                    op.is_store(),
+                    l,
+                    imm,
+                    left,
+                    right,
+                    targets,
+                );
             }
             Opcode::Null if lsid.is_some() => {
                 // Store-slot nullification: an output resolves.
@@ -1032,8 +1120,7 @@ impl Machine {
         right: u64,
         targets: [Option<Target>; 2],
     ) {
-        let ea = ((left as i64).wrapping_add(imm) as u64)
-            .wrapping_add(self.procs[pi].addr_base);
+        let ea = ((left as i64).wrapping_add(imm) as u64).wrapping_add(self.procs[pi].addr_base);
         let size = {
             let b = &self.procs[pi].blocks[&seq];
             match b.block.instructions()[_id as usize].opcode {
@@ -1219,7 +1306,7 @@ impl Machine {
                             if let Some(vseq) = violation {
                                 self.procs[proc].stats.violations += 1;
                                 let vblock = vseq / 32;
-                                self.violation_flush(proc, vblock);
+                                self.violation_flush(proc, vblock, FlushReason::Violation);
                             }
                         }
                     }
@@ -1335,8 +1422,18 @@ impl Machine {
         match next_pred {
             Some(pred) => {
                 let mispredicted = is_halt || pred.target != outcome.target;
+                self.tracer.emit(now, || TraceEvent::BranchResolved {
+                    proc: pi,
+                    addr,
+                    correct: !mispredicted,
+                });
                 if mispredicted {
                     self.procs[pi].stats.mispredicts += 1;
+                    self.tracer.emit(now, || TraceEvent::BlockFlushed {
+                        proc: pi,
+                        addr,
+                        reason: FlushReason::Mispredict,
+                    });
                     // Roll back orphaned younger predictions, youngest first.
                     self.flush_from(pi, seq + 1);
                     {
@@ -1381,6 +1478,13 @@ impl Machine {
                 // freshly redirected chain whose successor is not yet
                 // pending).
                 if is_halt {
+                    if self.procs[pi].blocks.range(seq + 1..).next().is_some() {
+                        self.tracer.emit(now, || TraceEvent::BlockFlushed {
+                            proc: pi,
+                            addr,
+                            reason: FlushReason::Mispredict,
+                        });
+                    }
                     self.flush_from(pi, seq + 1);
                     self.procs[pi].halt_seq = Some(seq);
                     self.procs[pi].pending = None;
@@ -1442,8 +1546,7 @@ impl Machine {
             // Re-check reads that may have been waiting on flushed writers.
             let regs: Vec<Reg> = (0..clp_isa::NUM_ARCH_REGS).map(Reg::new).collect();
             let _ = regs;
-            let waiting: Vec<WaitingRead> =
-                self.procs[pi].waiting_reads.drain(..).collect();
+            let waiting: Vec<WaitingRead> = self.procs[pi].waiting_reads.drain(..).collect();
             for w in waiting {
                 if self.procs[pi].blocks.contains_key(&w.seq) {
                     self.try_read(pi, w.seq, w.reg, w.targets, w.bank_core);
@@ -1478,16 +1581,22 @@ impl Machine {
         };
         let y_block = y_gseq / 32;
         if y_block > nacked_seq && self.procs[pi].blocks.contains_key(&y_block) {
-            self.violation_flush(pi, y_block);
+            self.violation_flush(pi, y_block, FlushReason::Overflow);
         }
     }
 
-    /// Flush after a load/store ordering violation at block `vblock`:
-    /// squash it and everything younger, then refetch the same address.
-    fn violation_flush(&mut self, pi: usize, vblock: u64) {
+    /// Flush after a load/store ordering violation (or LSQ overflow
+    /// eviction) at block `vblock`: squash it and everything younger,
+    /// then refetch the same address.
+    fn violation_flush(&mut self, pi: usize, vblock: u64, reason: FlushReason) {
         let Some(addr) = self.procs[pi].blocks.get(&vblock).map(|b| b.addr) else {
             return;
         };
+        self.tracer.emit(self.now, || TraceEvent::BlockFlushed {
+            proc: pi,
+            addr,
+            reason,
+        });
         // Train the dependence predictor: future fetches of this block
         // order their loads behind older stores.
         self.procs[pi].violated_addrs.insert(addr);
@@ -1536,8 +1645,16 @@ impl Machine {
                     inst.opcode.is_store(),
                     inst.lsid.expect("has lsid").index() as u8,
                     inst.imm,
-                    if st.is_null[0] { 0 } else { st.val[0].unwrap_or(0) },
-                    if st.is_null[1] { 0 } else { st.val[1].unwrap_or(0) },
+                    if st.is_null[0] {
+                        0
+                    } else {
+                        st.val[0].unwrap_or(0)
+                    },
+                    if st.is_null[1] {
+                        0
+                    } else {
+                        st.val[1].unwrap_or(0)
+                    },
                     inst.targets,
                 )
             };
@@ -1599,8 +1716,7 @@ impl Machine {
         {
             let p = &mut self.procs[pi];
             p.stats.commit_lat_sum.arch_update += max_update as f64;
-            p.stats.commit_lat_sum.handshake +=
-                (last_ack - now) as f64 - max_update as f64;
+            p.stats.commit_lat_sum.handshake += (last_ack - now) as f64 - max_update as f64;
             p.stats.commit_samples += 1;
         }
         self.push_local(last_ack, Ev::CommitDone { proc: pi, seq });
@@ -1624,19 +1740,25 @@ impl Machine {
                 .unwrap_or(1);
             (owner, mh)
         };
-        let _ = owner_core;
+        let fired = b.ops.iter().filter(|o| o.fired).count();
+        self.tracer.emit(now, || TraceEvent::BlockCommitted {
+            proc: pi,
+            core: owner_core,
+            addr: b.addr,
+            insts: fired,
+        });
         {
             let p = &mut self.procs[pi];
             p.stats.blocks_committed += 1;
             p.stats.insts_dispatched += b.block.len() as u64;
+            p.stats.insts_committed += fired as u64;
             // Fig 9a components for this committed block.
             p.stats.fetch_lat_sum.prediction += b.predict_cycles;
             p.stats.fetch_lat_sum.tag_access += 1.0;
             p.stats.fetch_lat_sum.hand_off += b.hand_off_cycles;
             p.stats.fetch_lat_sum.fetch_distribution +=
                 b.t_last_cmd.saturating_sub(b.t_cmds_sent) as f64;
-            p.stats.fetch_lat_sum.dispatch +=
-                b.t_dispatch_done.saturating_sub(b.t_last_cmd) as f64;
+            p.stats.fetch_lat_sum.dispatch += b.t_dispatch_done.saturating_sub(b.t_last_cmd) as f64;
             p.stats.fetch_samples += 1;
         }
         // Dealloc: the fetch engine learns about the free slot after the
@@ -1655,6 +1777,7 @@ impl Machine {
     /// Advances the machine one cycle.
     pub fn step(&mut self) {
         self.now += 1;
+        self.mem.set_cycle(self.now);
         // 1. Networks.
         self.opnet.step();
         let delivered = self.opnet.drain_delivered();
@@ -1666,9 +1789,7 @@ impl Machine {
             for ev in evs {
                 match ev {
                     Ev::Op(core, msg) => self.handle_op(core, msg),
-                    Ev::OutputDone { proc, seq, lsid } => {
-                        self.on_output_done(proc, seq, lsid)
-                    }
+                    Ev::OutputDone { proc, seq, lsid } => self.on_output_done(proc, seq, lsid),
                     Ev::Branch { proc, seq, outcome } => self.on_branch(proc, seq, outcome),
                     Ev::HandOff { proc, addr } => self.on_handoff(proc, addr),
                     Ev::FetchCmd { proc, seq, part } => self.on_fetch_cmd(proc, seq, part),
@@ -1700,6 +1821,14 @@ impl Machine {
             self.completion_stage(pi);
             self.issue_stage(pi);
             self.check_commit(pi);
+        }
+        // 4. Interval sampling: one integer compare unless a window
+        // closes this cycle.
+        if self.sampler.as_ref().is_some_and(|s| s.due(self.now)) {
+            let counters = self.sample_counters();
+            if let Some(s) = self.sampler.as_mut() {
+                s.sample(self.now, counters);
+            }
         }
     }
 
@@ -1793,23 +1922,33 @@ impl Machine {
         for (pi, p) in self.procs.iter().enumerate() {
             out.push_str(&format!(
                 "proc{pi}: halted={} halt_seq={:?} slots_free={} pending={:?} chain_next={:?}\n",
-                p.halted, p.halt_seq, p.slots_free,
+                p.halted,
+                p.halt_seq,
+                p.slots_free,
                 p.pending.as_ref().map(|f| (f.addr, f.ready_at)),
                 p.chain_next,
             ));
             for (seq, b) in &p.blocks {
                 out.push_str(&format!(
                     "  blk {seq} @{:#x}: outputs {}/{} resolved={} committing={} disp_pending={}\n",
-                    b.addr, b.outputs_done, b.outputs_needed, b.resolved,
-                    b.committing, b.dispatch_pending_cores
+                    b.addr,
+                    b.outputs_done,
+                    b.outputs_needed,
+                    b.resolved,
+                    b.committing,
+                    b.dispatch_pending_cores
                 ));
                 for (i, st) in b.ops.iter().enumerate() {
                     let inst = &b.block.instructions()[i];
                     if !st.fired {
                         out.push_str(&format!(
                             "    i{i} {} disp={} queued={} got={:?} arity={} pred={}\n",
-                            inst.opcode, st.dispatched, st.queued, st.got,
-                            inst.data_arity(), inst.is_predicated()
+                            inst.opcode,
+                            st.dispatched,
+                            st.queued,
+                            st.got,
+                            inst.data_arity(),
+                            inst.is_predicated()
                         ));
                     }
                 }
@@ -1826,7 +1965,10 @@ impl Machine {
             out.push('\n');
             out.push_str(&format!(
                 "  waiting_reads={:?} ready={:?} exec={:?} local_events={}\n",
-                p.waiting_reads.iter().map(|w| (w.seq, w.reg)).collect::<Vec<_>>(),
+                p.waiting_reads
+                    .iter()
+                    .map(|w| (w.seq, w.reg))
+                    .collect::<Vec<_>>(),
                 p.ready.iter().map(|r| r.len()).collect::<Vec<_>>(),
                 p.exec.iter().map(|q| q.len()).collect::<Vec<_>>(),
                 self.local.values().map(Vec::len).sum::<usize>(),

@@ -92,12 +92,7 @@ impl RegFile {
     pub fn read(&self, reg: Reg, seq: u64) -> RegRead {
         let r = reg.index() as u8;
         // Any older pending write blocks the read.
-        if self
-            .pending
-            .range((r, 0)..(r, seq))
-            .next()
-            .is_some()
-        {
+        if self.pending.range((r, 0)..(r, seq)).next().is_some() {
             return RegRead::Wait;
         }
         match self.versions.range((r, 0)..(r, seq)).next_back() {

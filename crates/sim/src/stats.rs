@@ -56,8 +56,10 @@ pub struct ProcStats {
     pub blocks_flushed: u64,
     /// Instructions actually fired (including predicated no-op firings).
     pub insts_fired: u64,
-    /// Instructions committed in committed blocks (dispatched slots).
+    /// Block slots in committed blocks (every slot, fired or not).
     pub insts_dispatched: u64,
+    /// Instructions that actually fired in committed blocks.
+    pub insts_committed: u64,
     /// Integer-class ALU executions.
     pub int_ops: u64,
     /// Floating-point executions.
@@ -113,7 +115,9 @@ impl ProcStats {
         }
     }
 
-    /// Committed instructions per cycle.
+    /// Dispatched (block-slot) instructions per cycle — the useful-work
+    /// rate the figures plot: every slot of a committed block, fired or
+    /// predicated off.
     #[must_use]
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -121,6 +125,59 @@ impl ProcStats {
         } else {
             self.insts_dispatched as f64 / self.cycles as f64
         }
+    }
+
+    /// Committed instructions per cycle, counting only instructions that
+    /// actually fired in committed blocks. Always `<= ipc()`; the gap is
+    /// the predicated-off and never-fired slot fraction.
+    #[must_use]
+    pub fn committed_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts_committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Renders these counters as a stats-registry node named `name`.
+    #[must_use]
+    pub fn to_node(&self, name: &str) -> clp_obs::StatsNode {
+        let fetch = self.fetch_latency();
+        let commit = self.commit_latency();
+        clp_obs::StatsNode::new(name)
+            .count("cycles", self.cycles)
+            .count("blocks_committed", self.blocks_committed)
+            .count("blocks_flushed", self.blocks_flushed)
+            .count("insts_fired", self.insts_fired)
+            .count("insts_dispatched", self.insts_dispatched)
+            .count("insts_committed", self.insts_committed)
+            .count("int_ops", self.int_ops)
+            .count("fp_ops", self.fp_ops)
+            .count("reg_reads", self.reg_reads)
+            .count("reg_writes", self.reg_writes)
+            .count("loads", self.loads)
+            .count("stores", self.stores)
+            .count("mispredicts", self.mispredicts)
+            .count("violations", self.violations)
+            .count("nack_retries", self.nack_retries)
+            .gauge("ipc", self.ipc())
+            .gauge("committed_ipc", self.committed_ipc())
+            .child(self.predictor.to_node("predictor"))
+            .child(
+                clp_obs::StatsNode::new("fetch_latency")
+                    .gauge("prediction", fetch.prediction)
+                    .gauge("tag_access", fetch.tag_access)
+                    .gauge("hand_off", fetch.hand_off)
+                    .gauge("fetch_distribution", fetch.fetch_distribution)
+                    .gauge("dispatch", fetch.dispatch)
+                    .gauge("total", fetch.total()),
+            )
+            .child(
+                clp_obs::StatsNode::new("commit_latency")
+                    .gauge("handshake", commit.handshake)
+                    .gauge("arch_update", commit.arch_update)
+                    .gauge("total", commit.total()),
+            )
     }
 }
 
@@ -150,6 +207,40 @@ impl RunStats {
     #[must_use]
     pub fn total_insts(&self) -> u64 {
         self.procs.iter().map(|p| p.insts_dispatched).sum()
+    }
+
+    /// Builds the unified hierarchical stats registry for this run.
+    ///
+    /// The tree shape is stable:
+    ///
+    /// ```text
+    /// run
+    /// ├── proc0, proc1, …   (ProcStats, each with predictor/fetch/commit)
+    /// ├── mem               (MemStats)
+    /// ├── operand_net       (MeshStats)
+    /// └── control_net       (MeshStats)
+    /// ```
+    ///
+    /// `intervals` carries the per-interval samples collected during the
+    /// run (empty when sampling was off).
+    #[must_use]
+    pub fn to_snapshot(&self, intervals: Vec<clp_obs::IntervalSample>) -> clp_obs::StatsSnapshot {
+        let mut root = clp_obs::StatsNode::new("run")
+            .count("cycles", self.cycles)
+            .count("total_blocks_committed", self.total_blocks_committed())
+            .count("total_insts", self.total_insts());
+        for (i, p) in self.procs.iter().enumerate() {
+            root = root.child(p.to_node(&format!("proc{i}")));
+        }
+        root = root
+            .child(self.mem.to_node())
+            .child(self.operand_net.to_node("operand_net"))
+            .child(self.control_net.to_node("control_net"));
+        clp_obs::StatsSnapshot {
+            cycles: self.cycles,
+            root,
+            intervals,
+        }
     }
 }
 

@@ -139,10 +139,7 @@ fn loop_probe_one_core_forty() {
             }
             stalled += 1;
             if stalled > 400_000 {
-                panic!(
-                    "stall on {n_cores} cores:\n{}",
-                    m.debug_snapshot()
-                );
+                panic!("stall on {n_cores} cores:\n{}", m.debug_snapshot());
             }
             let _ = before;
         }
@@ -213,7 +210,9 @@ fn branchy_divergence_probe() {
         cfg.max_cycles = 5_000;
         let mut m = Machine::new(cfg);
         m.memory_mut().image.load_words(0x2000, &data);
-        let pid = m.compose(n_cores, 0, edge.clone(), &[0x2000, data.len() as u64]).unwrap();
+        let pid = m
+            .compose(n_cores, 0, edge.clone(), &[0x2000, data.len() as u64])
+            .unwrap();
         match m.run() {
             Ok(_) => {
                 let r1 = m.register(pid, Reg::new(1));

@@ -26,7 +26,11 @@ fn run_on(
     (r1, stats.cycles, m, pid)
 }
 
-fn golden(program: &clp_compiler::Program, args: &[u64], init_mem: &[(u64, Vec<u64>)]) -> (Option<u64>, MemoryImage) {
+fn golden(
+    program: &clp_compiler::Program,
+    args: &[u64],
+    init_mem: &[(u64, Vec<u64>)],
+) -> (Option<u64>, MemoryImage) {
     let mut image = MemoryImage::new();
     for (addr, words) in init_mem {
         image.load_words(*addr, words);
@@ -159,7 +163,10 @@ fn straightline_matches_interpreter_on_all_compositions() {
     for n in [1usize, 2, 4, 8, 16, 32] {
         let (r1, cycles, _, _) = run_on(&p, &args, SimConfig::tflex(), n, &[]);
         assert_eq!(Some(r1), ret, "wrong result on {n} cores");
-        assert!(cycles > 0 && cycles < 10_000, "cycles {cycles} on {n} cores");
+        assert!(
+            cycles > 0 && cycles < 10_000,
+            "cycles {cycles} on {n} cores"
+        );
     }
 }
 
@@ -246,7 +253,6 @@ fn composition_speeds_up_a_parallel_loop() {
 fn stats_are_populated() {
     let p = loop_sum_program();
     let data: Vec<u64> = (0..50).collect();
-    let mem = vec![(0x5000u64, data.clone())];
     let args = [0x5000u64, data.len() as u64];
     let edge = compile(&p, &CompileOptions::default()).expect("compiles");
     let mut m = Machine::new(SimConfig::tflex());
@@ -259,7 +265,10 @@ fn stats_are_populated() {
     assert!(ps.reg_reads > 0 && ps.reg_writes > 0);
     assert!(ps.predictor.predictions > 0);
     assert!(stats.mem.l1d_hits > 0);
-    assert!(stats.operand_net.delivered > 0, "mesh should carry operands");
+    assert!(
+        stats.operand_net.delivered > 0,
+        "mesh should carry operands"
+    );
     assert!(ps.fetch_samples > 0 && ps.commit_samples > 0);
     assert!(ps.fetch_latency().dispatch >= 0.0);
 }

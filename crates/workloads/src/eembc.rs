@@ -80,10 +80,7 @@ pub fn autocor() -> Workload {
         let acc = f.c(0);
         let three = f.c(3);
         let lag_off = f.bin(Opcode::Shl, lag, three);
-        let limit = {
-            
-            f.c((n - lags) as i64)
-        };
+        let limit = { f.c((n - lags) as i64) };
         crate::util::for_loop_step(f, limit, 4, &mut |f, i| {
             let base = idx8(f, x, i);
             let shifted = f.bin(Opcode::Add, base, lag_off);

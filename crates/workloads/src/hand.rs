@@ -53,10 +53,7 @@ pub fn conv() -> Workload {
         ilp: IlpClass::High,
         program: pb.finish(id),
         args: vec![IN, OUT, TAPS],
-        init_mem: vec![
-            (IN, rng.words(n_out + 8, 100)),
-            (TAPS, rng.words(8, 16)),
-        ],
+        init_mem: vec![(IN, rng.words(n_out + 8, 100)), (TAPS, rng.words(8, 16))],
         check: CheckSpec {
             check_ret: true,
             regions: vec![(OUT, n_out)],
@@ -80,8 +77,7 @@ pub fn ct() -> Workload {
     let span = f.bin(Opcode::Sub, hi, lo);
     let four = f.c(4);
     let small = f.bin(Opcode::Tle, span, four);
-    let (leaf, split, cont1, cont2) =
-        (f.new_block(), f.new_block(), f.new_block(), f.new_block());
+    let (leaf, split, cont1, cont2) = (f.new_block(), f.new_block(), f.new_block(), f.new_block());
     f.branch(small, leaf, split);
     // Leaf: serial sum of up to four elements.
     f.switch_to(leaf);

@@ -277,9 +277,7 @@ mod tests {
         let mut bad = g.image.clone();
         let (base, _) = w.check.regions[0];
         bad.write_u64(base, bad.read_u64(base) ^ 0xdead);
-        assert!(w
-            .verify_against(&g, g.ret.unwrap_or(0), &bad)
-            .is_err());
+        assert!(w.verify_against(&g, g.ret.unwrap_or(0), &bad).is_err());
     }
 
     #[test]

@@ -339,10 +339,7 @@ pub fn ammp() -> Workload {
         ilp: IlpClass::High,
         program: pb.finish(id),
         args: vec![A, B, OUT, particles as u64],
-        init_mem: vec![
-            (A, rng.f64_words(particles)),
-            (B, rng.f64_words(particles)),
-        ],
+        init_mem: vec![(A, rng.f64_words(particles)), (B, rng.f64_words(particles))],
         check: CheckSpec {
             check_ret: true,
             regions: vec![(OUT, particles)],

@@ -131,7 +131,11 @@ pub fn bzip2() -> Workload {
             let mut w = 0u64;
             let c = rng.below(3) + 65;
             for b in 0..8 {
-                let ch = if rng.below(4) == 0 { rng.below(3) + 65 } else { c };
+                let ch = if rng.below(4) == 0 {
+                    rng.below(3) + 65
+                } else {
+                    c
+                };
                 w |= ch << (8 * b);
             }
             w
@@ -483,7 +487,11 @@ pub fn gcc() -> Workload {
     let mut rng = Lcg::new(0x6CC);
     let codev: Vec<u64> = (0..prog_len)
         .map(|_| {
-            let op = if rng.below(2) == 0 { 0 } else { rng.below(2) + 1 };
+            let op = if rng.below(2) == 0 {
+                0
+            } else {
+                rng.below(2) + 1
+            };
             let imm = rng.below(100);
             op | (imm << 2)
         })

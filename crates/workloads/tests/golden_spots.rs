@@ -151,13 +151,13 @@ fn equake_rows_match_dense_recompute() {
     let cols = g.image.read_words(w.args[1], dim * nnz);
     let x = g.image.read_words(w.args[2], dim);
     let y = g.image.read_words(w.args[3], dim);
-    for r in 0..dim {
+    for (r, &row_y) in y.iter().enumerate() {
         let mut acc = 0.0;
         for k in 0..nnz {
             let idx = r * nnz + k;
             acc += f64::from_bits(vals[idx]) * f64::from_bits(x[cols[idx] as usize]);
         }
-        let got = f64::from_bits(y[r]);
+        let got = f64::from_bits(row_y);
         assert!((got - acc).abs() < 1e-9, "row {r}: {got} vs {acc}");
     }
 }

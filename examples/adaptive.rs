@@ -11,8 +11,7 @@ use clp::workloads::suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "conv".into());
-    let workload = suite::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload '{name}'"));
+    let workload = suite::by_name(&name).unwrap_or_else(|| panic!("unknown workload '{name}'"));
 
     for (goal, label) in [
         (AdaptGoal::Performance, "performance      "),

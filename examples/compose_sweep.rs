@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cw = compile_workload(&workload)?;
     let trips = run_compiled(&cw, &ProcessorConfig::trips())?;
-    println!("{:>6} {:>10}   (TRIPS baseline)", "trips", trips.stats.cycles);
+    println!(
+        "{:>6} {:>10}   (TRIPS baseline)",
+        "trips", trips.stats.cycles
+    );
 
     println!();
     println!("best performance      : {} cores ({:.2}x)", best.0, best.1);

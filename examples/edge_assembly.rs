@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .take(6)
             .map(|(i, _)| {
                 let id = clp::isa::InstId::new(i);
-                format!("i{i}->core{}slot{}", id.core_of(n_cores), id.slot_of(n_cores))
+                format!(
+                    "i{i}->core{}slot{}",
+                    id.core_of(n_cores),
+                    id.slot_of(n_cores)
+                )
             })
             .collect();
         println!("{n_cores:>2} cores: {}", placements.join(" "));

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let out = run_multiprogram(&specs)?;
     println!();
-    println!("{:<8} {:>8} {:>9} {:>8}", "program", "cores", "cycles", "correct");
+    println!(
+        "{:<8} {:>8} {:>9} {:>8}",
+        "program", "cores", "cycles", "correct"
+    );
     for (i, s) in specs.iter().enumerate() {
         println!(
             "{:<8} {:>8} {:>9} {:>8}",

@@ -11,7 +11,10 @@ use clp::workloads::suite;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = suite::by_name("conv").expect("conv is in the suite");
-    println!("workload: {} ({:?}, {:?} ILP)", workload.name, workload.class, workload.ilp);
+    println!(
+        "workload: {} ({:?}, {:?} ILP)",
+        workload.name, workload.class, workload.ilp
+    );
 
     let outcome = run_workload(&workload, &ProcessorConfig::tflex(4))?;
     let proc = &outcome.stats.procs[0];

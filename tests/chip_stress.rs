@@ -38,7 +38,12 @@ fn thirty_two_single_core_threads() {
         let base = m.addr_base(pid);
         // Verify ret and regions within this processor's address space.
         if cw.workload.check.check_ret {
-            assert_eq!(Some(ret), cw.golden.ret, "proc {pid:?} ({})", cw.workload.name);
+            assert_eq!(
+                Some(ret),
+                cw.golden.ret,
+                "proc {pid:?} ({})",
+                cw.workload.name
+            );
         }
         for &(region, len) in &cw.workload.check.regions {
             for k in 0..len {

@@ -58,8 +58,7 @@ fn instant_handshakes_bound_the_modeled_protocol() {
                 ideal.stats.cycles,
                 modeled.stats.cycles
             );
-            let overhead =
-                modeled.stats.cycles as f64 / ideal.stats.cycles as f64 - 1.0;
+            let overhead = modeled.stats.cycles as f64 / ideal.stats.cycles as f64 - 1.0;
             assert!(
                 overhead < 0.6,
                 "{name} x{n}: handshake overhead {overhead:.2} is implausible"
@@ -138,7 +137,6 @@ fn determinism_across_the_suite() {
 #[test]
 fn same_block_store_load_race_terminates() {
     use clp::compiler::{FunctionBuilder, ProgramBuilder};
-    use clp::isa::Opcode;
 
     // if (c) { a[0] = x; } y = a[0];  — merged into one hyperblock, the
     // load can issue before the predicated store.
@@ -168,7 +166,8 @@ fn same_block_store_load_race_terminates() {
         let mut m = clp::sim::Machine::new(cfg);
         m.memory_mut().image.write_u64(0x8000, 5);
         let pid = m.compose(cores, 0, edge.clone(), &[0x8000, 1]).unwrap();
-        m.run().unwrap_or_else(|e| panic!("livelock on {cores} cores: {e}"));
+        m.run()
+            .unwrap_or_else(|e| panic!("livelock on {cores} cores: {e}"));
         assert_eq!(m.register(pid, clp::isa::Reg::new(1)), 77);
     }
 }

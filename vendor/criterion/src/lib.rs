@@ -1,0 +1,124 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! `criterion_group!`, `criterion_main!` — timed with `std::time::Instant`.
+//! There is no statistical analysis; each benchmark reports the mean
+//! wall-clock time over `sample_size` samples after a warm-up run.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: u64,
+    /// Mean duration of one routine invocation, filled in by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it once per sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / u32::try_from(self.samples).unwrap_or(1);
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / u32::try_from(self.samples).unwrap_or(1);
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {name:<48} {:>12.3?}/iter ({} samples)",
+            b.mean, b.samples
+        );
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group, in either positional or struct-like form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,113 @@
+//! Deterministic case runner and configuration.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+///
+/// Only the fields this workspace sets are present; construct with struct
+/// update syntax (`..ProptestConfig::default()`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; this implementation never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; generation here never rejects.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases; 64 keeps tier-1 runtime
+        // modest while still exercising each property broadly.
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message (mirrors `TestCaseError::fail`).
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// A rejected case (treated as failure here; no rejection budget).
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic split-mix RNG driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of the property `body`, panicking
+/// on the first failure with the case number and seed.
+///
+/// # Panics
+///
+/// Panics when a case returns `Err`, reporting the reproduction seed.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(test_name);
+    for case in 0..config.cases {
+        let seed = base.wrapping_add(u64::from(case).wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let mut rng = TestRng::new(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "property `{test_name}` failed at case {case}/{} (seed {seed:#x}):\n{e}",
+                config.cases
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` as a dev-dependency but does not
+//! currently use it in source; this minimal deterministic PRNG satisfies
+//! dependency resolution offline and gives future tests a usable
+//! generator.
+
+#![warn(missing_docs)]
+
+/// A small xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// A generator seeded from `seed` (zero is remapped).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed.max(1) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A value uniform in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,398 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote, which
+//! are unavailable offline). The parser covers exactly the shapes this
+//! workspace uses: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit (optionally with a discriminant), newtype,
+//! tuple, or struct-like. Serialization follows serde's external-tagging
+//! conventions so the JSON output looks like real serde's.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only; types are recovered by inference).
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "derive(Serialize/Deserialize): generic types are not supported by the vendored serde"
+        );
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("expected enum body"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past tokens until a comma at angle-bracket depth zero
+/// (or end of input). Grouped delimiters are single trees, so only
+/// `<`/`>` need explicit depth tracking (e.g. `BTreeMap<usize, f64>`).
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("expected field name, found `{other}`"),
+        }
+        i += 1; // name
+        i += 1; // `:`
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // `,`
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut n = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        n += 1;
+        skip_to_comma(&tokens, &mut i);
+        i += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // A unit variant may carry an explicit discriminant (`Name = 3`).
+        skip_to_comma(&tokens, &mut i);
+        i += 1; // `,`
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                pats.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = value; Ok({name})"),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(value.get({f:?}))?")
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(", "))
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!(
+                            "::serde::Deserialize::from_value(a.get({k}).unwrap_or(&::serde::Value::Null))?"
+                        ))
+                        .collect();
+                    format!(
+                        "let a = value.as_array().ok_or_else(|| ::serde::DeError::msg(\"expected tuple-struct array\"))?;\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!(
+                                    "::serde::Deserialize::from_value(a.get({k}).unwrap_or(&::serde::Value::Null))?"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let a = inner.as_array().ok_or_else(|| ::serde::DeError::msg(\"expected variant array\"))?;\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::Deserialize::from_value(inner.get({f:?}))?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if let Some(s) = value.as_str() {{\n\
+                             return match s {{\n{unit}\n\
+                                 other => Err(::serde::DeError::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let Some(entries) = value.as_object() {{\n\
+                             if let Some((tag, inner)) = entries.first() {{\n\
+                                 let _ = inner;\n\
+                                 return match tag.as_str() {{\n{tagged}\n\
+                                     other => Err(::serde::DeError::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::msg(\"expected {name} enum value\"))\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `serde_json`, backed by the vendored serde's
+//! [`Value`] tree and JSON text codec.
+
+#![warn(missing_docs)]
+
+pub use serde::Value;
+
+use serde::{DeError, Deserialize, Serialize};
+
+/// Error type for JSON encoding/decoding.
+pub type Error = DeError;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for this implementation; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::to_string_value(&value.to_value(), false))
+}
+
+/// Serializes `value` to a pretty-printed JSON string.
+///
+/// # Errors
+///
+/// Never fails for this implementation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::to_string_value(&value.to_value(), true))
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let v = serde::json::parse(text)?;
+    T::from_value(&v)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on a shape mismatch.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T> {
+    T::from_value(v)
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax (subset used in tests).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([$($item:tt),* $(,)?]) => {
+        $crate::Value::Array(vec![$($crate::json!($item)),*])
+    };
+    ({$($key:literal : $val:tt),* $(,)?}) => {
+        $crate::Value::Object(vec![$(($key.to_string(), $crate::json!($val))),*])
+    };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
