@@ -15,7 +15,7 @@
 use clp_alloc::{
     fixed_cmp, granularity_fractions, optimal_clp, variable_best_cmp, Allocation, SpeedupCurve,
 };
-use clp_bench::{save_json, sweep_suite, SWEEP_SIZES};
+use clp_bench::{save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES};
 use clp_workloads::suite;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -42,9 +42,19 @@ struct SizePoint {
     tflex_over_best_cmp_pct: f64,
 }
 
+#[derive(Serialize)]
+struct Out {
+    points: Vec<SizePoint>,
+    failures: Vec<CellFailure>,
+}
+
 fn main() {
     // Measure the 12 hand-optimized speedup curves (Figure 6 data).
-    let rows = sweep_suite(&suite::hand_optimized(), &SWEEP_SIZES);
+    let (rows, failures) =
+        sweep_suite_resilient(&suite::hand_optimized(), &SWEEP_SIZES).complete_rows();
+    for f in &failures {
+        eprintln!("warning: dropping failed cell {f}");
+    }
     let curves: Vec<SpeedupCurve> = rows
         .iter()
         .map(|r| {
@@ -144,5 +154,11 @@ fn main() {
         println!();
     }
 
-    save_json("fig10.json", &out);
+    save_json(
+        "fig10.json",
+        &Out {
+            points: out,
+            failures,
+        },
+    );
 }

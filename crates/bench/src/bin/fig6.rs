@@ -5,7 +5,9 @@
 //! ~13% more (~4x); 8-core TFlex beats TRIPS by ~19%; BEST beats TRIPS
 //! by ~42%.
 
-use clp_bench::{geomean, order_by_ilp, save_json, sweep_suite, SWEEP_SIZES};
+use clp_bench::{
+    geomean, order_by_ilp, save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES,
+};
 use clp_workloads::suite;
 use serde::Serialize;
 
@@ -19,9 +21,18 @@ struct Row {
     best: f64,
 }
 
+#[derive(Serialize)]
+struct Out {
+    rows: Vec<Row>,
+    failures: Vec<CellFailure>,
+}
+
 fn main() {
     let workloads = suite::all();
-    let mut rows = sweep_suite(&workloads, &SWEEP_SIZES);
+    let (mut rows, failures) = sweep_suite_resilient(&workloads, &SWEEP_SIZES).complete_rows();
+    for f in &failures {
+        eprintln!("warning: dropping failed cell {f}");
+    }
     order_by_ilp(&mut rows);
 
     println!("Figure 6: speedup over one TFlex core");
@@ -80,5 +91,11 @@ fn main() {
     println!("8-core TFlex vs TRIPS: {avg8_vs_trips:.2}x  (paper: ~1.19x)");
     println!("BEST TFlex  vs TRIPS: {best_vs_trips:.2}x  (paper: ~1.42x)");
 
-    save_json("fig6.json", &out);
+    save_json(
+        "fig6.json",
+        &Out {
+            rows: out,
+            failures,
+        },
+    );
 }

@@ -4,7 +4,9 @@
 //! Paper shape: area efficiency peaks at one or two cores for most
 //! benchmarks; beyond two cores performance grows more slowly than area.
 
-use clp_bench::{geomean, order_by_ilp, save_json, sweep_suite, SWEEP_SIZES};
+use clp_bench::{
+    geomean, order_by_ilp, save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES,
+};
 use clp_power::perf_per_area;
 use clp_workloads::suite;
 use serde::Serialize;
@@ -18,8 +20,17 @@ struct Row {
     peak_size: usize,
 }
 
+#[derive(Serialize)]
+struct Out {
+    rows: Vec<Row>,
+    failures: Vec<CellFailure>,
+}
+
 fn main() {
-    let mut rows = sweep_suite(&suite::all(), &SWEEP_SIZES);
+    let (mut rows, failures) = sweep_suite_resilient(&suite::all(), &SWEEP_SIZES).complete_rows();
+    for f in &failures {
+        eprintln!("warning: dropping failed cell {f}");
+    }
     order_by_ilp(&mut rows);
 
     println!("Figure 7: performance/area normalized to one TFlex core");
@@ -85,5 +96,11 @@ fn main() {
         best_eff_avg / avg_trips
     );
 
-    save_json("fig7.json", &out);
+    save_json(
+        "fig7.json",
+        &Out {
+            rows: out,
+            failures,
+        },
+    );
 }

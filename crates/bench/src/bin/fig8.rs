@@ -5,7 +5,9 @@
 //! picking per-application BEST adds ~22%; fixed 8-core TFlex is ~1.64x
 //! more power-efficient than TRIPS.
 
-use clp_bench::{geomean, order_by_ilp, save_json, sweep_suite, SWEEP_SIZES};
+use clp_bench::{
+    geomean, order_by_ilp, save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES,
+};
 use clp_power::perf2_per_watt;
 use clp_workloads::suite;
 use serde::Serialize;
@@ -18,8 +20,17 @@ struct Row {
     peak_size: usize,
 }
 
+#[derive(Serialize)]
+struct Out {
+    rows: Vec<Row>,
+    failures: Vec<CellFailure>,
+}
+
 fn main() {
-    let mut rows = sweep_suite(&suite::all(), &SWEEP_SIZES);
+    let (mut rows, failures) = sweep_suite_resilient(&suite::all(), &SWEEP_SIZES).complete_rows();
+    for f in &failures {
+        eprintln!("warning: dropping failed cell {f}");
+    }
     order_by_ilp(&mut rows);
 
     println!("Figure 8: performance^2/Watt normalized to one TFlex core");
@@ -93,5 +104,11 @@ fn main() {
         avg8 / avg_trips
     );
 
-    save_json("fig8.json", &out);
+    save_json(
+        "fig8.json",
+        &Out {
+            rows: out,
+            failures,
+        },
+    );
 }

@@ -7,7 +7,7 @@
 //! bandwidth scales. For commit, handshaking grows with distance while
 //! the architectural-state update shrinks with added bandwidth.
 
-use clp_bench::{save_json, sweep_suite, SWEEP_SIZES};
+use clp_bench::{save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES};
 use clp_sim::{CommitLatencyBreakdown, FetchLatencyBreakdown};
 use clp_workloads::suite;
 use serde::Serialize;
@@ -19,8 +19,17 @@ struct Point {
     commit: CommitLatencyBreakdown,
 }
 
+#[derive(Serialize)]
+struct Out {
+    series: Vec<Point>,
+    failures: Vec<CellFailure>,
+}
+
 fn main() {
-    let rows = sweep_suite(&suite::all(), &SWEEP_SIZES);
+    let (rows, failures) = sweep_suite_resilient(&suite::all(), &SWEEP_SIZES).complete_rows();
+    for f in &failures {
+        eprintln!("warning: dropping failed cell {f}");
+    }
     let mut series = Vec::new();
     for (i, &n) in SWEEP_SIZES.iter().enumerate() {
         let mut fetch = FetchLatencyBreakdown::default();
@@ -79,5 +88,5 @@ fn main() {
         );
     }
 
-    save_json("fig9.json", &series);
+    save_json("fig9.json", &Out { series, failures });
 }

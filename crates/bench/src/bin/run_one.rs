@@ -12,11 +12,19 @@
 //! <https://ui.perfetto.dev>); `--stats-json <path>` writes the unified
 //! [`clp_obs::StatsSnapshot`]; `--sample-every <cycles>` sets the
 //! interval-sampling period (default 1000 when `--stats-json` is given).
+//!
+//! `--faults <spec>` attaches a deterministic fault-injection plan: a
+//! comma-separated list of `kind[=rate]` entries (rate in per-mille,
+//! default 25), or `all[=rate]` for every kind, e.g.
+//! `--faults noc_delay,forced_nack=100`. Kinds: `noc_delay`, `noc_burst`,
+//! `forced_nack`, `mispredict`, `dram_spike`, `handoff_delay`.
+//! `--fault-seed <n>` picks the PRNG stream (default 1); the same spec
+//! and seed always reproduce the same cycle count.
 
 use clp_core::compile_workload;
 use clp_isa::Reg;
 use clp_obs::{ChromeTraceWriter, Tracer};
-use clp_sim::{Machine, SimConfig};
+use clp_sim::{FaultPlan, Machine, SimConfig, ALL_FAULT_KINDS};
 use clp_workloads::suite;
 
 struct Args {
@@ -25,6 +33,8 @@ struct Args {
     trace: Option<String>,
     stats_json: Option<String>,
     sample_every: Option<u64>,
+    faults: Option<String>,
+    fault_seed: u64,
 }
 
 fn die(msg: &str) -> ! {
@@ -39,6 +49,8 @@ fn parse_args() -> Args {
         trace: None,
         stats_json: None,
         sample_every: None,
+        faults: None,
+        fault_seed: 1,
     };
     let mut positional = 0;
     let mut it = std::env::args().skip(1);
@@ -55,6 +67,14 @@ fn parse_args() -> Args {
                 match v.parse() {
                     Ok(p) if p > 0 => args.sample_every = Some(p),
                     _ => die(&format!("--sample-every wants a period >= 1, got `{v}`")),
+                }
+            }
+            "--faults" => args.faults = Some(flag_value("--faults")),
+            "--fault-seed" => {
+                let v = flag_value("--fault-seed");
+                match v.parse() {
+                    Ok(s) => args.fault_seed = s,
+                    Err(_) => die(&format!("bad --fault-seed `{v}`")),
                 }
             }
             _ => {
@@ -74,6 +94,9 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // Nonzero exit on a failed or incorrect run, so CI smoke jobs can
+    // gate on run_one directly.
+    let mut exit_code = 0;
     let args = parse_args();
     let (name, n) = (args.name.as_str(), args.cores);
     let w = suite::by_name(name).unwrap_or_else(|| {
@@ -92,6 +115,10 @@ fn main() {
     }
     let mut cfg = SimConfig::tflex();
     cfg.max_cycles = 2_000_000;
+    if let Some(spec) = &args.faults {
+        cfg.faults = FaultPlan::parse(spec, args.fault_seed)
+            .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
+    }
     let mut m = Machine::new(cfg);
     if let Some(path) = &args.trace {
         m.set_tracer(Tracer::new(ChromeTraceWriter::new(path)));
@@ -113,6 +140,24 @@ fn main() {
                 "{name} on {n} cores: {} cycles, ret={ret:#x}, correct={ok}",
                 stats.cycles
             );
+            if !ok {
+                exit_code = 1;
+            }
+            if args.faults.is_some() {
+                let fs = stats.faults;
+                let per_kind: Vec<String> = ALL_FAULT_KINDS
+                    .iter()
+                    .filter(|&&k| fs.count(k) > 0)
+                    .map(|&k| format!("{}={}", k.label(), fs.count(k)))
+                    .collect();
+                println!(
+                    "[faults: {} injected (seed {}){}{}]",
+                    fs.total(),
+                    args.fault_seed,
+                    if per_kind.is_empty() { "" } else { ": " },
+                    per_kind.join(", ")
+                );
+            }
             let snapshot = m.snapshot();
             if let Some(path) = &args.stats_json {
                 std::fs::write(path, snapshot.to_json()).expect("can write stats");
@@ -126,10 +171,12 @@ fn main() {
         Err(e) => {
             println!("{name} on {n} cores FAILED: {e}");
             println!("{}", m.debug_snapshot());
+            exit_code = 1;
         }
     }
     if let Some(path) = &args.trace {
         m.tracer().finish().expect("can write trace");
         println!("[trace -> {path}]");
     }
+    std::process::exit(exit_code);
 }

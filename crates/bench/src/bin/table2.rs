@@ -1,7 +1,7 @@
 //! Table 2: component areas (mm² at 130 nm) and the average power
 //! breakdown of TRIPS versus an 8-core TFlex processor.
 
-use clp_bench::{save_json, sweep_suite};
+use clp_bench::{save_json, sweep_suite_resilient, CellFailure};
 use clp_power::PowerBreakdown;
 use clp_workloads::suite;
 use serde::Serialize;
@@ -10,6 +10,7 @@ use serde::Serialize;
 struct PowerRows {
     tflex8: PowerBreakdown,
     trips: PowerBreakdown,
+    failures: Vec<CellFailure>,
 }
 
 fn main() {
@@ -22,7 +23,10 @@ fn main() {
     println!();
 
     // Average power across the suite at the paper's two organizations.
-    let rows = sweep_suite(&suite::all(), &[8]);
+    let (rows, failures) = sweep_suite_resilient(&suite::all(), &[8]).complete_rows();
+    for f in &failures {
+        eprintln!("warning: dropping failed cell {f}");
+    }
     let n = rows.len() as f64;
     let mut tflex8 = PowerBreakdown::default();
     let mut trips = PowerBreakdown::default();
@@ -50,5 +54,12 @@ fn main() {
         100.0 * trips.leakage_fraction()
     );
 
-    save_json("table2.json", &PowerRows { tflex8, trips });
+    save_json(
+        "table2.json",
+        &PowerRows {
+            tflex8,
+            trips,
+            failures,
+        },
+    );
 }

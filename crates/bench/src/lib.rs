@@ -76,49 +76,186 @@ impl BenchRow {
     }
 }
 
+/// One failed `(workload, configuration)` cell of a sweep.
+///
+/// `config` names the failing organization: `tflex-N`, `trips`, or
+/// `compile` when the workload never made it past the compiler (which
+/// fails every cell of its row).
+#[derive(Clone, Debug, Serialize)]
+pub struct CellFailure {
+    /// The workload whose cell failed.
+    pub workload: String,
+    /// The configuration that failed (`tflex-N`, `trips`, `compile`).
+    pub config: String,
+    /// The rendered error.
+    pub error: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {}", self.workload, self.config, self.error)
+    }
+}
+
+/// Per-cell results for one workload across the sweep: every `(workload,
+/// size)` cell carries its own `Result`, so one failing configuration
+/// does not lose the rest of the row.
+pub struct RowResult {
+    /// The workload.
+    pub workload: Workload,
+    /// `(cores, result)` for each TFlex size.
+    pub tflex: Vec<(usize, Result<RunOutcome, String>)>,
+    /// The TRIPS baseline result.
+    pub trips: Result<RunOutcome, String>,
+}
+
+impl RowResult {
+    /// The failed cells of this row.
+    #[must_use]
+    pub fn failures(&self) -> Vec<CellFailure> {
+        let mut out = Vec::new();
+        for (n, r) in &self.tflex {
+            if let Err(e) = r {
+                out.push(CellFailure {
+                    workload: self.workload.name.to_string(),
+                    config: format!("tflex-{n}"),
+                    error: e.clone(),
+                });
+            }
+        }
+        if let Err(e) = &self.trips {
+            out.push(CellFailure {
+                workload: self.workload.name.to_string(),
+                config: "trips".to_string(),
+                error: e.clone(),
+            });
+        }
+        out
+    }
+
+    /// Converts to a [`BenchRow`] if every cell succeeded.
+    #[must_use]
+    pub fn into_complete(self) -> Option<BenchRow> {
+        let mut tflex = Vec::with_capacity(self.tflex.len());
+        for (n, r) in self.tflex {
+            tflex.push((n, r.ok()?));
+        }
+        Some(BenchRow {
+            workload: self.workload,
+            tflex,
+            trips: self.trips.ok()?,
+        })
+    }
+}
+
+/// The outcome of a resilient sweep: every row, with per-cell `Result`s.
+pub struct SweepOutcome {
+    /// One entry per input workload, in input order.
+    pub rows: Vec<RowResult>,
+}
+
+impl SweepOutcome {
+    /// Every failed cell across the sweep.
+    #[must_use]
+    pub fn failures(&self) -> Vec<CellFailure> {
+        self.rows.iter().flat_map(RowResult::failures).collect()
+    }
+
+    /// True when every cell of every row succeeded.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rows.iter().all(|r| r.failures().is_empty())
+    }
+
+    /// Splits into the fully-successful rows (ready for the figure math,
+    /// which needs every size present) and the failed cells (for the
+    /// warning log and the JSON report). Rows with any failed cell are
+    /// dropped from the first list and reported in the second.
+    #[must_use]
+    pub fn complete_rows(self) -> (Vec<BenchRow>, Vec<CellFailure>) {
+        let failures = self.failures();
+        let rows = self
+            .rows
+            .into_iter()
+            .filter_map(RowResult::into_complete)
+            .collect();
+        (rows, failures)
+    }
+}
+
 /// Sweeps every workload over `sizes` plus TRIPS, in parallel (one thread
-/// per workload), preserving input order.
-///
-/// # Panics
-///
-/// Panics if any run fails — the correctness gate for every figure.
+/// per workload), preserving input order. A failing cell is recorded in
+/// its row's `Result` and the sweep keeps going — one bad `(workload,
+/// size)` combination never kills a whole figure binary.
 #[must_use]
-pub fn sweep_suite(workloads: &[Workload], sizes: &[usize]) -> Vec<BenchRow> {
+pub fn sweep_suite_resilient(workloads: &[Workload], sizes: &[usize]) -> SweepOutcome {
     let (tx, rx) = mpsc::channel();
     thread::scope(|scope| {
         for (idx, w) in workloads.iter().enumerate() {
             let tx = tx.clone();
             let sizes = sizes.to_vec();
             scope.spawn(move || {
-                let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-                let tflex: Vec<(usize, RunOutcome)> = sizes
-                    .iter()
-                    .map(|&n| {
-                        let r = run_compiled(&cw, &ProcessorConfig::tflex(n))
-                            .unwrap_or_else(|e| panic!("{} on {n} cores: {e}", w.name));
-                        (n, r)
-                    })
-                    .collect();
-                let trips = run_compiled(&cw, &ProcessorConfig::trips())
-                    .unwrap_or_else(|e| panic!("{} on TRIPS: {e}", w.name));
-                tx.send((
-                    idx,
-                    BenchRow {
-                        workload: w.clone(),
-                        tflex,
-                        trips,
-                    },
-                ))
-                .expect("receiver alive");
+                let row = match compile_workload(w) {
+                    Ok(cw) => {
+                        let tflex = sizes
+                            .iter()
+                            .map(|&n| {
+                                let r = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                                    .map_err(|e| e.to_string());
+                                (n, r)
+                            })
+                            .collect();
+                        let trips =
+                            run_compiled(&cw, &ProcessorConfig::trips()).map_err(|e| e.to_string());
+                        RowResult {
+                            workload: w.clone(),
+                            tflex,
+                            trips,
+                        }
+                    }
+                    Err(e) => {
+                        // A compile failure fails every cell of the row.
+                        let msg = e.to_string();
+                        RowResult {
+                            workload: w.clone(),
+                            tflex: sizes.iter().map(|&n| (n, Err(msg.clone()))).collect(),
+                            trips: Err(msg),
+                        }
+                    }
+                };
+                tx.send((idx, row)).expect("receiver alive");
             });
         }
         drop(tx);
-        let mut rows: Vec<Option<BenchRow>> = (0..workloads.len()).map(|_| None).collect();
+        let mut rows: Vec<Option<RowResult>> = (0..workloads.len()).map(|_| None).collect();
         for (idx, row) in rx {
             rows[idx] = Some(row);
         }
-        rows.into_iter().map(|r| r.expect("all sent")).collect()
+        SweepOutcome {
+            rows: rows.into_iter().map(|r| r.expect("all sent")).collect(),
+        }
     })
+}
+
+/// Sweeps every workload over `sizes` plus TRIPS (see
+/// [`sweep_suite_resilient`]), insisting on a clean sweep.
+///
+/// # Panics
+///
+/// Panics if any cell fails — the correctness gate for the smoke tests.
+#[must_use]
+pub fn sweep_suite(workloads: &[Workload], sizes: &[usize]) -> Vec<BenchRow> {
+    let (rows, failures) = sweep_suite_resilient(workloads, sizes).complete_rows();
+    assert!(
+        failures.is_empty(),
+        "sweep failed: {}",
+        failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    rows
 }
 
 /// Geometric mean (the paper's cross-benchmark average).
@@ -184,6 +321,44 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilient_sweep_reports_failed_cells_and_keeps_going() {
+        // 64 cores is not a valid composition: that cell fails, the rest
+        // of the row (and the other workloads) still produce results.
+        let workloads: Vec<Workload> = ["conv", "bezier"]
+            .iter()
+            .map(|n| clp_workloads::suite::by_name(n).expect("known"))
+            .collect();
+        let outcome = sweep_suite_resilient(&workloads, &[1, 64]);
+        assert!(!outcome.is_clean());
+        let failures = outcome.failures();
+        assert_eq!(failures.len(), 2, "one bad cell per workload");
+        for f in &failures {
+            assert_eq!(f.config, "tflex-64");
+            assert!(f.error.contains("compose"), "unexpected error: {}", f.error);
+        }
+        for row in &outcome.rows {
+            assert!(row.tflex[0].1.is_ok(), "1-core cell still measured");
+            assert!(row.trips.is_ok(), "TRIPS cell still measured");
+        }
+        // Rows with a failed cell are excluded from the complete set but
+        // surfaced in the failure list.
+        let (rows, failures) = outcome.complete_rows();
+        assert!(rows.is_empty());
+        assert_eq!(failures.len(), 2);
+    }
+
+    #[test]
+    fn resilient_sweep_clean_run_is_complete() {
+        let workloads = [clp_workloads::suite::by_name("conv").expect("known")];
+        let outcome = sweep_suite_resilient(&workloads, &[1, 4]);
+        assert!(outcome.is_clean());
+        let (rows, failures) = outcome.complete_rows();
+        assert!(failures.is_empty());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].cycles_at(4) > 0);
     }
 
     #[test]

@@ -29,3 +29,6 @@ pub use run::{
     compile_workload, run_compiled, run_compiled_observed, run_workload, speedup_curve, sweep,
     CompiledWorkload, ObsOptions, ProcessorConfig, ProcessorKind, RunFailure, RunOutcome,
 };
+// Fault-injection vocabulary, re-exported so harnesses and tests can
+// build plans without depending on clp-sim directly.
+pub use clp_sim::{FaultKind, FaultPlan, FaultStats, ALL_FAULT_KINDS};

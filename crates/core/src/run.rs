@@ -50,6 +50,15 @@ impl ProcessorConfig {
         }
     }
 
+    /// The same configuration with a fault-injection plan attached
+    /// (builder style). `FaultPlan::none()` is the default and leaves
+    /// cycle counts bit-identical.
+    #[must_use]
+    pub fn with_faults(mut self, faults: clp_sim::FaultPlan) -> Self {
+        self.sim.faults = faults;
+        self
+    }
+
     /// Cores the organization occupies.
     #[must_use]
     pub fn cores(&self) -> usize {

@@ -37,6 +37,13 @@ pub struct MemStats {
     pub dirty_forwards: u64,
     /// Stores committed to the architectural image.
     pub stores_committed: u64,
+    /// NACKs forced by the fault-injection layer (not counted in
+    /// `lsq_nacks`, which tracks organic flow-control refusals).
+    pub injected_nacks: u64,
+    /// DRAM latency spikes injected by the fault layer.
+    pub injected_dram_spikes: u64,
+    /// Total extra load latency (cycles) added by injected DRAM spikes.
+    pub injected_dram_extra_cycles: u64,
 }
 
 impl MemStats {
@@ -71,6 +78,12 @@ impl MemStats {
             .count("invalidations", self.invalidations)
             .count("dirty_forwards", self.dirty_forwards)
             .count("stores_committed", self.stores_committed)
+            .count("injected_nacks", self.injected_nacks)
+            .count("injected_dram_spikes", self.injected_dram_spikes)
+            .count(
+                "injected_dram_extra_cycles",
+                self.injected_dram_extra_cycles,
+            )
             .gauge("l1d_hit_rate", self.l1d_hit_rate())
     }
 
@@ -92,6 +105,9 @@ impl MemStats {
         self.invalidations += o.invalidations;
         self.dirty_forwards += o.dirty_forwards;
         self.stores_committed += o.stores_committed;
+        self.injected_nacks += o.injected_nacks;
+        self.injected_dram_spikes += o.injected_dram_spikes;
+        self.injected_dram_extra_cycles += o.injected_dram_extra_cycles;
     }
 }
 

@@ -177,6 +177,22 @@ impl MemorySystem {
         }
     }
 
+    /// Records a NACK forced by the fault-injection layer: the request
+    /// never reached the LSQ, but the refusal should still show up in
+    /// traces and stats next to organic NACKs.
+    pub fn note_injected_nack(&mut self, core: usize, addr: u64) {
+        self.stats.injected_nacks += 1;
+        self.tracer
+            .emit(self.cycle, || TraceEvent::LsqNack { bank: core, addr });
+    }
+
+    /// Records a DRAM latency spike (`extra` cycles added to a load's
+    /// reply) injected by the fault layer.
+    pub fn note_injected_dram_spike(&mut self, _core: usize, extra: u64) {
+        self.stats.injected_dram_spikes += 1;
+        self.stats.injected_dram_extra_cycles += extra;
+    }
+
     /// Issues a load at `core`'s bank with global memory order `seq`.
     pub fn execute_load(&mut self, core: usize, seq: u64, addr: u64, size: u8) -> LoadResponse {
         self.stats.lsq_searches += 1;

@@ -147,6 +147,10 @@ pub struct Mesh<M> {
     tracer: Tracer,
     /// Plane label used in trace events (`"operand"` / `"control"`).
     plane: &'static str,
+    /// While `cycle < throttled_until`, every link forwards at most one
+    /// message per cycle regardless of configured bandwidth (used by the
+    /// fault-injection layer to model contention bursts).
+    throttled_until: u64,
 }
 
 impl<M> Mesh<M> {
@@ -162,8 +166,24 @@ impl<M> Mesh<M> {
             stats: MeshStats::default(),
             tracer: Tracer::off(),
             plane: "operand",
+            throttled_until: 0,
             cfg,
         }
+    }
+
+    /// Clamps every link to bandwidth 1 for the next `cycles` steps.
+    ///
+    /// Overlapping throttles extend rather than stack: the mesh stays
+    /// throttled until the furthest end point seen. A no-op on meshes
+    /// already configured with bandwidth 1.
+    pub fn throttle(&mut self, cycles: u64) {
+        self.throttled_until = self.throttled_until.max(self.cycle + cycles);
+    }
+
+    /// True while a [`Mesh::throttle`] burst is in effect.
+    #[must_use]
+    pub fn is_throttled(&self) -> bool {
+        self.cycle < self.throttled_until
     }
 
     /// Attaches a tracer; `plane` labels this mesh's events
@@ -250,7 +270,11 @@ impl<M> Mesh<M> {
 
         // Each router forwards up to `link_bandwidth` messages per output
         // direction, in FIFO order (stable by sequence number).
-        let bw = self.cfg.link_bandwidth;
+        let bw = if self.cycle <= self.throttled_until && self.throttled_until != 0 {
+            self.cfg.link_bandwidth.min(1)
+        } else {
+            self.cfg.link_bandwidth
+        };
         for node in 0..self.queues.len() {
             let mut budget = [bw; 5];
             let mut remaining: VecDeque<InFlight<M>> = VecDeque::new();
@@ -414,6 +438,40 @@ mod tests {
     fn inject_out_of_range_panics() {
         let mut mesh: Mesh<()> = Mesh::new(small());
         mesh.inject(NodeId(99), NodeId(0), ());
+    }
+
+    #[test]
+    fn throttle_degrades_double_bandwidth_to_single() {
+        let mut cfg = small();
+        cfg.link_bandwidth = 2;
+        let mut mesh = Mesh::new(cfg);
+        mesh.throttle(20);
+        assert!(mesh.is_throttled());
+        mesh.inject(NodeId(0), NodeId(3), 1);
+        mesh.inject(NodeId(0), NodeId(3), 2);
+        let out = run_until_delivered(&mut mesh, 20);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].2 + 1,
+            out[1].2,
+            "throttled bw=2 behaves like bw=1: second message one cycle later"
+        );
+    }
+
+    #[test]
+    fn throttle_expires() {
+        let mut cfg = small();
+        cfg.link_bandwidth = 2;
+        let mut mesh = Mesh::new(cfg);
+        mesh.throttle(2);
+        for _ in 0..3 {
+            mesh.step();
+        }
+        assert!(!mesh.is_throttled());
+        mesh.inject(NodeId(0), NodeId(3), 1);
+        mesh.inject(NodeId(0), NodeId(3), 2);
+        let out = run_until_delivered(&mut mesh, 20);
+        assert_eq!(out[0].2, out[1].2, "full bandwidth restored after burst");
     }
 
     #[test]

@@ -174,6 +174,21 @@ pub enum TraceEvent {
         /// Whether a dirty victim was written back.
         writeback: bool,
     },
+    /// The deterministic fault-injection layer perturbed a protocol.
+    ///
+    /// Injected faults cost cycles, never correctness; this event makes
+    /// each perturbation visible in Perfetto so a slow chaos run can be
+    /// debugged alongside the protocol events it disturbed.
+    FaultInjected {
+        /// Stable fault-kind label (e.g. `"noc_delay"`, `"forced_nack"`).
+        kind: &'static str,
+        /// Core the fault was injected at (owner core for fetch-side
+        /// faults, bank core for memory-side faults).
+        core: usize,
+        /// Extra cycles charged by the fault (0 for faults whose cost is
+        /// indirect, like a flipped prediction).
+        extra_cycles: u64,
+    },
 }
 
 impl TraceEvent {
@@ -193,6 +208,7 @@ impl TraceEvent {
             TraceEvent::LsqNack { .. } => "lsq_nack",
             TraceEvent::MemViolation { .. } => "mem_violation",
             TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -210,6 +226,7 @@ impl TraceEvent {
             TraceEvent::LsqNack { .. }
             | TraceEvent::MemViolation { .. }
             | TraceEvent::CacheMiss { .. } => "mem",
+            TraceEvent::FaultInjected { .. } => "fault",
         }
     }
 
@@ -236,6 +253,7 @@ impl TraceEvent {
                 (if *plane == "control" { 3 } else { 2 }, *node as u64)
             }
             TraceEvent::BlockPredicted { core, .. } => (4, *core as u64),
+            TraceEvent::FaultInjected { core, .. } => (5, *core as u64),
         }
     }
 
@@ -343,6 +361,15 @@ impl TraceEvent {
                 ("bank", Value::UInt(bank as u64)),
                 ("addr", hex(addr)),
                 ("writeback", Value::Bool(writeback)),
+            ],
+            TraceEvent::FaultInjected {
+                kind,
+                core,
+                extra_cycles,
+            } => vec![
+                ("kind", Value::String(kind.to_string())),
+                ("core", Value::UInt(core as u64)),
+                ("extra_cycles", Value::UInt(extra_cycles)),
             ],
         }
     }

@@ -1,5 +1,6 @@
 //! Simulator configuration (Table 1 of the paper).
 
+use crate::fault::FaultPlan;
 use clp_mem::MemConfig;
 use clp_noc::MeshConfig;
 use clp_predictor::PredictorConfig;
@@ -59,6 +60,9 @@ pub struct SimConfig {
     pub stack_top: u64,
     /// Cycle budget before [`RunError::CycleLimit`](crate::RunError).
     pub max_cycles: u64,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] disables
+    /// injection entirely and is bit-identical to a fault-free build).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -86,6 +90,7 @@ impl SimConfig {
             centralized_control: false,
             stack_top: 0x4000_0000,
             max_cycles: 200_000_000,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -113,6 +118,7 @@ impl SimConfig {
             centralized_control: true,
             stack_top: 0x4000_0000,
             max_cycles: 200_000_000,
+            faults: FaultPlan::none(),
         }
     }
 

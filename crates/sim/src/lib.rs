@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod fault;
 mod machine;
 mod regfile;
 mod stats;
 
 pub use config::{table1_text, CoreConfig, ProtocolTiming, SimConfig};
+pub use fault::{FaultKind, FaultPlan, FaultStats, ALL_FAULT_KINDS};
 pub use machine::{ComposeError, Machine, ProcId, RunError};
 pub use regfile::{RegFile, RegRead};
 pub use stats::{CommitLatencyBreakdown, FetchLatencyBreakdown, ProcStats, RunStats};

@@ -16,6 +16,7 @@
 //!   every run checks end-to-end correctness against the IR interpreter.
 
 use crate::config::{ProtocolTiming, SimConfig};
+use crate::fault::FaultInjector;
 use crate::regfile::{RegFile, RegRead};
 use crate::stats::{CommitLatencyBreakdown, ProcStats, RunStats};
 use clp_isa::{Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target};
@@ -23,7 +24,8 @@ use clp_mem::{dbank_for, LoadResponse, MemorySystem, StoreResponse};
 use clp_noc::{region_for, Mesh, NodeId, RegionError};
 use clp_obs::{FlushReason, IntervalSampler, SampleCounters, StatsSnapshot, TraceEvent, Tracer};
 use clp_predictor::{block_owner, ComposedPredictor, ExitOutcome, Prediction};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Identifies a logical processor within a [`Machine`].
@@ -37,6 +39,9 @@ pub enum ComposeError {
     Region(RegionError),
     /// One of the requested cores already belongs to a processor.
     CoreBusy(usize),
+    /// The workload passes more arguments than the `r1..=r8` argument
+    /// registers can hold (the machine used to silently truncate these).
+    TooManyArgs(usize),
 }
 
 impl fmt::Display for ComposeError {
@@ -44,6 +49,9 @@ impl fmt::Display for ComposeError {
         match self {
             ComposeError::Region(e) => write!(f, "{e}"),
             ComposeError::CoreBusy(c) => write!(f, "core {c} already composed"),
+            ComposeError::TooManyArgs(n) => {
+                write!(f, "{n} arguments exceed the 8 argument registers (r1..=r8)")
+            }
         }
     }
 }
@@ -155,6 +163,10 @@ enum Ev {
     CommitDone { proc: usize, seq: u64 },
     /// A window slot became visible as free to the fetch engine.
     SlotFree { proc: usize },
+    /// An operand-network injection held back by the fault layer is
+    /// released onto the mesh (only ever scheduled by injected NoC
+    /// delays; never present on fault-free runs).
+    Inject { from: usize, to: usize, msg: OpMsg },
 }
 
 // ---------------------------------------------------------------------------
@@ -224,8 +236,25 @@ impl Blk {
     }
 }
 
-/// A scheduled execution completion: `(done_cycle, seq, inst, result)`.
-type ExecDone = (u64, u64, u8, Option<u64>);
+/// A scheduled execution completion.
+///
+/// The derived `Ord` compares fields in declaration order, so a min-heap
+/// of these pops by `(done, push_seq)`: earliest completion first, ties
+/// broken by issue order — exactly the order the old FIFO scan produced
+/// (every opcode latency is >= 1, so nothing can complete in arrears).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ExecDone {
+    /// Cycle the result becomes routable.
+    done: u64,
+    /// Monotonic per-processor push counter (FIFO tie-break).
+    push_seq: u64,
+    /// Owning block sequence number.
+    seq: u64,
+    /// Instruction id within the block.
+    inst: u8,
+    /// Produced value (`None` routes a null token).
+    result: Option<u64>,
+}
 
 #[derive(Clone, Debug)]
 struct PendingFetch {
@@ -272,8 +301,11 @@ struct Proc {
     waiting_reads: Vec<WaitingRead>,
     /// Per participant core: ready-to-issue (seq, inst) entries.
     ready: Vec<BTreeSet<(u64, u8)>>,
-    /// Per participant core: (done_cycle, seq, inst, result).
-    exec: Vec<VecDeque<ExecDone>>,
+    /// Per participant core: in-flight completions, popped by done cycle
+    /// (issue order within a cycle — see [`ExecDone`]).
+    exec: Vec<BinaryHeap<Reverse<ExecDone>>>,
+    /// Monotonic counter feeding [`ExecDone::push_seq`].
+    exec_pushes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -294,6 +326,9 @@ pub struct Machine {
     last_progress: u64,
     tracer: Tracer,
     sampler: Option<IntervalSampler>,
+    /// Deterministic fault injector (inert under `FaultPlan::none()`:
+    /// zero PRNG draws, zero scheduling changes).
+    faults: FaultInjector,
 }
 
 impl Machine {
@@ -311,8 +346,16 @@ impl Machine {
             last_progress: 0,
             tracer: Tracer::off(),
             sampler: None,
+            faults: FaultInjector::new(cfg.faults),
             cfg,
         }
+    }
+
+    /// What the fault layer injected so far (all zeros on fault-free
+    /// runs).
+    #[must_use]
+    pub fn fault_stats(&self) -> &crate::fault::FaultStats {
+        self.faults.stats()
     }
 
     /// Attaches a tracer; clones of the handle propagate to the memory
@@ -383,12 +426,13 @@ impl Machine {
 
     /// Composes a logical processor from `n_cores` cores (region `index`
     /// of the standard tiling) and loads `program` with up to 8 integer
-    /// arguments in `r1..`.
+    /// arguments in `r1..=r8`.
     ///
     /// # Errors
     ///
-    /// Returns [`ComposeError`] if the region is invalid or overlaps an
-    /// existing processor.
+    /// Returns [`ComposeError`] if the region is invalid, overlaps an
+    /// existing processor, or `args` exceeds the 8 argument registers
+    /// (arguments are never silently truncated).
     pub fn compose(
         &mut self,
         n_cores: usize,
@@ -419,6 +463,9 @@ impl Machine {
         args: &[u64],
         addr_base: u64,
     ) -> Result<ProcId, ComposeError> {
+        if args.len() > 8 {
+            return Err(ComposeError::TooManyArgs(args.len()));
+        }
         let nodes = region_for(&self.cfg.operand_net, n_cores, index)?;
         let cores: Vec<usize> = nodes.iter().map(|n| n.0).collect();
         for &c in &cores {
@@ -436,7 +483,7 @@ impl Machine {
             n_cores
         };
         let mut regs = RegFile::new(clp_isa::NUM_ARCH_REGS);
-        for (i, &a) in args.iter().enumerate().take(8) {
+        for (i, &a) in args.iter().enumerate() {
             regs.set_committed(Reg::new(1 + i), a);
         }
         regs.set_committed(Reg::SP, self.cfg.stack_top);
@@ -465,7 +512,8 @@ impl Machine {
             stats: ProcStats::default(),
             waiting_reads: Vec::new(),
             ready: vec![BTreeSet::new(); n_cores],
-            exec: vec![VecDeque::new(); n_cores],
+            exec: (0..n_cores).map(|_| BinaryHeap::new()).collect(),
+            exec_pushes: 0,
         });
         Ok(ProcId(pid))
     }
@@ -486,6 +534,26 @@ impl Machine {
     fn push_local(&mut self, at: u64, ev: Ev) {
         let at = at.max(self.now + 1);
         self.local.entry(at).or_default().push(ev);
+    }
+
+    /// Injects an operand-class message onto the mesh — unless the fault
+    /// layer decides to hold it back first, in which case the injection
+    /// is re-scheduled as an [`Ev::Inject`] a few cycles out (modeling a
+    /// slow or retried link). Fault-free plans take the direct path with
+    /// zero overhead.
+    fn inject_op_msg(&mut self, from: usize, to: usize, msg: OpMsg) {
+        if self.faults.active() {
+            if let Some(extra) = self.faults.noc_delay() {
+                self.tracer.emit(self.now, || TraceEvent::FaultInjected {
+                    kind: "noc_delay",
+                    core: from,
+                    extra_cycles: extra,
+                });
+                self.push_local(self.now + extra, Ev::Inject { from, to, msg });
+                return;
+            }
+        }
+        self.opnet.inject(NodeId(from), NodeId(to), msg);
     }
 
     /// Routes a produced value (or null token) to targets, from `from`.
@@ -513,7 +581,7 @@ impl Machine {
             if dst == from {
                 self.push_local(self.now + 1, Ev::Op(dst, msg));
             } else {
-                self.opnet.inject(NodeId(from), NodeId(dst), msg);
+                self.inject_op_msg(from, dst, msg);
             }
         }
     }
@@ -522,7 +590,7 @@ impl Machine {
         if from == to {
             self.push_local(self.now + 1, Ev::Op(to, msg));
         } else {
-            self.opnet.inject(NodeId(from), NodeId(to), msg);
+            self.inject_op_msg(from, to, msg);
         }
     }
 
@@ -649,7 +717,21 @@ impl Machine {
 
         // Predict the successor and hand off control.
         if speculate {
-            let pred = self.procs[pi].predictor.predict(pending.addr);
+            let mut pred = self.procs[pi].predictor.predict(pending.addr);
+            // Forced mispredict: steer the prediction one block frame off
+            // its target. The checkpoint inside `pred` is untouched, so
+            // rollback and resolution-time training follow the normal
+            // mispredict recovery path; the wrong-path fetch either finds
+            // a real (wrong) block or stalls until the redirect.
+            if self.faults.active() && self.faults.flip_prediction() {
+                let owner = owner_core;
+                self.tracer.emit(now, || TraceEvent::FaultInjected {
+                    kind: "mispredict",
+                    core: owner,
+                    extra_cycles: 0,
+                });
+                pred.target = pred.target.wrapping_add(clp_isa::BLOCK_FRAME_BYTES);
+            }
             self.tracer.emit(now, || TraceEvent::BlockPredicted {
                 core: owner_core,
                 addr: pending.addr,
@@ -674,15 +756,29 @@ impl Machine {
             let send_at = now + 1 + pred_lat + ras_extra;
             let flight = self.ctrl_delay(owner_core, next_owner_core);
             blk.spec_next = Some(pred.target);
-            blk.next_pred = Some(pred);
             self.procs[pi].chain_next = Some(pred.target);
+            // Delayed hand-off: the control message to the next owner
+            // simply takes longer, as if the control mesh were congested.
+            let mut handoff_at = send_at + flight;
+            if self.faults.active() {
+                if let Some(extra) = self.faults.handoff_delay() {
+                    let owner = owner_core;
+                    self.tracer.emit(now, || TraceEvent::FaultInjected {
+                        kind: "handoff_delay",
+                        core: owner,
+                        extra_cycles: extra,
+                    });
+                    handoff_at += extra;
+                }
+            }
             self.push_local(
-                send_at + flight,
+                handoff_at,
                 Ev::HandOff {
                     proc: pi,
                     addr: pred.target,
                 },
             );
+            blk.next_pred = Some(pred);
         }
         self.procs[pi].blocks.insert(seq, blk);
     }
@@ -1100,7 +1196,16 @@ impl Machine {
             _ => {
                 let result = clp_isa::value::eval(opcode, imm, left, right);
                 let from = self.procs[pi].cores[part];
-                self.procs[pi].exec[part].push_back((now + latency, seq, id, Some(result)));
+                let p = &mut self.procs[pi];
+                let push_seq = p.exec_pushes;
+                p.exec_pushes += 1;
+                p.exec[part].push(Reverse(ExecDone {
+                    done: now + latency,
+                    push_seq,
+                    seq,
+                    inst: id,
+                    result: Some(result),
+                }));
                 let _ = from;
             }
         }
@@ -1146,7 +1251,7 @@ impl Machine {
         if bank_core == from {
             self.push_local(self.now + 1, Ev::Op(bank_core, msg));
         } else {
-            self.opnet.inject(NodeId(from), NodeId(bank_core), msg);
+            self.inject_op_msg(from, bank_core, msg);
         }
     }
 
@@ -1155,16 +1260,23 @@ impl Machine {
         let n = self.procs[pi].n;
         for part in 0..n {
             loop {
+                // The heap pops by (done, issue order): every latency is
+                // >= 1, so due items complete exactly this cycle and come
+                // out in the same order the old FIFO scan produced.
                 let item = {
                     let q = &mut self.procs[pi].exec[part];
-                    // exec is in issue order; latencies vary, so scan.
-                    let pos = q.iter().position(|&(d, _, _, _)| d <= now);
-                    match pos {
-                        Some(i) => q.remove(i),
-                        None => None,
+                    match q.peek() {
+                        Some(&Reverse(e)) if e.done <= now => q.pop().map(|Reverse(e)| e),
+                        _ => None,
                     }
                 };
-                let Some((_, seq, id, result)) = item else {
+                let Some(ExecDone {
+                    seq,
+                    inst: id,
+                    result,
+                    ..
+                }) = item
+                else {
                     break;
                 };
                 let (alive, targets) = {
@@ -1263,6 +1375,37 @@ impl Machine {
                     return;
                 }
                 let gseq = seq * 32 + u64::from(lsid);
+                // Forced NACK: the bank refuses a request it could have
+                // accepted. The request retries through the existing
+                // NACK/replay path; no overflow eviction (the LSQ is not
+                // actually full, so no forward-progress action is owed).
+                if self.faults.active() && self.faults.forced_nack() {
+                    let retry_wait = u64::from(self.cfg.nack_retry);
+                    self.tracer.emit(self.now, || TraceEvent::FaultInjected {
+                        kind: "forced_nack",
+                        core,
+                        extra_cycles: retry_wait,
+                    });
+                    self.mem.note_injected_nack(core, addr);
+                    self.procs[proc].stats.nack_retries += 1;
+                    self.push_local(
+                        self.now + retry_wait,
+                        Ev::Op(
+                            core,
+                            OpMsg::MemReq {
+                                proc,
+                                seq,
+                                lsid,
+                                store,
+                                addr,
+                                size,
+                                value,
+                                targets,
+                            },
+                        ),
+                    );
+                    return;
+                }
                 if store {
                     match self.mem.execute_store(core, gseq, addr, size, value) {
                         StoreResponse::Nack => {
@@ -1335,8 +1478,24 @@ impl Machine {
                         }
                         LoadResponse::Ok { value, latency } => {
                             self.procs[proc].stats.loads += 1;
+                            // DRAM spike: the reply is charged extra
+                            // cycles, as if the line had missed all the
+                            // way to a busy memory controller. The value
+                            // is unchanged — only its arrival time moves.
+                            let mut total = u64::from(latency);
+                            if self.faults.active() {
+                                if let Some(extra) = self.faults.dram_spike() {
+                                    self.tracer.emit(self.now, || TraceEvent::FaultInjected {
+                                        kind: "dram_spike",
+                                        core,
+                                        extra_cycles: extra,
+                                    });
+                                    self.mem.note_injected_dram_spike(core, extra);
+                                    total += extra;
+                                }
+                            }
                             self.push_local(
-                                self.now + u64::from(latency),
+                                self.now + total,
                                 Ev::SendOperands {
                                     from: core,
                                     proc,
@@ -1539,7 +1698,7 @@ impl Machine {
                 set.retain(|&(s, _)| s < from);
             }
             for q in &mut p.exec {
-                q.retain(|&(_, s, _, _)| s < from);
+                q.retain(|&Reverse(e)| e.seq < from);
             }
             p.waiting_reads.retain(|w| w.seq < from);
             self.mem.flush_from(&cores, from * 32);
@@ -1778,6 +1937,19 @@ impl Machine {
     pub fn step(&mut self) {
         self.now += 1;
         self.mem.set_cycle(self.now);
+        // 0. Fault layer: maybe start a link-contention burst (clamps
+        // the operand mesh to bandwidth 1 for the burst length). One
+        // Bernoulli draw per cycle; zero draws when the kind is off.
+        if self.faults.active() {
+            if let Some(len) = self.faults.noc_burst() {
+                self.tracer.emit(self.now, || TraceEvent::FaultInjected {
+                    kind: "noc_burst",
+                    core: 0,
+                    extra_cycles: len,
+                });
+                self.opnet.throttle(len);
+            }
+        }
         // 1. Networks.
         self.opnet.step();
         let delivered = self.opnet.drain_delivered();
@@ -1807,6 +1979,9 @@ impl Machine {
                     Ev::CommitDone { proc, seq } => self.on_commit_done(proc, seq),
                     Ev::SlotFree { proc } => {
                         self.procs[proc].slots_free += 1;
+                    }
+                    Ev::Inject { from, to, msg } => {
+                        self.opnet.inject(NodeId(from), NodeId(to), msg);
                     }
                 }
             }
@@ -1858,6 +2033,7 @@ impl Machine {
             mem: self.mem.stats(),
             operand_net: *self.opnet.stats(),
             control_net: Default::default(),
+            faults: *self.faults.stats(),
         };
         for (i, p) in self.procs.iter().enumerate() {
             stats.procs[i].predictor = *p.predictor.stats();

@@ -1,5 +1,6 @@
 //! Simulation statistics, including the Figure 9 latency breakdowns.
 
+use crate::fault::FaultStats;
 use clp_mem::MemStats;
 use clp_noc::MeshStats;
 use clp_predictor::PredictorStats;
@@ -194,6 +195,8 @@ pub struct RunStats {
     pub operand_net: MeshStats,
     /// Control-network counters.
     pub control_net: MeshStats,
+    /// Fault-injection counters (all zero on fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -218,7 +221,8 @@ impl RunStats {
     /// ├── proc0, proc1, …   (ProcStats, each with predictor/fetch/commit)
     /// ├── mem               (MemStats)
     /// ├── operand_net       (MeshStats)
-    /// └── control_net       (MeshStats)
+    /// ├── control_net       (MeshStats)
+    /// └── faults            (FaultStats — zeros on fault-free runs)
     /// ```
     ///
     /// `intervals` carries the per-interval samples collected during the
@@ -235,7 +239,8 @@ impl RunStats {
         root = root
             .child(self.mem.to_node())
             .child(self.operand_net.to_node("operand_net"))
-            .child(self.control_net.to_node("control_net"));
+            .child(self.control_net.to_node("control_net"))
+            .child(self.faults.to_node());
         clp_obs::StatsSnapshot {
             cycles: self.cycles,
             root,

@@ -15,6 +15,7 @@
 //! | [`noc`] | `clp-noc` | 2-D mesh operand/control networks |
 //! | [`predictor`] | `clp-predictor` | composable next-block predictor |
 //! | [`mem`] | `clp-mem` | L1 banks, LSQs, S-NUCA L2, coherence, DRAM |
+//! | [`obs`] | `clp-obs` | cycle-level tracing + unified stats registry |
 //! | [`sim`] | `clp-sim` | the TFlex/TRIPS cycle-level simulator |
 //! | [`power`] | `clp-power` | area and energy models |
 //! | [`workloads`] | `clp-workloads` | the 26-kernel benchmark suite |
@@ -41,6 +42,7 @@ pub use clp_core as core;
 pub use clp_isa as isa;
 pub use clp_mem as mem;
 pub use clp_noc as noc;
+pub use clp_obs as obs;
 pub use clp_power as power;
 pub use clp_predictor as predictor;
 pub use clp_sim as sim;
