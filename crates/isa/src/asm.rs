@@ -34,14 +34,24 @@ pub enum AsmError {
         message: String,
     },
     /// The parsed instructions do not form a valid block.
-    Invalid(BlockError),
+    Invalid {
+        /// The violated block invariant.
+        error: BlockError,
+        /// Source line of the offending instruction, when the error
+        /// names one (see [`BlockError::primary_inst`]).
+        line: Option<usize>,
+    },
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
-            AsmError::Invalid(e) => write!(f, "invalid block: {e}"),
+            AsmError::Invalid {
+                error,
+                line: Some(line),
+            } => write!(f, "line {line}: invalid block: {error}"),
+            AsmError::Invalid { error, line: None } => write!(f, "invalid block: {error}"),
         }
     }
 }
@@ -49,8 +59,8 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 impl From<BlockError> for AsmError {
-    fn from(e: BlockError) -> Self {
-        AsmError::Invalid(e)
+    fn from(error: BlockError) -> Self {
+        AsmError::Invalid { error, line: None }
     }
 }
 
@@ -129,12 +139,20 @@ fn parse_target(tok: &str) -> Option<Target> {
 /// Returns [`AsmError::Syntax`] for malformed text and
 /// [`AsmError::Invalid`] if the instructions violate block invariants.
 pub fn parse_block(text: &str) -> Result<Block, AsmError> {
+    parse_block_at(text, 0)
+}
+
+/// [`parse_block`] with a line offset, so blocks embedded in a larger
+/// source (see [`parse_program`]) report absolute line numbers.
+fn parse_block_at(text: &str, offset: usize) -> Result<Block, AsmError> {
     let mut address: Option<u64> = None;
     let mut insts: Vec<Instruction> = Vec::new();
+    // Source line each parsed instruction came from, for error spans.
+    let mut inst_lines: Vec<usize> = Vec::new();
     let mut saw_close = false;
 
     for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
+        let line = offset + lineno + 1;
         let code = raw.split(';').next().unwrap_or("").trim();
         if code.is_empty() {
             continue;
@@ -264,13 +282,19 @@ pub fn parse_block(text: &str) -> Result<Block, AsmError> {
             });
         }
         insts.push(inst);
+        inst_lines.push(line);
     }
 
     let address = address.ok_or_else(|| syntax(0, "missing 'block @<addr> {' header"))?;
     if !saw_close {
         return Err(syntax(0, "missing closing '}'"));
     }
-    Ok(Block::from_instructions(address, insts)?)
+    Block::from_instructions(address, insts).map_err(|error| {
+        let line = error
+            .primary_inst()
+            .and_then(|i| inst_lines.get(i).copied());
+        AsmError::Invalid { error, line }
+    })
 }
 
 /// Renders a whole program: blocks in address order, preceded by an
@@ -296,6 +320,7 @@ pub fn parse_program(text: &str) -> Result<EdgeProgram, AsmError> {
     let mut builder = crate::ProgramBuilder::new();
     let mut current = String::new();
     let mut depth = 0usize;
+    let mut block_start = 0usize;
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
@@ -315,6 +340,7 @@ pub fn parse_program(text: &str) -> Result<EdgeProgram, AsmError> {
             }
             if code.starts_with("block") {
                 depth = 1;
+                block_start = lineno;
                 current.clear();
                 current.push_str(raw);
                 current.push('\n');
@@ -326,7 +352,7 @@ pub fn parse_program(text: &str) -> Result<EdgeProgram, AsmError> {
         current.push('\n');
         if code == "}" {
             depth = 0;
-            let block = parse_block(&current)?;
+            let block = parse_block_at(&current, block_start)?;
             builder
                 .add_block(block)
                 .map_err(|e| syntax(line, e.to_string()))?;
@@ -384,7 +410,56 @@ mod tests {
     fn parse_rejects_invalid_block() {
         // A lone write has no producer: structurally parses, fails validation.
         let err = parse_block("block @0x0 {\n  i0: write r0\n  i1: bro halt e0\n}\n").unwrap_err();
-        assert!(matches!(err, AsmError::Invalid(_)));
+        // The validation error points back at the offending source line.
+        assert!(
+            matches!(
+                err,
+                AsmError::Invalid {
+                    error: BlockError::UnfedOperand { inst: 0, .. },
+                    line: Some(2),
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(
+            err.to_string().starts_with("line 2: invalid block:"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_block_without_culprit_has_no_line() {
+        // NoExit names no instruction, so there is no line to point at.
+        let err = parse_block("block @0x0 {\n  i0: movi #1\n}\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AsmError::Invalid {
+                    error: BlockError::NoExit,
+                    line: None,
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn program_parse_reports_absolute_lines() {
+        // The bad instruction is in the *second* block; the reported line
+        // must be absolute in the program source, not block-relative.
+        let text = "entry @0x1000\n\
+                    block @0x1000 {\n\
+                      i0: bro seq e0 @0x2000\n\
+                    }\n\
+                    block @0x2000 {\n\
+                      i0: write r0\n\
+                      i1: bro halt e0\n\
+                    }\n";
+        let err = parse_program(text).unwrap_err();
+        assert!(
+            matches!(err, AsmError::Invalid { line: Some(6), .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

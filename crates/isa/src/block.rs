@@ -106,6 +106,25 @@ impl fmt::Display for BlockError {
 
 impl std::error::Error for BlockError {}
 
+impl BlockError {
+    /// The instruction index the error is primarily about, when the
+    /// variant names one. Lets diagnostics (the assembler, `clp-lint`)
+    /// point at the offending instruction instead of the whole block.
+    #[must_use]
+    pub fn primary_inst(&self) -> Option<usize> {
+        match self {
+            BlockError::DanglingTarget { from, .. } | BlockError::BadOperandSlot { from, .. } => {
+                Some(*from)
+            }
+            BlockError::UnfedOperand { inst, .. } => Some(*inst),
+            BlockError::CyclicDataflow(i)
+            | BlockError::MissingAnnotation(i)
+            | BlockError::BadBranchTarget(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
 /// One distinct exit of a block, as seen by the next-block predictor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExitSummary {

@@ -1,0 +1,304 @@
+//! Exhaustive coverage of [`BlockError`]: one test per variant, each
+//! built from raw instructions so the exact invariant is the only thing
+//! that fails. Boundary cases (exactly at the limit) must be accepted.
+
+use clp_isa::{
+    Block, BlockError, BranchInfo, BranchKind, InstId, Instruction, Lsid, Opcode, Operand,
+    PredSense, Reg, Target, MAX_BLOCK_EXITS, MAX_BLOCK_INSTRUCTIONS, MAX_BLOCK_LSIDS,
+    MAX_BLOCK_READS, MAX_BLOCK_WRITES,
+};
+
+fn movi(imm: i64) -> Instruction {
+    let mut i = Instruction::new(Opcode::Movi);
+    i.imm = imm;
+    i
+}
+
+fn read(r: usize) -> Instruction {
+    let mut i = Instruction::new(Opcode::Read);
+    i.reg = Some(Reg::new(r));
+    i
+}
+
+fn write(r: usize) -> Instruction {
+    let mut i = Instruction::new(Opcode::Write);
+    i.reg = Some(Reg::new(r));
+    i
+}
+
+fn bro(kind: BranchKind, exit_id: u8, target: Option<u64>) -> Instruction {
+    let mut i = Instruction::new(Opcode::Bro);
+    i.branch = Some(BranchInfo {
+        exit_id,
+        kind,
+        target,
+    });
+    i
+}
+
+fn halt() -> Instruction {
+    bro(BranchKind::Halt, 0, None)
+}
+
+fn targeted(mut inst: Instruction, to: usize, slot: Operand) -> Instruction {
+    inst.targets[0] = Some(Target::new(InstId::new(to), slot));
+    inst
+}
+
+fn build(insts: Vec<Instruction>) -> Result<Block, BlockError> {
+    Block::from_instructions(0x1000, insts)
+}
+
+#[test]
+fn too_many_instructions() {
+    let insts = vec![movi(1); MAX_BLOCK_INSTRUCTIONS + 1];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::TooManyInstructions(MAX_BLOCK_INSTRUCTIONS + 1)
+    );
+    // Exactly 128 is fine.
+    let mut insts = vec![movi(1); MAX_BLOCK_INSTRUCTIONS - 1];
+    insts.push(halt());
+    assert!(build(insts).is_ok());
+}
+
+#[test]
+fn too_many_reads() {
+    let mut insts: Vec<Instruction> = (0..=MAX_BLOCK_READS).map(read).collect();
+    insts.push(halt());
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::TooManyReads(MAX_BLOCK_READS + 1)
+    );
+    let mut insts: Vec<Instruction> = (0..MAX_BLOCK_READS).map(read).collect();
+    insts.push(halt());
+    assert!(build(insts).is_ok());
+}
+
+#[test]
+fn too_many_writes() {
+    // Write-count is checked before dataflow, so the writes may be unfed.
+    let mut insts: Vec<Instruction> = (0..=MAX_BLOCK_WRITES).map(write).collect();
+    insts.push(halt());
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::TooManyWrites(MAX_BLOCK_WRITES + 1)
+    );
+}
+
+#[test]
+fn too_many_lsids_is_unreachable_by_construction() {
+    // `Lsid::new` rejects indices >= 32, so a block can never name more
+    // than MAX_BLOCK_LSIDS *distinct* IDs: the TooManyLsids variant is a
+    // defense-in-depth check. Verify both halves: the constructor
+    // panics past the limit, and exactly 32 distinct LSIDs are accepted.
+    assert!(std::panic::catch_unwind(|| Lsid::new(MAX_BLOCK_LSIDS)).is_err());
+    let mut insts: Vec<Instruction> = (0..MAX_BLOCK_LSIDS)
+        .map(|n| {
+            let mut i = Instruction::new(Opcode::Null);
+            i.lsid = Some(Lsid::new(n));
+            i
+        })
+        .collect();
+    insts.push(halt());
+    assert!(build(insts).is_ok());
+}
+
+#[test]
+fn too_many_exits() {
+    let insts: Vec<Instruction> = (0..=MAX_BLOCK_EXITS)
+        .map(|e| bro(BranchKind::Halt, e as u8, None))
+        .collect();
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::TooManyExits(MAX_BLOCK_EXITS + 1)
+    );
+    let insts: Vec<Instruction> = (0..MAX_BLOCK_EXITS)
+        .map(|e| bro(BranchKind::Halt, e as u8, None))
+        .collect();
+    assert!(build(insts).is_ok());
+}
+
+#[test]
+fn no_exit() {
+    assert_eq!(build(vec![movi(1)]).unwrap_err(), BlockError::NoExit);
+}
+
+#[test]
+fn dangling_target() {
+    let insts = vec![targeted(movi(1), 9, Operand::Left), halt()];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::DanglingTarget {
+            from: 0,
+            target: Target::new(InstId::new(9), Operand::Left),
+        }
+    );
+}
+
+#[test]
+fn bad_operand_slot() {
+    // `mov` is unary: its right operand slot does not exist.
+    let insts = vec![
+        targeted(movi(1), 1, Operand::Right),
+        Instruction::new(Opcode::Mov),
+        halt(),
+    ];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::BadOperandSlot {
+            from: 0,
+            target: Target::new(InstId::new(1), Operand::Right),
+        }
+    );
+    // Feeding the predicate slot of an unpredicated instruction is just
+    // as invalid.
+    let insts = vec![
+        targeted(movi(1), 1, Operand::Pred),
+        targeted(Instruction::new(Opcode::Mov), 0, Operand::Left),
+        halt(),
+    ];
+    assert!(matches!(
+        build(insts).unwrap_err(),
+        BlockError::BadOperandSlot { from: 0, .. }
+    ));
+}
+
+#[test]
+fn unfed_operand_each_slot() {
+    // Left: a mov with no producer.
+    let insts = vec![Instruction::new(Opcode::Mov), halt()];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::UnfedOperand {
+            inst: 0,
+            operand: Operand::Left,
+        }
+    );
+    // Right: a binary add fed only on the left.
+    let insts = vec![
+        targeted(movi(1), 1, Operand::Left),
+        Instruction::new(Opcode::Add),
+        halt(),
+    ];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::UnfedOperand {
+            inst: 1,
+            operand: Operand::Right,
+        }
+    );
+    // Pred: a predicated instruction nobody feeds a predicate.
+    let mut pmovi = movi(7);
+    pmovi.pred = Some(PredSense::OnTrue);
+    let insts = vec![pmovi, halt()];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::UnfedOperand {
+            inst: 0,
+            operand: Operand::Pred,
+        }
+    );
+}
+
+#[test]
+fn cyclic_dataflow() {
+    let insts = vec![
+        targeted(Instruction::new(Opcode::Mov), 1, Operand::Left),
+        targeted(Instruction::new(Opcode::Mov), 0, Operand::Left),
+        halt(),
+    ];
+    assert!(matches!(
+        build(insts).unwrap_err(),
+        BlockError::CyclicDataflow(_)
+    ));
+}
+
+#[test]
+fn missing_annotation_for_each_opcode_class() {
+    // Read without a register.
+    let insts = vec![Instruction::new(Opcode::Read), halt()];
+    assert_eq!(build(insts).unwrap_err(), BlockError::MissingAnnotation(0));
+    // Write without a register.
+    let insts = vec![Instruction::new(Opcode::Write), halt()];
+    assert_eq!(build(insts).unwrap_err(), BlockError::MissingAnnotation(0));
+    // Load without an LSID.
+    let insts = vec![Instruction::new(Opcode::Ld), halt()];
+    assert_eq!(build(insts).unwrap_err(), BlockError::MissingAnnotation(0));
+    // Store without an LSID.
+    let insts = vec![Instruction::new(Opcode::St), halt()];
+    assert_eq!(build(insts).unwrap_err(), BlockError::MissingAnnotation(0));
+    // Bro without branch info.
+    let insts = vec![Instruction::new(Opcode::Bro)];
+    assert_eq!(build(insts).unwrap_err(), BlockError::MissingAnnotation(0));
+}
+
+#[test]
+fn duplicate_write() {
+    let insts = vec![write(1), write(1), halt()];
+    assert_eq!(
+        build(insts).unwrap_err(),
+        BlockError::DuplicateWrite(Reg::new(1))
+    );
+}
+
+#[test]
+fn bad_branch_target() {
+    // A branch needs a static target...
+    let insts = vec![bro(BranchKind::Branch, 0, None)];
+    assert_eq!(build(insts).unwrap_err(), BlockError::BadBranchTarget(0));
+    // ...and a return must not carry one.
+    let insts = vec![bro(BranchKind::Return, 0, Some(0x2000))];
+    assert_eq!(build(insts).unwrap_err(), BlockError::BadBranchTarget(0));
+}
+
+#[test]
+fn inconsistent_exit() {
+    // Same exit ID, conflicting kinds.
+    let insts = vec![
+        bro(BranchKind::Halt, 0, None),
+        bro(BranchKind::Return, 0, None),
+    ];
+    assert_eq!(build(insts).unwrap_err(), BlockError::InconsistentExit(0));
+    // Same exit ID, conflicting targets.
+    let insts = vec![
+        bro(BranchKind::Branch, 0, Some(0x2000)),
+        bro(BranchKind::Branch, 0, Some(0x3000)),
+    ];
+    assert_eq!(build(insts).unwrap_err(), BlockError::InconsistentExit(0));
+    // Same exit ID, same kind and target: legal (a predicated exit pair).
+    let insts = vec![
+        bro(BranchKind::Halt, 0, None),
+        bro(BranchKind::Halt, 0, None),
+    ];
+    assert!(build(insts).is_ok());
+}
+
+#[test]
+fn primary_inst_points_at_the_culprit() {
+    for (err, want) in [
+        (
+            BlockError::DanglingTarget {
+                from: 3,
+                target: Target::new(InstId::new(9), Operand::Left),
+            },
+            Some(3),
+        ),
+        (
+            BlockError::UnfedOperand {
+                inst: 5,
+                operand: Operand::Pred,
+            },
+            Some(5),
+        ),
+        (BlockError::CyclicDataflow(2), Some(2)),
+        (BlockError::MissingAnnotation(7), Some(7)),
+        (BlockError::BadBranchTarget(1), Some(1)),
+        (BlockError::NoExit, None),
+        (BlockError::TooManyInstructions(129), None),
+        (BlockError::DuplicateWrite(Reg::new(1)), None),
+        (BlockError::InconsistentExit(0), None),
+    ] {
+        assert_eq!(err.primary_inst(), want, "{err}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Placement-cost lints: operand routes and fanout trees that are
+//! expensive on the composed mesh.
+//!
+//! In an `n`-core composition, instruction `i` lives on core
+//! `i mod n` (the low bits of the instruction ID select the core), and
+//! cores form a rectangle on the operand mesh
+//! ([`clp_noc::region_rect`]). Every dataflow target is a hop-by-hop
+//! operand-network message, so:
+//!
+//! - a producer→consumer pair whose cores are more than
+//!   [`LintConfig::max_route_hops`] apart adds that many cycles to the
+//!   critical path on *every* activation
+//!   ([`LintCode::LongOperandRoute`]);
+//! - a `mov` fanout tree deeper than
+//!   [`LintConfig::max_fanout_depth`] serializes its leaves behind a
+//!   chain of single-cycle copies ([`LintCode::DeepFanoutTree`]).
+
+use crate::graph::BlockGraph;
+use crate::{Diagnostic, LintCode, LintConfig, Span};
+use clp_isa::{Block, Opcode};
+use clp_noc::{region_rect, MeshConfig};
+
+fn hop_distance(a: usize, b: usize, rect_w: usize) -> u32 {
+    let (ax, ay) = (a % rect_w, a / rect_w);
+    let (bx, by) = (b % rect_w, b / rect_w);
+    (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+}
+
+/// Runs the placement-cost analysis on one block.
+pub fn analyze(block: &Block, g: &BlockGraph, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let insts = block.instructions();
+    let addr = block.address();
+    let mut diags = Vec::new();
+
+    let mesh = MeshConfig::tflex_operand();
+    if let Ok((rect_w, _)) = region_rect(&mesh, cfg.placement_cores) {
+        let n = cfg.placement_cores;
+        for (i, inst) in insts.iter().enumerate() {
+            for t in inst.targets() {
+                let hops = hop_distance(i % n, t.inst.index() % n, rect_w);
+                if hops > cfg.max_route_hops {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::LongOperandRoute,
+                            Span::inst(addr, i),
+                            format!(
+                                "operand route i{i} -> i{} crosses {hops} mesh hops \
+                                 on a {n}-core composition (limit {})",
+                                t.inst.index(),
+                                cfg.max_route_hops
+                            ),
+                        )
+                        .with_note("each hop adds an operand-network cycle on every activation"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Depth of the mov chain ending at each mov: one more than the
+    // deepest mov feeding its value operand. Producers precede
+    // consumers in topological order, so one forward pass suffices.
+    let mut depth = vec![0u32; insts.len()];
+    let mut deepest: Option<(usize, u32)> = None;
+    for &i in &g.topo {
+        if insts[i].opcode != Opcode::Mov {
+            continue;
+        }
+        let feed = g.producers[i][0]
+            .iter()
+            .map(|&p| depth[p])
+            .max()
+            .unwrap_or(0);
+        depth[i] = feed + 1;
+        if deepest.is_none_or(|(_, best)| depth[i] > best) {
+            deepest = Some((i, depth[i]));
+        }
+    }
+    if let Some((i, d)) = deepest {
+        if d > cfg.max_fanout_depth {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::DeepFanoutTree,
+                    Span::inst(addr, i),
+                    format!(
+                        "mov fanout tree is {d} levels deep (limit {})",
+                        cfg.max_fanout_depth
+                    ),
+                )
+                .with_note("every level delays the leaf consumers by at least a cycle"),
+            );
+        }
+    }
+
+    diags
+}

@@ -1,0 +1,78 @@
+//! Golden test for the machine-readable diagnostics format. Tools
+//! (editor integrations, the CI gate) parse this JSON, so its shape is
+//! a contract: field names, ordering, and severity strings are pinned
+//! byte-for-byte here. Bump the golden deliberately when the format
+//! changes, never by accident.
+
+use clp_isa::asm::parse_program;
+use clp_lint::{lint_program, LintConfig};
+
+const FIXTURE: &str = "entry @0x1000
+block @0x1000 {
+  i0: read r1 -> i3.P
+  i1: movi #42
+  i2: movi #256 -> i3.L -> i3.R
+  i3: p_t st #0 ls0
+  i4: bro halt e0
+}
+";
+
+const GOLDEN: &str = r#"{
+  "errors": 1,
+  "warnings": 1,
+  "infos": 0,
+  "diagnostics": [
+    {
+      "code": "L201",
+      "name": "dead-dataflow",
+      "severity": "warning",
+      "block": 4096,
+      "inst": 1,
+      "message": "result of movi reaches no register write, store, or branch",
+      "notes": [
+        "the instruction occupies an issue-window slot for no effect"
+      ]
+    },
+    {
+      "code": "L005",
+      "name": "unresolved-store",
+      "severity": "error",
+      "block": 4096,
+      "inst": 3,
+      "message": "store slot ls0 is neither stored nor nullified on this path; the block's store outputs never resolve",
+      "notes": [
+        "on predicate assignment i0(read)=0"
+      ]
+    }
+  ]
+}"#;
+
+#[test]
+fn diagnostics_json_is_pinned() {
+    let program = parse_program(FIXTURE).expect("fixture parses");
+    let report = lint_program(&program, &LintConfig::default());
+    assert_eq!(report.to_json(), GOLDEN);
+}
+
+#[test]
+fn golden_is_valid_json_with_the_expected_shape() {
+    // Guard the guard: the pinned text itself must parse, and the
+    // summary counts must agree with the diagnostics array.
+    let v = serde_json::from_str::<serde::Value>(GOLDEN).expect("golden parses");
+    let serde::Value::Object(fields) = &v else {
+        panic!("golden is not an object")
+    };
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, val)| val)
+            .unwrap_or_else(|| panic!("missing field {k}"))
+    };
+    let serde::Value::Array(diags) = get("diagnostics") else {
+        panic!("diagnostics is not an array")
+    };
+    assert_eq!(diags.len(), 2);
+    assert_eq!(get("errors").as_u64(), Some(1));
+    assert_eq!(get("warnings").as_u64(), Some(1));
+}

@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | [`isa`] | `clp-isa` | block-atomic EDGE ISA, hyperblocks, assembler |
 //! | [`compiler`] | `clp-compiler` | mini-IR, if-conversion, EDGE codegen |
+//! | [`lint`] | `clp-lint` | semantic static analysis of blocks and programs |
 //! | [`noc`] | `clp-noc` | 2-D mesh operand/control networks |
 //! | [`predictor`] | `clp-predictor` | composable next-block predictor |
 //! | [`mem`] | `clp-mem` | L1 banks, LSQs, S-NUCA L2, coherence, DRAM |
@@ -40,6 +41,7 @@ pub use clp_baseline as baseline;
 pub use clp_compiler as compiler;
 pub use clp_core as core;
 pub use clp_isa as isa;
+pub use clp_lint as lint;
 pub use clp_mem as mem;
 pub use clp_noc as noc;
 pub use clp_obs as obs;

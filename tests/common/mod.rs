@@ -32,6 +32,14 @@ pub enum Stmt {
         then_s: Vec<Stmt>,
         else_s: Vec<Stmt>,
     },
+    /// Conditional early return. The return block is never inlined under
+    /// a predicate (returns must stay sole unpredicated exits), so this
+    /// reliably produces *multi-exit* hyperblocks: the guarding block
+    /// keeps both the branch to the return and the fall-through exit.
+    IfRet {
+        cond: u8,
+        val: u8,
+    },
     Loop {
         trips: u8,
         body: Vec<Stmt>,
@@ -59,6 +67,7 @@ pub fn arb_stmt(depth: u32) -> impl Strategy<Value = Stmt> {
         (arb_bin_op(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Stmt::Bin(o, a, b)),
         any::<u8>().prop_map(Stmt::Load),
         (any::<u8>(), any::<u8>()).prop_map(|(i, v)| Stmt::Store(i, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(cond, val)| Stmt::IfRet { cond, val }),
     ];
     leaf.prop_recursive(depth, 24, 6, |inner| {
         prop_oneof![
@@ -134,6 +143,19 @@ fn emit(f: &mut FunctionBuilder, stmts: &[Stmt], vals: &mut Vec<VReg>, base: VRe
                 vals.truncate(n);
                 f.jump(join);
                 f.switch_to(join);
+            }
+            Stmt::IfRet { cond, val } => {
+                let c = vals[*cond as usize % vals.len()];
+                let v = vals[*val as usize % vals.len()];
+                let (rb, cont) = (f.new_block(), f.new_block());
+                f.branch(c, rb, cont);
+                f.switch_to(rb);
+                // Mix in a marker so early returns are distinguishable
+                // from the final checksum.
+                let marker = f.c(0x5eed);
+                let out = f.bin(Opcode::Xor, v, marker);
+                f.ret(Some(out));
+                f.switch_to(cont);
             }
             Stmt::Loop { trips, body } => {
                 let i = f.c(0);
