@@ -24,11 +24,19 @@
 //! `--lint` runs the [`clp_lint`] static analyses on the compiled
 //! program before simulating and refuses to run it if any
 //! error-severity diagnostic is found.
+//!
+//! `--kill-core ID@CYCLE` (repeatable, up to 4) schedules a *hard*
+//! kill: global core ID dies permanently at that cycle and the
+//! composition must detect it, migrate state, and recompose around the
+//! survivors. The schedule is exactly reproducible. Exit codes tell
+//! failure modes apart: 1 = outputs diverged from the golden,
+//! 2 = usage error, 3 = the run itself failed (deadlock, cycle limit,
+//! invalid kill schedule — i.e. recovery failure).
 
 use clp_core::compile_workload;
 use clp_isa::Reg;
 use clp_obs::{ChromeTraceWriter, Tracer};
-use clp_sim::{FaultPlan, Machine, SimConfig, ALL_FAULT_KINDS};
+use clp_sim::{CoreKill, FaultPlan, Machine, SimConfig, ALL_FAULT_KINDS};
 use clp_workloads::suite;
 
 struct Args {
@@ -39,6 +47,7 @@ struct Args {
     sample_every: Option<u64>,
     faults: Option<String>,
     fault_seed: u64,
+    kills: Vec<CoreKill>,
     lint: bool,
 }
 
@@ -56,6 +65,7 @@ fn parse_args() -> Args {
         sample_every: None,
         faults: None,
         fault_seed: 1,
+        kills: Vec::new(),
         lint: false,
     };
     let mut positional = 0;
@@ -77,6 +87,13 @@ fn parse_args() -> Args {
             }
             "--lint" => args.lint = true,
             "--faults" => args.faults = Some(flag_value("--faults")),
+            "--kill-core" => {
+                let v = flag_value("--kill-core");
+                match CoreKill::parse(&v) {
+                    Ok(k) => args.kills.push(k),
+                    Err(e) => die(&format!("bad --kill-core: {e}")),
+                }
+            }
             "--fault-seed" => {
                 let v = flag_value("--fault-seed");
                 match v.parse() {
@@ -141,6 +158,11 @@ fn main() {
         cfg.faults = FaultPlan::parse(spec, args.fault_seed)
             .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
     }
+    for k in &args.kills {
+        cfg.faults
+            .add_kill(usize::from(k.core), k.cycle)
+            .unwrap_or_else(|e| die(&format!("bad --kill-core schedule: {e}")));
+    }
     let mut m = Machine::new(cfg);
     if let Some(path) = &args.trace {
         m.set_tracer(Tracer::new(ChromeTraceWriter::new(path)));
@@ -180,6 +202,19 @@ fn main() {
                     per_kind.join(", ")
                 );
             }
+            if !args.kills.is_empty() {
+                let rec = stats.recovery;
+                println!(
+                    "[recovery: {} killed, {} recoveries, detection {:.0} cycles, \
+                     {} blocks flushed, {} B migrated, degraded ipc {:.2}]",
+                    rec.cores_killed,
+                    rec.recoveries,
+                    rec.mean_detection_latency(),
+                    rec.flushed_blocks,
+                    rec.migrated_bytes,
+                    rec.degraded_ipc(),
+                );
+            }
             let snapshot = m.snapshot();
             if let Some(path) = &args.stats_json {
                 std::fs::write(path, snapshot.to_json()).expect("can write stats");
@@ -193,7 +228,9 @@ fn main() {
         Err(e) => {
             println!("{name} on {n} cores FAILED: {e}");
             println!("{}", m.debug_snapshot());
-            exit_code = 1;
+            // 3, not 1: the run itself died (deadlock, cycle limit, bad
+            // kill schedule), as opposed to finishing with wrong outputs.
+            exit_code = 3;
         }
     }
     if let Some(path) = &args.trace {

@@ -401,7 +401,7 @@ impl Block {
         core: usize,
         n_cores: usize,
     ) -> impl Iterator<Item = (usize, &Instruction)> + '_ {
-        debug_assert!(n_cores.is_power_of_two());
+        debug_assert!(n_cores > 0);
         self.instructions
             .iter()
             .enumerate()

@@ -34,21 +34,22 @@ impl InstId {
         self.0 as usize
     }
 
-    /// The core that holds this instruction in an `n_cores` composition.
-    ///
-    /// `n_cores` must be a power of two; the low-order bits select the core
-    /// (cf. Figure 4a of the paper).
+    /// The core that holds this instruction in an `n_cores` composition
+    /// (cf. Figure 4a of the paper): instructions stripe round-robin, so
+    /// the mapping stays defined for the non-power-of-two survivor sets
+    /// left by hard-fault recomposition. For power-of-two compositions
+    /// this is the paper's low-order-bits selection, unchanged.
     #[must_use]
     pub fn core_of(self, n_cores: usize) -> usize {
-        debug_assert!(n_cores.is_power_of_two());
-        self.index() & (n_cores - 1)
+        debug_assert!(n_cores > 0);
+        self.index() % n_cores
     }
 
     /// The window slot within the owning core for an `n_cores` composition.
     #[must_use]
     pub fn slot_of(self, n_cores: usize) -> usize {
-        debug_assert!(n_cores.is_power_of_two());
-        self.index() >> n_cores.trailing_zeros()
+        debug_assert!(n_cores > 0);
+        self.index() / n_cores
     }
 }
 
@@ -186,11 +187,14 @@ impl Reg {
     }
 
     /// The register bank (core) holding this register in an `n_cores`
-    /// composition (registers are interleaved by low-order bits).
+    /// composition (registers interleave round-robin — the low-order-bit
+    /// selection of the paper for power-of-two compositions, and still a
+    /// balanced interleaving over non-power-of-two survivor sets after
+    /// hard-fault recomposition).
     #[must_use]
     pub fn bank_of(self, n_cores: usize) -> usize {
-        debug_assert!(n_cores.is_power_of_two());
-        self.index() & (n_cores - 1)
+        debug_assert!(n_cores > 0);
+        self.index() % n_cores
     }
 }
 

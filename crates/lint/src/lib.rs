@@ -180,6 +180,12 @@ lint_codes! {
     /// A store that transitively depends on a load it must forward to.
     ForwardingCycle = ("L103", "forwarding-cycle", Error,
         "a store depends on an overlapping later-LSID load that must read its value");
+    /// A block whose memory slots exceed one LSQ bank's capacity: under
+    /// the minimum (1-core) composition every slot maps to the same
+    /// bank, so the age-based overflow eviction could never make the
+    /// oldest block fit — it would be un-flushable.
+    LsqUnflushableBlock = ("L104", "lsq-unflushable-block", Info,
+        "a block with more memory slots than one LSQ bank: un-flushable under 1-core composition");
     /// A result that reaches no write/store/branch sink.
     DeadDataflow = ("L201", "dead-dataflow", Warn,
         "an instruction whose result reaches no register write, store, or branch");
@@ -347,6 +353,13 @@ pub struct LintConfig {
     pub max_route_hops: u32,
     /// Mov-tree depth above which a fanout tree is flagged.
     pub max_fanout_depth: u32,
+    /// Per-bank LSQ capacity assumed by the overflow-flushability lint:
+    /// a block using more memory slots than this cannot be the sole
+    /// resident of a 1-core composition's only bank. The default matches
+    /// the simulator's 44-entry banks, which exceed the 32-LSID
+    /// architectural budget — so only a lowered threshold (modeling a
+    /// smaller LSQ) ever fires on a valid block.
+    pub lsq_entries: usize,
 }
 
 impl Default for LintConfig {
@@ -358,6 +371,7 @@ impl Default for LintConfig {
             placement_cores: 32,
             max_route_hops: 6,
             max_fanout_depth: 4,
+            lsq_entries: 44,
         }
     }
 }
@@ -462,7 +476,7 @@ impl Serialize for LintReport {
 fn collect_block(block: &Block, cfg: &LintConfig) -> Vec<Diagnostic> {
     let g = graph::BlockGraph::new(block);
     let (mut diags, facts) = predicate::analyze(block, &g, cfg);
-    diags.extend(lsid::analyze(block, &g, &facts));
+    diags.extend(lsid::analyze(block, &g, &facts, cfg));
     diags.extend(dataflow::analyze(block, &g));
     diags.extend(placement::analyze(block, &g, cfg));
     diags

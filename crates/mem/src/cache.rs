@@ -162,6 +162,21 @@ impl CacheBank {
             *l = Line::default();
         }
     }
+
+    /// Drains the whole bank for hard-fault state evacuation: every valid
+    /// line is invalidated and reported as `(line_addr, was_dirty)` so
+    /// the caller can write dirty lines back and notify the directory.
+    /// The order is deterministic (set-major, way-minor).
+    pub fn evacuate(&mut self) -> Vec<(u64, bool)> {
+        let mut drained = Vec::new();
+        for l in &mut self.lines {
+            if l.valid {
+                drained.push((l.tag << self.line_shift, l.dirty));
+                *l = Line::default();
+            }
+        }
+        drained
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +245,19 @@ mod tests {
         assert!(!c.invalidate(0x100), "already gone");
         c.access(0x100, false);
         assert!(!c.invalidate(0x100), "clean drop");
+    }
+
+    #[test]
+    fn evacuate_drains_and_reports_dirtiness() {
+        let mut c = small();
+        c.access(0x000, true);
+        c.access(0x040, false);
+        c.access(0x200, true);
+        let mut drained = c.evacuate();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![(0x000, true), (0x040, false), (0x200, true)]);
+        assert!(!c.probe(0x000) && !c.probe(0x040) && !c.probe(0x200));
+        assert!(c.evacuate().is_empty(), "second drain finds nothing");
     }
 
     #[test]

@@ -15,11 +15,16 @@ use clp_obs::{CacheLevel, TraceEvent, Tracer};
 /// Per §4.5, the bank is selected by XORing high and low portions of the
 /// address (at line granularity) modulo the number of participating
 /// cores, so all bytes of one line always map to one bank.
+///
+/// The reduction is a true modulo (identical to the old power-of-two
+/// mask when `n_cores` is a power of two), so the hash stays defined for
+/// the non-power-of-two survivor sets left behind by hard-fault
+/// recomposition (a 16-core processor degrading to 15, etc.).
 #[must_use]
 pub fn dbank_for(addr: u64, n_cores: usize) -> usize {
-    debug_assert!(n_cores.is_power_of_two());
+    debug_assert!(n_cores > 0);
     let line = addr >> 6;
-    ((line ^ (line >> 9)) as usize) & (n_cores - 1)
+    ((line ^ (line >> 9)) as usize) % n_cores
 }
 
 /// Result of issuing a load to the memory system.
@@ -47,6 +52,18 @@ pub enum StoreResponse {
     },
     /// The LSQ bank was full; retry after a back-off.
     Nack,
+}
+
+/// What [`MemorySystem::evacuate_core`] moved off a dead core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvacuationReport {
+    /// Dirty L1D lines written back through the L2.
+    pub dirty_lines: u64,
+    /// Bytes those dirty lines represent.
+    pub bytes: u64,
+    /// Modeled cycles to drain the state (fixed overhead + per-line
+    /// victim-path cost).
+    pub latency: u64,
 }
 
 /// The full chip memory system: per-core L1 D/I banks and LSQ banks, the
@@ -282,6 +299,35 @@ impl MemorySystem {
         }
     }
 
+    /// Evacuates all cache and LSQ state from `core` after a hard fault:
+    /// dirty L1D lines are written back through the S-NUCA L2 (the
+    /// directory is notified so the dead core no longer appears as a
+    /// sharer), clean lines and the L1I bank are dropped, and every
+    /// speculative LSQ entry is squashed (committed stores are already
+    /// architectural — only unreached speculation is lost).
+    ///
+    /// Returns what moved and the modeled migration latency: a fixed
+    /// recomposition overhead plus two cycles per dirty line drained
+    /// through the victim path.
+    pub fn evacuate_core(&mut self, core: usize) -> EvacuationReport {
+        let mut dirty_lines = 0u64;
+        for (line, dirty) in self.l1d[core].evacuate() {
+            if dirty {
+                dirty_lines += 1;
+                self.stats.l1_writebacks += 1;
+                self.l2.writeback(line);
+            }
+            self.l2.evict_notify(core, line);
+        }
+        self.l1i[core].evacuate();
+        self.lsq[core].flush_from(0);
+        EvacuationReport {
+            dirty_lines,
+            bytes: dirty_lines * self.cfg.line_bytes as u64,
+            latency: 8 + 2 * dirty_lines,
+        }
+    }
+
     /// Fetches `core`'s slice of the block at `block_addr` from its
     /// I-cache (participant index `part` of `n_cores`), returning the
     /// fetch latency.
@@ -441,6 +487,36 @@ mod tests {
         }
         let lat = m.commit_stores(&[0], 320, 352);
         assert_eq!(lat, 4, "four stores drain at one per cycle");
+    }
+
+    #[test]
+    fn evacuate_core_writes_back_dirty_state() {
+        let mut m = system();
+        // A committed store leaves a dirty L1D line on core 0.
+        m.execute_store(0, 0, 0x40, 8, 123);
+        m.commit_stores(&[0], 0, 32);
+        assert_eq!(m.image.read_u64(0x40), 123);
+        // A speculative (uncommitted) store must die with the core.
+        m.execute_store(0, 64, 0x80, 8, 77);
+        let wb_before = m.stats().l1_writebacks;
+        let report = m.evacuate_core(0);
+        assert!(report.dirty_lines >= 1, "{report:?}");
+        assert_eq!(report.bytes, report.dirty_lines * 64);
+        assert!(report.latency >= 8 + 2 * report.dirty_lines);
+        assert_eq!(
+            m.stats().l1_writebacks,
+            wb_before + report.dirty_lines,
+            "each dirty line drains through the victim path"
+        );
+        assert_eq!(m.lsq_occupancy(0), 0, "speculative entries squashed");
+        // Architectural state survives the evacuation; the dead value
+        // never became visible.
+        m.commit_stores(&[0], 0, 1000);
+        assert_eq!(m.image.read_u64(0x40), 123);
+        assert_eq!(m.image.read_u64(0x80), 0);
+        // A second evacuation finds nothing left to move.
+        let again = m.evacuate_core(0);
+        assert_eq!(again.dirty_lines, 0);
     }
 
     #[test]

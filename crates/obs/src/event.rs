@@ -14,6 +14,10 @@ pub enum FlushReason {
     Violation,
     /// Speculative-resource overflow (in-flight block window full).
     Overflow,
+    /// Hard-fault recovery discarded everything younger than the last
+    /// globally committed block before recomposing without the dead
+    /// cores.
+    Recovery,
 }
 
 impl FlushReason {
@@ -24,6 +28,7 @@ impl FlushReason {
             FlushReason::Mispredict => "mispredict",
             FlushReason::Violation => "violation",
             FlushReason::Overflow => "overflow",
+            FlushReason::Recovery => "recovery",
         }
     }
 }
@@ -189,6 +194,36 @@ pub enum TraceEvent {
         /// indirect, like a flipped prediction).
         extra_cycles: u64,
     },
+    /// A scheduled hard fault permanently silenced a core's pipelines
+    /// and NoC ports. Survivors do *not* see this event's information —
+    /// they must detect the silence through the heartbeat watchdog.
+    CoreKilled {
+        /// Global core index that died.
+        core: usize,
+    },
+    /// The heartbeat watchdog on a logical processor concluded a
+    /// participating core is dead.
+    CoreDeclaredDead {
+        /// Logical processor id.
+        proc: usize,
+        /// Global core index declared dead.
+        core: usize,
+        /// Cycles from the kill to this declaration.
+        detection_cycles: u64,
+    },
+    /// Degraded-mode recomposition finished: state migrated off the dead
+    /// cores, interleavings re-hashed over the survivors, fetch resumed.
+    RecoveryCompleted {
+        /// Logical processor id.
+        proc: usize,
+        /// Cores remaining in the composition.
+        survivors: usize,
+        /// In-flight blocks discarded by the recovery flush.
+        flushed_blocks: usize,
+        /// Bytes of architectural state migrated (registers + dirty
+        /// cache lines).
+        migrated_bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -209,6 +244,9 @@ impl TraceEvent {
             TraceEvent::MemViolation { .. } => "mem_violation",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::CoreKilled { .. } => "core_killed",
+            TraceEvent::CoreDeclaredDead { .. } => "core_declared_dead",
+            TraceEvent::RecoveryCompleted { .. } => "recovery_completed",
         }
     }
 
@@ -226,7 +264,10 @@ impl TraceEvent {
             TraceEvent::LsqNack { .. }
             | TraceEvent::MemViolation { .. }
             | TraceEvent::CacheMiss { .. } => "mem",
-            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::FaultInjected { .. } | TraceEvent::CoreKilled { .. } => "fault",
+            TraceEvent::CoreDeclaredDead { .. } | TraceEvent::RecoveryCompleted { .. } => {
+                "recovery"
+            }
         }
     }
 
@@ -253,7 +294,11 @@ impl TraceEvent {
                 (if *plane == "control" { 3 } else { 2 }, *node as u64)
             }
             TraceEvent::BlockPredicted { core, .. } => (4, *core as u64),
-            TraceEvent::FaultInjected { core, .. } => (5, *core as u64),
+            TraceEvent::FaultInjected { core, .. } | TraceEvent::CoreKilled { core } => {
+                (5, *core as u64)
+            }
+            TraceEvent::CoreDeclaredDead { proc, .. }
+            | TraceEvent::RecoveryCompleted { proc, .. } => (0, *proc as u64),
         }
     }
 
@@ -370,6 +415,27 @@ impl TraceEvent {
                 ("kind", Value::String(kind.to_string())),
                 ("core", Value::UInt(core as u64)),
                 ("extra_cycles", Value::UInt(extra_cycles)),
+            ],
+            TraceEvent::CoreKilled { core } => vec![("core", Value::UInt(core as u64))],
+            TraceEvent::CoreDeclaredDead {
+                proc,
+                core,
+                detection_cycles,
+            } => vec![
+                ("proc", Value::UInt(proc as u64)),
+                ("core", Value::UInt(core as u64)),
+                ("detection_cycles", Value::UInt(detection_cycles)),
+            ],
+            TraceEvent::RecoveryCompleted {
+                proc,
+                survivors,
+                flushed_blocks,
+                migrated_bytes,
+            } => vec![
+                ("proc", Value::UInt(proc as u64)),
+                ("survivors", Value::UInt(survivors as u64)),
+                ("flushed_blocks", Value::UInt(flushed_blocks as u64)),
+                ("migrated_bytes", Value::UInt(migrated_bytes)),
             ],
         }
     }

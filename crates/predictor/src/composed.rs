@@ -12,11 +12,16 @@ use serde::{Deserialize, Serialize};
 ///
 /// Ownership hashes the *block starting address* (§4), folding in higher
 /// address bits so that loops over few blocks still spread across cores.
+///
+/// The reduction is a true modulo (identical to the old power-of-two
+/// mask when `n_cores` is a power of two), so ownership stays defined
+/// over the non-power-of-two survivor sets produced by hard-fault
+/// recomposition.
 #[must_use]
 pub fn block_owner(addr: BlockAddr, n_cores: usize) -> usize {
-    debug_assert!(n_cores.is_power_of_two());
+    debug_assert!(n_cores > 0);
     let frame = addr >> 9;
-    ((frame ^ (frame >> 5)) as usize) & (n_cores - 1)
+    ((frame ^ (frame >> 5)) as usize) % n_cores
 }
 
 /// The resolved outcome of a block's exit branch.
@@ -124,12 +129,16 @@ pub struct ComposedPredictor {
 impl ComposedPredictor {
     /// Creates a predictor for a composition of `n_cores` cores.
     ///
+    /// Compositions start as powers of two (the mesh regions are
+    /// rectangular), but hard-fault recovery rebuilds the predictor over
+    /// the survivor set, so any nonzero bank count is accepted.
+    ///
     /// # Panics
     ///
-    /// Panics if `n_cores` is not a power of two or `cfg` is invalid.
+    /// Panics if `n_cores` is zero or `cfg` is invalid.
     #[must_use]
     pub fn new(cfg: PredictorConfig, n_cores: usize) -> Self {
-        assert!(n_cores.is_power_of_two(), "composition must be 2^k cores");
+        assert!(n_cores > 0, "composition needs at least one core");
         assert!(
             cfg.is_valid(),
             "predictor table sizes must be powers of two"
@@ -451,8 +460,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "2^k")]
-    fn non_power_of_two_composition_rejected() {
-        let _ = predictor(3);
+    fn non_power_of_two_survivor_sets_accepted() {
+        // Hard-fault recovery rebuilds the predictor over the survivor
+        // set, which is usually not a power of two (16 -> 15 cores).
+        for n in [3usize, 5, 7, 15, 31] {
+            let mut p = predictor(n);
+            for addr in (0u64..64 * 512).step_by(512) {
+                assert!(block_owner(addr, n) < n);
+                let _ = p.predict(addr);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_composition_rejected() {
+        let _ = predictor(0);
     }
 }

@@ -63,6 +63,15 @@ pub struct SimConfig {
     /// Deterministic fault-injection plan ([`FaultPlan::none`] disables
     /// injection entirely and is bit-identical to a fault-free build).
     pub faults: FaultPlan,
+    /// Base heartbeat timeout (cycles of protocol silence from a
+    /// participating core before the survivors probe it). Only armed when
+    /// the fault plan schedules core kills; fault-free runs never pay for
+    /// the watchdog.
+    pub watchdog_timeout: u64,
+    /// Cap on the exponent of the watchdog's bounded exponential backoff:
+    /// after each all-alive probe round the timeout doubles, up to
+    /// `watchdog_timeout << watchdog_backoff_cap`.
+    pub watchdog_backoff_cap: u32,
 }
 
 impl SimConfig {
@@ -91,6 +100,8 @@ impl SimConfig {
             stack_top: 0x4000_0000,
             max_cycles: 200_000_000,
             faults: FaultPlan::none(),
+            watchdog_timeout: 64,
+            watchdog_backoff_cap: 6,
         }
     }
 
@@ -119,6 +130,8 @@ impl SimConfig {
             stack_top: 0x4000_0000,
             max_cycles: 200_000_000,
             faults: FaultPlan::none(),
+            watchdog_timeout: 64,
+            watchdog_backoff_cap: 6,
         }
     }
 

@@ -71,6 +71,99 @@ impl Prng {
     }
 }
 
+/// A scheduled permanent core failure: at `cycle`, global core `core`'s
+/// pipelines and NoC ports go silent forever.
+///
+/// Unlike the rate-drawn [`FaultKind`]s, a kill is a *hard* fault: it is
+/// scheduled at an exact cycle rather than rolled per decision point
+/// (the whole point is that survivors must *detect* the silence through
+/// the heartbeat watchdog, then recompose without the dead core). Kills
+/// therefore live in their own fixed-size slot list on [`FaultPlan`]
+/// instead of carrying a per-mille rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CoreKill {
+    /// Global core index (0..chip cores) to silence.
+    pub core: u16,
+    /// Machine cycle at which the core dies. Must be `>= 1`: cycle 0 is
+    /// before the machine ever steps, which the builder rejects.
+    pub cycle: u64,
+}
+
+impl CoreKill {
+    /// Parses the `--kill-core` CLI form `ID@CYCLE`, e.g. `3@1500`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on a malformed spec; validity of
+    /// the core/cycle values themselves is checked by
+    /// [`FaultPlan::add_kill`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (core, cycle) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("expected ID@CYCLE, got `{spec}`"))?;
+        let core: u16 = core
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad core id `{core}` in `{spec}`"))?;
+        let cycle: u64 = cycle
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad cycle `{cycle}` in `{spec}`"))?;
+        Ok(CoreKill { core, cycle })
+    }
+}
+
+impl fmt::Display for CoreKill {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.core, self.cycle)
+    }
+}
+
+/// Maximum scheduled core kills per plan. Fixed-size so [`FaultPlan`]
+/// stays `Copy + Eq + Serialize` (the determinism goldens compare whole
+/// plans).
+pub const MAX_KILLS: usize = 4;
+
+/// Typed rejection from the [`FaultPlan`] kill builder: invalid kill
+/// schedules error out instead of being silently ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A kill scheduled at cycle 0 — before the machine ever steps.
+    KillCycleZero {
+        /// The targeted core.
+        core: usize,
+    },
+    /// More kills than the plan's fixed slots can hold.
+    TooManyKills {
+        /// The capacity that was exceeded.
+        max: usize,
+    },
+    /// Two kills target the same core (the second could never fire — a
+    /// dead core cannot die again).
+    DuplicateKillTarget {
+        /// The doubly-targeted core.
+        core: usize,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::KillCycleZero { core } => {
+                write!(f, "kill of core {core} scheduled at cycle 0 (must be >= 1)")
+            }
+            FaultPlanError::TooManyKills { max } => {
+                write!(f, "more than {max} scheduled core kills")
+            }
+            FaultPlanError::DuplicateKillTarget { core } => {
+                write!(f, "core {core} is targeted by more than one kill")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// The distinct protocol perturbations the layer can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -159,6 +252,10 @@ pub struct FaultPlan {
     pub handoff_delay_rate: u16,
     /// Maximum extra cycles for a delayed hand-off (uniform in `1..=max`).
     pub handoff_delay_cycles: u16,
+    /// Scheduled hard core failures, in insertion order (`None` slots
+    /// are empty). Populate through [`FaultPlan::add_kill`], which
+    /// validates the schedule.
+    pub kills: [Option<CoreKill>; MAX_KILLS],
 }
 
 /// Default magnitude (cycles) for delay-type faults in [`FaultPlan::chaos`]
@@ -188,6 +285,7 @@ impl FaultPlan {
             dram_spike_cycles: 0,
             handoff_delay_rate: 0,
             handoff_delay_cycles: 0,
+            kills: [None; MAX_KILLS],
         }
     }
 
@@ -237,7 +335,8 @@ impl FaultPlan {
         }
     }
 
-    /// True if no fault kind can ever fire under this plan.
+    /// True if no fault kind can ever fire under this plan, including
+    /// scheduled core kills.
     #[must_use]
     pub fn is_none(&self) -> bool {
         self.noc_delay_rate == 0
@@ -246,6 +345,97 @@ impl FaultPlan {
             && self.mispredict_rate == 0
             && self.dram_spike_rate == 0
             && self.handoff_delay_rate == 0
+            && !self.has_kills()
+    }
+
+    /// True if this plan schedules at least one hard core kill.
+    #[must_use]
+    pub fn has_kills(&self) -> bool {
+        self.kills.iter().any(Option::is_some)
+    }
+
+    /// The scheduled kills, in insertion order.
+    pub fn kills(&self) -> impl Iterator<Item = CoreKill> + '_ {
+        self.kills.iter().filter_map(|k| *k)
+    }
+
+    /// Schedules a hard kill of global core `core` at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// - [`FaultPlanError::KillCycleZero`] if `cycle == 0` (the machine
+    ///   never runs a cycle-0 step, so the kill could not fire).
+    /// - [`FaultPlanError::DuplicateKillTarget`] if `core` already has a
+    ///   scheduled kill (a dead core cannot die again).
+    /// - [`FaultPlanError::TooManyKills`] if all [`MAX_KILLS`] slots are
+    ///   taken.
+    ///
+    /// Whether `core` is actually part of a composed processor is only
+    /// knowable at run start; the `Machine` validates that separately and
+    /// rejects kills aimed outside the composition.
+    pub fn add_kill(&mut self, core: usize, cycle: u64) -> Result<(), FaultPlanError> {
+        if cycle == 0 {
+            return Err(FaultPlanError::KillCycleZero { core });
+        }
+        if self.kills().any(|k| usize::from(k.core) == core) {
+            return Err(FaultPlanError::DuplicateKillTarget { core });
+        }
+        let slot = self
+            .kills
+            .iter_mut()
+            .find(|s| s.is_none())
+            .ok_or(FaultPlanError::TooManyKills { max: MAX_KILLS })?;
+        *slot = Some(CoreKill {
+            core: core as u16,
+            cycle,
+        });
+        Ok(())
+    }
+
+    /// Schedules `count` kills drawn deterministically from a PRNG
+    /// *forked* off this plan's seed — plan construction never touches
+    /// the runtime injection stream, so adding random kills leaves every
+    /// rate-drawn fault sequence bit-identical. Targets are distinct
+    /// cores drawn from `candidates` (the composition's participating
+    /// cores — mesh regions are not identity-numbered); kill cycles are
+    /// uniform in `min_cycle..=max_cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlanError::TooManyKills`] when `count` exceeds
+    /// the free slots. `count` is clamped to `candidates.len() - 1` so
+    /// at least one survivor always remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` has fewer than two cores or `min_cycle`
+    /// is 0 or exceeds `max_cycle`.
+    pub fn add_random_kills(
+        &mut self,
+        candidates: &[usize],
+        count: usize,
+        min_cycle: u64,
+        max_cycle: u64,
+    ) -> Result<(), FaultPlanError> {
+        assert!(candidates.len() >= 2, "random kills need a survivor");
+        assert!(min_cycle >= 1 && min_cycle <= max_cycle);
+        // Fork: a distinct stream keyed off the plan seed, so the runtime
+        // injector (seeded from `seed` directly) is unaffected.
+        let mut prng = Prng::new(self.seed ^ 0x6b69_6c6c_7374_7265); // "killstre"
+        let already = self.kills().count();
+        let free_targets = candidates.len().saturating_sub(1).saturating_sub(already);
+        let count = count.min(free_targets);
+        let mut chosen = 0usize;
+        while chosen < count {
+            let core = candidates[prng.next_below(candidates.len() as u64) as usize];
+            if self.kills().any(|k| usize::from(k.core) == core) {
+                continue;
+            }
+            let cycle = min_cycle + prng.next_below(max_cycle - min_cycle + 1);
+            self.add_kill(core, cycle)?;
+            chosen += 1;
+        }
+        Ok(())
     }
 
     /// Parses a `--faults` spec: a comma-separated list of
@@ -606,6 +796,85 @@ mod tests {
         assert!(FaultPlan::parse("bogus=1", 0).is_err());
         assert!(FaultPlan::parse("nack=2000", 0).is_err()); // unknown + range
         assert!(FaultPlan::parse("mispredict=2000", 0).is_err());
+    }
+
+    #[test]
+    fn kill_builder_validates() {
+        let mut p = FaultPlan::none();
+        assert!(!p.has_kills());
+        assert_eq!(
+            p.add_kill(3, 0),
+            Err(FaultPlanError::KillCycleZero { core: 3 })
+        );
+        assert!(p.is_none(), "rejected kill must not stick");
+
+        p.add_kill(3, 500).unwrap();
+        assert!(p.has_kills());
+        assert!(!p.is_none(), "a kill plan is not the empty plan");
+        assert_eq!(
+            p.add_kill(3, 900),
+            Err(FaultPlanError::DuplicateKillTarget { core: 3 })
+        );
+
+        p.add_kill(1, 100).unwrap();
+        p.add_kill(2, 200).unwrap();
+        p.add_kill(0, 300).unwrap();
+        assert_eq!(
+            p.add_kill(4, 400),
+            Err(FaultPlanError::TooManyKills { max: MAX_KILLS })
+        );
+        let kills: Vec<CoreKill> = p.kills().collect();
+        assert_eq!(kills.len(), 4);
+        assert_eq!(
+            kills[0],
+            CoreKill {
+                core: 3,
+                cycle: 500
+            }
+        );
+    }
+
+    #[test]
+    fn kill_spec_parses() {
+        assert_eq!(
+            CoreKill::parse("3@1500"),
+            Ok(CoreKill {
+                core: 3,
+                cycle: 1500
+            })
+        );
+        assert_eq!(CoreKill::parse(" 7 @ 42 "), CoreKill::parse("7@42"));
+        assert!(CoreKill::parse("3").is_err());
+        assert!(CoreKill::parse("x@5").is_err());
+        assert!(CoreKill::parse("3@y").is_err());
+        assert_eq!(CoreKill { core: 3, cycle: 9 }.to_string(), "3@9");
+    }
+
+    #[test]
+    fn random_kills_are_deterministic_and_leave_rates_alone() {
+        // A non-identity candidate set, as a mesh sub-region would be.
+        let region = [4usize, 5, 12, 13, 20, 21, 28, 29];
+        let mut a = FaultPlan::none();
+        a.seed = 77;
+        a.add_random_kills(&region, 2, 100, 1000).unwrap();
+        let mut b = FaultPlan::none();
+        b.seed = 77;
+        b.add_random_kills(&region, 2, 100, 1000).unwrap();
+        assert_eq!(a, b, "same seed must build the same schedule");
+        assert_eq!(a.kills().count(), 2);
+        for k in a.kills() {
+            assert!(region.contains(&usize::from(k.core)));
+            assert!((100..=1000).contains(&k.cycle));
+        }
+        let mut c = FaultPlan::none();
+        c.seed = 78;
+        c.add_random_kills(&region, 2, 100, 1000).unwrap();
+        assert_ne!(a.kills, c.kills, "different seed should diverge");
+
+        // Always leaves a survivor, even when asked not to.
+        let mut d = FaultPlan::none();
+        d.add_random_kills(&[0, 1], 4, 1, 10).unwrap();
+        assert_eq!(d.kills().count(), 1);
     }
 
     #[test]

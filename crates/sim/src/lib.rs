@@ -42,7 +42,11 @@ mod regfile;
 mod stats;
 
 pub use config::{table1_text, CoreConfig, ProtocolTiming, SimConfig};
-pub use fault::{FaultKind, FaultPlan, FaultStats, ALL_FAULT_KINDS};
+pub use fault::{
+    CoreKill, FaultKind, FaultPlan, FaultPlanError, FaultStats, ALL_FAULT_KINDS, MAX_KILLS,
+};
 pub use machine::{ComposeError, Machine, ProcId, RunError};
 pub use regfile::{RegFile, RegRead};
-pub use stats::{CommitLatencyBreakdown, FetchLatencyBreakdown, ProcStats, RunStats};
+pub use stats::{
+    CommitLatencyBreakdown, FetchLatencyBreakdown, ProcStats, RecoveryStats, RunStats,
+};

@@ -16,9 +16,9 @@
 //!   every run checks end-to-end correctness against the IR interpreter.
 
 use crate::config::{ProtocolTiming, SimConfig};
-use crate::fault::FaultInjector;
+use crate::fault::{CoreKill, FaultInjector};
 use crate::regfile::{RegFile, RegRead};
-use crate::stats::{CommitLatencyBreakdown, ProcStats, RunStats};
+use crate::stats::{CommitLatencyBreakdown, ProcStats, RecoveryStats, RunStats};
 use clp_isa::{Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target};
 use clp_mem::{dbank_for, LoadResponse, MemorySystem, StoreResponse};
 use clp_noc::{region_for, Mesh, NodeId, RegionError};
@@ -75,6 +75,20 @@ pub enum RunError {
         /// Cycle at which the stall was detected.
         cycle: u64,
     },
+    /// The fault plan schedules a kill of a core that is not part of any
+    /// composed processor (validated before the first cycle — a kill the
+    /// machine could never observe is a configuration error, not a
+    /// no-op).
+    InvalidKill {
+        /// The targeted core.
+        core: usize,
+    },
+    /// The fault plan kills every core of a composed processor, leaving
+    /// no survivor to run the recovery protocol.
+    NoSurvivors {
+        /// The doomed logical processor.
+        proc: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -82,6 +96,15 @@ impl fmt::Display for RunError {
         match self {
             RunError::CycleLimit(n) => write!(f, "exceeded cycle budget of {n}"),
             RunError::Deadlock { cycle } => write!(f, "no progress near cycle {cycle}"),
+            RunError::InvalidKill { core } => {
+                write!(
+                    f,
+                    "scheduled kill targets core {core}, which is not composed"
+                )
+            }
+            RunError::NoSurvivors { proc } => {
+                write!(f, "scheduled kills leave proc{proc} with no surviving core")
+            }
         }
     }
 }
@@ -306,6 +329,23 @@ struct Proc {
     exec: Vec<BinaryHeap<Reverse<ExecDone>>>,
     /// Monotonic counter feeding [`ExecDone::push_seq`].
     exec_pushes: u64,
+    /// Last cycle this processor made observable protocol progress —
+    /// the "heartbeat" the hard-fault watchdog listens to. Only read
+    /// when the fault plan schedules kills.
+    last_beat: u64,
+    /// Watchdog backoff state: each all-alive probe round doubles the
+    /// silence threshold, up to `watchdog_timeout << watchdog_backoff_cap`.
+    probe_round: u32,
+    /// A heartbeat probe is in flight; at this deadline the survivors
+    /// either declare unresponsive cores dead or back off.
+    probe_deadline: Option<u64>,
+    /// Dead participants were declared; recovery runs as soon as any
+    /// point-of-no-return (committing) block finishes draining.
+    recovery_pending: bool,
+    /// Successor address of the most recently committed block — the
+    /// architecturally correct resume point if recovery finds no
+    /// in-flight block and no pending fetch.
+    last_commit_target: Option<BlockAddr>,
 }
 
 // ---------------------------------------------------------------------------
@@ -329,6 +369,23 @@ pub struct Machine {
     /// Deterministic fault injector (inert under `FaultPlan::none()`:
     /// zero PRNG draws, zero scheduling changes).
     faults: FaultInjector,
+    /// Whether the fault plan schedules hard core kills. When false the
+    /// watchdog and every dead-core check are skipped entirely, keeping
+    /// kill-free runs bit-identical to builds without this machinery.
+    has_kills: bool,
+    /// Scheduled kills not yet applied, sorted by kill cycle.
+    pending_kills: Vec<CoreKill>,
+    /// Per global core: permanently silenced by a hard fault.
+    dead: Vec<bool>,
+    /// Per global core: cycle the kill fired (for detection latency).
+    killed_at: Vec<Option<u64>>,
+    /// Per global core: the watchdog already declared it dead.
+    declared_dead: Vec<bool>,
+    /// Hard-fault detection/recomposition counters.
+    recovery_stats: RecoveryStats,
+    /// `(cycle, insts_dispatched)` when the first recovery completed;
+    /// everything after it is the degraded-mode portion of the run.
+    recovery_mark: Option<(u64, u64)>,
 }
 
 impl Machine {
@@ -336,6 +393,8 @@ impl Machine {
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
         let cores = cfg.chip_cores();
+        let mut pending_kills: Vec<CoreKill> = cfg.faults.kills().collect();
+        pending_kills.sort_by_key(|k| (k.cycle, k.core));
         Machine {
             now: 0,
             mem: MemorySystem::new(cfg.mem, cores),
@@ -347,8 +406,28 @@ impl Machine {
             tracer: Tracer::off(),
             sampler: None,
             faults: FaultInjector::new(cfg.faults),
+            has_kills: !pending_kills.is_empty(),
+            pending_kills,
+            dead: vec![false; cores],
+            killed_at: vec![None; cores],
+            declared_dead: vec![false; cores],
+            recovery_stats: RecoveryStats::default(),
+            recovery_mark: None,
             cfg,
         }
+    }
+
+    /// Hard-fault detection/recomposition counters so far (all zero when
+    /// the fault plan schedules no kills).
+    #[must_use]
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
+    /// Whether global core `core` has been silenced by a hard fault.
+    #[must_use]
+    pub fn is_core_dead(&self, core: usize) -> bool {
+        self.dead[core]
     }
 
     /// What the fault layer injected so far (all zeros on fault-free
@@ -514,6 +593,11 @@ impl Machine {
             ready: vec![BTreeSet::new(); n_cores],
             exec: (0..n_cores).map(|_| BinaryHeap::new()).collect(),
             exec_pushes: 0,
+            last_beat: 0,
+            probe_round: 0,
+            probe_deadline: None,
+            recovery_pending: false,
+            last_commit_target: None,
         });
         Ok(ProcId(pid))
     }
@@ -594,6 +678,281 @@ impl Machine {
         }
     }
 
+    // -- hard faults: kill, detect, recompose -------------------------------
+    //
+    // A scheduled kill permanently silences a core: deliveries to it are
+    // dropped, its pipeline stages stop, and nothing it had queued ever
+    // leaves. Survivors get NO side channel — they notice only that acks,
+    // hand-offs, and operands stop arriving. The heartbeat watchdog turns
+    // that silence into a declaration: after `watchdog_timeout` cycles
+    // without protocol progress it probes the participants (a modeled
+    // round trip on the control network); an unresponsive participant is
+    // declared dead, an all-alive round doubles the threshold (bounded
+    // exponential backoff, so long-but-healthy stalls like DRAM misses
+    // don't thrash). Recovery then waits for any committing block to
+    // drain (commit effects are past the point of no return), flushes
+    // every in-flight block, migrates architectural state off the dead
+    // cores (register banks by accounting — the register file is
+    // logically unified — and dirty L1 lines physically through the
+    // S-NUCA L2), recomputes every interleaving hash over the survivor
+    // set (which may be non-power-of-two), and resumes fetch at the
+    // architecturally correct next block. Modeled simplifications,
+    // documented in DESIGN.md: a block whose commit handshake started
+    // always completes it (its functional effects are already durable),
+    // and mesh messages routed *through* a dead core's router are not
+    // re-routed (only endpoints are silenced).
+
+    /// Marks any kill whose cycle has arrived. Called once per step,
+    /// only when the plan schedules kills.
+    fn apply_due_kills(&mut self) {
+        while self
+            .pending_kills
+            .first()
+            .is_some_and(|k| k.cycle <= self.now)
+        {
+            let k = self.pending_kills.remove(0);
+            let core = usize::from(k.core);
+            if !self.dead[core] {
+                self.dead[core] = true;
+                self.killed_at[core] = Some(self.now);
+                self.recovery_stats.cores_killed += 1;
+                self.tracer
+                    .emit(self.now, || TraceEvent::CoreKilled { core });
+            }
+        }
+    }
+
+    /// Modeled round trip of a heartbeat probe across the composition.
+    fn probe_rtt(&self, pi: usize) -> u64 {
+        let p = &self.procs[pi];
+        let origin = p.cores[0];
+        let max_hop = p
+            .cores
+            .iter()
+            .map(|&c| self.ctrl_delay(origin, c))
+            .max()
+            .unwrap_or(1);
+        2 * max_hop + 2
+    }
+
+    /// Emits death declarations (and detection-latency accounting) for
+    /// every dead-but-undeclared participant of `pi`.
+    fn declare_dead(&mut self, pi: usize) {
+        let now = self.now;
+        let cores = self.procs[pi].cores.clone();
+        for core in cores {
+            if self.dead[core] && !self.declared_dead[core] {
+                self.declared_dead[core] = true;
+                let det = now.saturating_sub(self.killed_at[core].unwrap_or(now));
+                self.recovery_stats.detection_cycles += det;
+                self.tracer.emit(now, || TraceEvent::CoreDeclaredDead {
+                    proc: pi,
+                    core,
+                    detection_cycles: det,
+                });
+            }
+        }
+    }
+
+    /// One watchdog evaluation for processor `pi` (kill plans only).
+    /// Fully cycle-count driven — no PRNG draws — so detection timing is
+    /// deterministic per plan.
+    fn watchdog(&mut self, pi: usize) {
+        let now = self.now;
+        if self.procs[pi].recovery_pending {
+            self.try_recover(pi);
+            return;
+        }
+        if self.procs[pi].cores.is_empty() {
+            return;
+        }
+        match self.procs[pi].probe_deadline {
+            Some(d) if now >= d => {
+                let any_dead = self.procs[pi].cores.iter().any(|&c| self.dead[c]);
+                if any_dead {
+                    self.declare_dead(pi);
+                    self.procs[pi].recovery_pending = true;
+                    self.try_recover(pi);
+                } else {
+                    // Spurious: the stall was slow, not dead. Back off.
+                    let cap = self.cfg.watchdog_backoff_cap;
+                    let p = &mut self.procs[pi];
+                    p.probe_deadline = None;
+                    p.probe_round = (p.probe_round + 1).min(cap);
+                    p.last_beat = now;
+                }
+            }
+            Some(_) => {}
+            None => {
+                let round = self.procs[pi]
+                    .probe_round
+                    .min(self.cfg.watchdog_backoff_cap);
+                let timeout = self.cfg.watchdog_timeout << round;
+                if now.saturating_sub(self.procs[pi].last_beat) > timeout {
+                    let rtt = self.probe_rtt(pi);
+                    self.procs[pi].probe_deadline = Some(now + rtt);
+                    self.recovery_stats.probes += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs recovery once every point-of-no-return block has drained.
+    fn try_recover(&mut self, pi: usize) {
+        if self.procs[pi].halted {
+            self.procs[pi].recovery_pending = false;
+            return;
+        }
+        // A committing block's functional effects are already durable;
+        // its handshake completes (CommitDone is pre-scheduled) and then
+        // recovery flushes everything younger.
+        if self.procs[pi].blocks.values().any(|b| b.committing) {
+            return;
+        }
+        self.perform_recovery(pi);
+    }
+
+    /// The degraded-mode recomposition: flush, migrate, re-interleave,
+    /// resume.
+    fn perform_recovery(&mut self, pi: usize) {
+        let now = self.now;
+        let (old_n, old_cores) = {
+            let p = &self.procs[pi];
+            (p.n, p.cores.clone())
+        };
+        let dead_parts: Vec<usize> = (0..old_n)
+            .filter(|&part| self.dead[old_cores[part]])
+            .collect();
+        if dead_parts.is_empty() {
+            self.procs[pi].recovery_pending = false;
+            return;
+        }
+        // Kills can land while a commit drains; declare any stragglers.
+        self.declare_dead(pi);
+        let new_n = old_n - dead_parts.len();
+        assert!(new_n >= 1, "no-survivor plans are rejected before running");
+
+        // Resume point, computed before the flush: the oldest in-flight
+        // block is always on the architecturally correct path (its
+        // predecessor resolved — and corrected any misprediction —
+        // before committing).
+        let resume = {
+            let p = &self.procs[pi];
+            p.blocks
+                .values()
+                .next()
+                .map(|b| b.addr)
+                .or(p.pending.as_ref().map(|f| f.addr))
+                .or(p.last_commit_target)
+                .unwrap_or_else(|| p.program.entry())
+        };
+
+        // Flush every in-flight block: any of them may hold operands,
+        // LSQ entries, or dispatch slices on the dead cores.
+        let flushed = self.procs[pi].blocks.len();
+        if let Some((&oldest, b)) = self.procs[pi].blocks.iter().next() {
+            let addr = b.addr;
+            self.tracer.emit(now, || TraceEvent::BlockFlushed {
+                proc: pi,
+                addr,
+                reason: FlushReason::Recovery,
+            });
+            self.flush_from(pi, oldest);
+        }
+
+        // Migrate architectural state. Registers interleave by the OLD
+        // hash; banks on dead cores stream to survivors (the register
+        // file is logically unified, so this is accounting + latency).
+        let migrated_regs = (0..clp_isa::NUM_ARCH_REGS)
+            .filter(|&r| dead_parts.contains(&Reg::new(r).bank_of(old_n)))
+            .count() as u64;
+        let mut migrated_lines = 0u64;
+        let mut migrated_bytes = migrated_regs * 8;
+        let mut bank_latency = 0u64;
+        for &part in &dead_parts {
+            let rep = self.mem.evacuate_core(old_cores[part]);
+            migrated_lines += rep.dirty_lines;
+            migrated_bytes += rep.bytes;
+            // Dead banks drain in parallel; the slowest gates resume.
+            bank_latency = bank_latency.max(rep.latency);
+        }
+        let migration_cycles = bank_latency + migrated_regs;
+
+        // Recompose over the survivors: every interleaving hash
+        // (register bank, D-bank/LSQ, instruction slot, block owner)
+        // re-evaluates over `new_n`, which need not be a power of two.
+        let survivors: Vec<usize> = old_cores
+            .iter()
+            .copied()
+            .filter(|&c| !self.dead[c])
+            .collect();
+        for &part in &dead_parts {
+            self.core_map[old_cores[part]] = None;
+        }
+        for (new_part, &c) in survivors.iter().enumerate() {
+            self.core_map[c] = Some((pi, new_part));
+        }
+        let centralized = self.cfg.centralized_control;
+        let pred_cfg = self.cfg.predictor;
+        let max_inflight = self.cfg.max_inflight.unwrap_or(new_n).max(1);
+        {
+            let p = &mut self.procs[pi];
+            p.cores = survivors;
+            p.n = new_n;
+            // The predictor restarts cold: its banked tables were hashed
+            // over the old core set and the dead bank's history is gone.
+            p.predictor = ComposedPredictor::new(pred_cfg, if centralized { 1 } else { new_n });
+            p.ready = vec![BTreeSet::new(); new_n];
+            p.exec = (0..new_n).map(|_| BinaryHeap::new()).collect();
+            p.waiting_reads.clear();
+            p.max_inflight = max_inflight;
+            p.slots_free = max_inflight;
+            p.chain_next = None;
+            p.halt_seq = None;
+            p.pending = Some(PendingFetch {
+                addr: resume,
+                ready_at: now + migration_cycles,
+                hand_off_cycles: 0.0,
+            });
+            p.recovery_pending = false;
+            p.probe_deadline = None;
+            p.probe_round = 0;
+            p.last_beat = now + migration_cycles;
+        }
+        self.last_progress = now;
+
+        self.recovery_stats.recoveries += 1;
+        self.recovery_stats.flushed_blocks += flushed as u64;
+        self.recovery_stats.migrated_regs += migrated_regs;
+        self.recovery_stats.migrated_lines += migrated_lines;
+        self.recovery_stats.migrated_bytes += migrated_bytes;
+        self.recovery_stats.migration_cycles += migration_cycles;
+        if self.recovery_mark.is_none() {
+            let insts: u64 = self.procs.iter().map(|p| p.stats.insts_dispatched).sum();
+            self.recovery_mark = Some((now + migration_cycles, insts));
+        }
+        self.tracer.emit(now, || TraceEvent::RecoveryCompleted {
+            proc: pi,
+            survivors: new_n,
+            flushed_blocks: flushed,
+            migrated_bytes,
+        });
+    }
+
+    /// True if the owner core of block `seq` on `pi` is dead (the block
+    /// cannot run its resolution/commit protocol; its events are
+    /// dropped, and recovery will flush it).
+    fn owner_dead(&self, pi: usize, seq: u64) -> bool {
+        if !self.has_kills {
+            return false;
+        }
+        let p = &self.procs[pi];
+        match p.blocks.get(&seq) {
+            Some(b) => self.dead[p.cores[b.owner_part(p.n, self.cfg.centralized_control)]],
+            None => false,
+        }
+    }
+
     // -- fetch engine -------------------------------------------------------
 
     fn fetch_stage(&mut self, pi: usize) {
@@ -602,6 +961,7 @@ impl Machine {
             let p = &self.procs[pi];
             !p.halted
                 && p.halt_seq.is_none()
+                && !p.recovery_pending
                 && p.slots_free > 0
                 && p.pending.as_ref().is_some_and(|f| f.ready_at <= now)
         };
@@ -614,6 +974,19 @@ impl Machine {
         if self.procs[pi].program.block(addr).is_none() {
             return;
         }
+        // A dead owner cannot run the fetch protocol: the fetch stalls
+        // (survivors see only silence) until the watchdog recomposes.
+        if self.has_kills {
+            let p = &self.procs[pi];
+            let owner_part = if self.cfg.centralized_control {
+                0
+            } else {
+                block_owner(addr, p.n)
+            };
+            if self.dead[p.cores[owner_part]] {
+                return;
+            }
+        }
         let pending = self.procs[pi].pending.take().expect("checked");
         self.install_block(pi, pending);
     }
@@ -621,6 +994,7 @@ impl Machine {
     fn install_block(&mut self, pi: usize, pending: PendingFetch) {
         let now = self.now;
         self.last_progress = now;
+        self.procs[pi].last_beat = now;
         let (seq, owner_core, n, speculate) = {
             let p = &mut self.procs[pi];
             let seq = p.next_seq;
@@ -810,6 +1184,10 @@ impl Machine {
         if !accept {
             return;
         }
+        // A hand-off from or to a dead core is lost in flight.
+        if self.has_kills && (self.dead[prev_owner] || self.dead[next_owner]) {
+            return;
+        }
         self.tracer.emit(self.now, || TraceEvent::FetchHandoff {
             proc: pi,
             from_core: prev_owner,
@@ -839,6 +1217,11 @@ impl Machine {
         if !exists {
             return;
         }
+        // A dead core never services its fetch command; the slice simply
+        // never dispatches and the watchdog eventually flushes the block.
+        if self.has_kills && self.dead[core] {
+            return;
+        }
         let lat =
             self.mem
                 .fetch_block_slice(core, addr.wrapping_add(self.procs[pi].addr_base), part, n);
@@ -861,6 +1244,9 @@ impl Machine {
         let bw = self.cfg.core.dispatch_per_cycle;
         let seqs: Vec<u64> = self.procs[pi].blocks.keys().copied().collect();
         for part in 0..n {
+            if self.has_kills && self.dead[self.procs[pi].cores[part]] {
+                continue;
+            }
             let mut budget = bw;
             for &seq in &seqs {
                 if budget == 0 {
@@ -897,6 +1283,7 @@ impl Machine {
 
     fn dispatch_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
         self.last_progress = self.now;
+        self.procs[pi].last_beat = self.now;
         let (opcode, reg, targets) = {
             let p = &mut self.procs[pi];
             let b = p.blocks.get_mut(&seq).expect("dispatching live block");
@@ -1010,6 +1397,9 @@ impl Machine {
     fn issue_stage(&mut self, pi: usize) {
         let n = self.procs[pi].n;
         for part in 0..n {
+            if self.has_kills && self.dead[self.procs[pi].cores[part]] {
+                continue;
+            }
             let mut total = self.cfg.core.issue_width;
             let mut fp = self.cfg.core.fp_issue;
             let picks: Vec<(u64, u8)> = {
@@ -1044,6 +1434,7 @@ impl Machine {
 
     fn execute_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
         self.last_progress = self.now;
+        self.procs[pi].last_beat = self.now;
         let now = self.now;
         let (opcode, imm, lsid, branch, targets, pred, vals, nulls, blk_addr) = {
             let p = &mut self.procs[pi];
@@ -1259,6 +1650,9 @@ impl Machine {
         let now = self.now;
         let n = self.procs[pi].n;
         for part in 0..n {
+            if self.has_kills && self.dead[self.procs[pi].cores[part]] {
+                continue;
+            }
             loop {
                 // The heap pops by (done, issue order): every latency is
                 // >= 1, so due items complete exactly this cycle and come
@@ -1297,6 +1691,11 @@ impl Machine {
     // -- message handling -----------------------------------------------------
 
     fn handle_op(&mut self, core: usize, msg: OpMsg) {
+        // Messages delivered to a dead core vanish — its receive queues
+        // are powered off along with everything else.
+        if self.has_kills && self.dead[core] {
+            return;
+        }
         match msg {
             OpMsg::Operand {
                 proc,
@@ -1567,6 +1966,11 @@ impl Machine {
         if !exists || self.procs[pi].blocks[&seq].resolved {
             return;
         }
+        // The resolution protocol runs on the block's owner; a dead
+        // owner never sees the branch arrive.
+        if self.owner_dead(pi, seq) {
+            return;
+        }
         {
             let b = self.procs[pi].blocks.get_mut(&seq).expect("exists");
             b.resolved = true;
@@ -1770,6 +2174,11 @@ impl Machine {
     }
 
     fn on_output_done(&mut self, pi: usize, seq: u64, lsid: Option<u8>) {
+        // Output acks collect at the block's owner; a dead owner never
+        // tallies them.
+        if self.owner_dead(pi, seq) {
+            return;
+        }
         let mut ready_loads: Vec<(usize, u8)> = Vec::new();
         if let Some(b) = self.procs[pi].blocks.get_mut(&seq) {
             b.outputs_done += 1;
@@ -1824,9 +2233,18 @@ impl Machine {
 
     fn check_commit(&mut self, pi: usize) {
         let now = self.now;
+        // No new block passes the commit point while a recovery is
+        // draining — only already-committing blocks finish.
+        if self.procs[pi].recovery_pending {
+            return;
+        }
         let Some((&seq, _)) = self.procs[pi].blocks.iter().next() else {
             return;
         };
+        // A dead owner cannot run the commit handshake.
+        if self.owner_dead(pi, seq) {
+            return;
+        }
         let ready = {
             let b = &self.procs[pi].blocks[&seq];
             !b.committing
@@ -1886,7 +2304,12 @@ impl Machine {
         let Some(b) = self.procs[pi].blocks.remove(&seq) else {
             return;
         };
+        // Commit completion is past the point of no return: the block's
+        // functional effects applied when the handshake started, so it
+        // finishes even if its owner died mid-handshake (modeling
+        // simplification, see DESIGN.md).
         self.last_progress = now;
+        self.procs[pi].last_beat = now;
         let (owner_core, max_hop) = {
             let p = &self.procs[pi];
             let op = b.owner_part(p.n, self.cfg.centralized_control);
@@ -1927,6 +2350,10 @@ impl Machine {
             let p = &mut self.procs[pi];
             p.halted = true;
             p.stats.cycles = now;
+        } else if let Some(o) = b.outcome {
+            // Recovery resume point of last resort: the architecturally
+            // committed successor of the last committed block.
+            self.procs[pi].last_commit_target = Some(o.target);
         }
         self.check_commit(pi);
     }
@@ -1937,6 +2364,10 @@ impl Machine {
     pub fn step(&mut self) {
         self.now += 1;
         self.mem.set_cycle(self.now);
+        // 0a. Hard faults: silence any core whose kill cycle arrived.
+        if self.has_kills {
+            self.apply_due_kills();
+        }
         // 0. Fault layer: maybe start a link-contention burst (clamps
         // the operand mesh to bandwidth 1 for the burst length). One
         // Bernoulli draw per cycle; zero draws when the kind is off.
@@ -1972,15 +2403,28 @@ impl Machine {
                         targets,
                         value,
                     } => {
+                        // A dead sender's queued operands never leave.
+                        if self.has_kills && self.dead[from] {
+                            continue;
+                        }
                         if self.procs[proc].blocks.contains_key(&seq) {
                             self.route_operands(from, proc, seq, &targets, value);
                         }
                     }
                     Ev::CommitDone { proc, seq } => self.on_commit_done(proc, seq),
                     Ev::SlotFree { proc } => {
-                        self.procs[proc].slots_free += 1;
+                        // Clamp: a recovery resets slots to the (possibly
+                        // smaller) degraded allocation while dealloc
+                        // broadcasts from pre-recovery commits are still
+                        // in flight. No-op on healthy runs.
+                        let p = &mut self.procs[proc];
+                        p.slots_free = (p.slots_free + 1).min(p.max_inflight);
                     }
                     Ev::Inject { from, to, msg } => {
+                        // A dead core's NoC ports are powered off.
+                        if self.has_kills && self.dead[from] {
+                            continue;
+                        }
                         self.opnet.inject(NodeId(from), NodeId(to), msg);
                     }
                 }
@@ -1990,6 +2434,12 @@ impl Machine {
         for pi in 0..self.procs.len() {
             if self.procs[pi].halted {
                 continue;
+            }
+            if self.has_kills {
+                self.watchdog(pi);
+                if self.procs[pi].halted {
+                    continue;
+                }
             }
             self.fetch_stage(pi);
             self.dispatch_stage(pi);
@@ -2014,6 +2464,24 @@ impl Machine {
     /// Returns [`RunError::CycleLimit`] past the configured budget or
     /// [`RunError::Deadlock`] if nothing progresses for a long time.
     pub fn run(&mut self) -> Result<RunStats, RunError> {
+        // Kill schedules are validated against the *composed* machine:
+        // every target must be a participating core, and every logical
+        // processor must keep at least one survivor.
+        if self.has_kills {
+            let mut kills_on_proc = vec![0usize; self.procs.len()];
+            for k in &self.pending_kills {
+                let core = usize::from(k.core);
+                match self.core_map.get(core).copied().flatten() {
+                    Some((pi, _)) => kills_on_proc[pi] += 1,
+                    None => return Err(RunError::InvalidKill { core }),
+                }
+            }
+            for (pi, &n_kills) in kills_on_proc.iter().enumerate() {
+                if n_kills >= self.procs[pi].n {
+                    return Err(RunError::NoSurvivors { proc: pi });
+                }
+            }
+        }
         while self.procs.iter().any(|p| !p.halted) {
             if self.now >= self.cfg.max_cycles {
                 return Err(RunError::CycleLimit(self.cfg.max_cycles));
@@ -2034,6 +2502,15 @@ impl Machine {
             operand_net: *self.opnet.stats(),
             control_net: Default::default(),
             faults: *self.faults.stats(),
+            recovery: {
+                let mut r = self.recovery_stats;
+                if let Some((c0, i0)) = self.recovery_mark {
+                    let insts: u64 = self.procs.iter().map(|p| p.stats.insts_dispatched).sum();
+                    r.degraded_cycles = self.now.saturating_sub(c0);
+                    r.degraded_insts = insts.saturating_sub(i0);
+                }
+                r
+            },
         };
         for (i, p) in self.procs.iter().enumerate() {
             stats.procs[i].predictor = *p.predictor.stats();

@@ -182,6 +182,83 @@ impl ProcStats {
     }
 }
 
+/// Counters for hard-fault detection and degraded-mode recomposition.
+///
+/// All zero unless the fault plan scheduled core kills and at least one
+/// fired during the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Cores killed by the fault plan during the run.
+    pub cores_killed: u64,
+    /// Completed recovery episodes (one may cover several dead cores).
+    pub recoveries: u64,
+    /// Heartbeat probe rounds issued by the watchdog (including the
+    /// all-alive rounds that only fed the exponential backoff).
+    pub probes: u64,
+    /// Total cycles from each kill to its detection (sum over dead cores;
+    /// divide by `cores_killed` for the mean detection latency).
+    pub detection_cycles: u64,
+    /// In-flight blocks flushed by recovery (speculative work discarded
+    /// because it might have depended on the dead cores).
+    pub flushed_blocks: u64,
+    /// Architectural registers migrated off dead cores' banks.
+    pub migrated_regs: u64,
+    /// Dirty L1 lines written back through the S-NUCA L2 during state
+    /// evacuation.
+    pub migrated_lines: u64,
+    /// Bytes of architectural state moved (registers + dirty lines).
+    pub migrated_bytes: u64,
+    /// Cycles charged to state migration before fetch resumed.
+    pub migration_cycles: u64,
+    /// Instructions dispatched after the first recovery completed.
+    pub degraded_insts: u64,
+    /// Cycles executed after the first recovery completed.
+    pub degraded_cycles: u64,
+}
+
+impl RecoveryStats {
+    /// Mean kill-to-detection latency in cycles (0 if nothing died).
+    #[must_use]
+    pub fn mean_detection_latency(&self) -> f64 {
+        if self.cores_killed == 0 {
+            0.0
+        } else {
+            self.detection_cycles as f64 / self.cores_killed as f64
+        }
+    }
+
+    /// Dispatched IPC over the post-recovery (degraded) portion of the
+    /// run; 0 if no recovery happened.
+    #[must_use]
+    pub fn degraded_ipc(&self) -> f64 {
+        if self.degraded_cycles == 0 {
+            0.0
+        } else {
+            self.degraded_insts as f64 / self.degraded_cycles as f64
+        }
+    }
+
+    /// Renders these counters as a stats-registry node named
+    /// `"recovery"`.
+    #[must_use]
+    pub fn to_node(&self) -> clp_obs::StatsNode {
+        clp_obs::StatsNode::new("recovery")
+            .count("cores_killed", self.cores_killed)
+            .count("recoveries", self.recoveries)
+            .count("probes", self.probes)
+            .count("detection_cycles", self.detection_cycles)
+            .gauge("mean_detection_latency", self.mean_detection_latency())
+            .count("flushed_blocks", self.flushed_blocks)
+            .count("migrated_regs", self.migrated_regs)
+            .count("migrated_lines", self.migrated_lines)
+            .count("migrated_bytes", self.migrated_bytes)
+            .count("migration_cycles", self.migration_cycles)
+            .count("degraded_insts", self.degraded_insts)
+            .count("degraded_cycles", self.degraded_cycles)
+            .gauge("degraded_ipc", self.degraded_ipc())
+    }
+}
+
 /// Chip-level statistics for a completed run (inputs to the power model).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -197,6 +274,9 @@ pub struct RunStats {
     pub control_net: MeshStats,
     /// Fault-injection counters (all zero on fault-free runs).
     pub faults: FaultStats,
+    /// Hard-fault detection/recomposition counters (all zero unless a
+    /// scheduled core kill fired).
+    pub recovery: RecoveryStats,
 }
 
 impl RunStats {
@@ -222,7 +302,8 @@ impl RunStats {
     /// ├── mem               (MemStats)
     /// ├── operand_net       (MeshStats)
     /// ├── control_net       (MeshStats)
-    /// └── faults            (FaultStats — zeros on fault-free runs)
+    /// ├── faults            (FaultStats — zeros on fault-free runs)
+    /// └── recovery          (RecoveryStats — zeros unless a core died)
     /// ```
     ///
     /// `intervals` carries the per-interval samples collected during the
@@ -240,7 +321,8 @@ impl RunStats {
             .child(self.mem.to_node())
             .child(self.operand_net.to_node("operand_net"))
             .child(self.control_net.to_node("control_net"))
-            .child(self.faults.to_node());
+            .child(self.faults.to_node())
+            .child(self.recovery.to_node());
         clp_obs::StatsSnapshot {
             cycles: self.cycles,
             root,
