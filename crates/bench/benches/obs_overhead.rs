@@ -1,8 +1,10 @@
-//! The tracing-overhead guard: a full simulator run with a `NullSink`
-//! attached must be as fast as one with no tracer at all, proving the
-//! emission hooks compile down to a single predictable branch. The
-//! companion test `tests/obs_guard.rs` asserts the same property with a
-//! hard bound; this bench gives the measured numbers.
+//! The observability-overhead guard: a full simulator run with a
+//! `NullSink` attached must be as fast as one with no tracer at all,
+//! proving the emission hooks compile down to a single predictable
+//! branch; the `profiler-on` column measures the clp-prof recording and
+//! backward-walk cost against the same baseline. The companion test
+//! `tests/obs_guard.rs` asserts hard bounds on both in CI; this bench
+//! gives the measured numbers.
 
 use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
 use clp_obs::{NullSink, Tracer};
@@ -21,14 +23,21 @@ fn bench_obs_overhead(c: &mut Criterion) {
     c.bench_function("obs/conv8/null-sink", |b| {
         let obs = ObsOptions {
             tracer: Tracer::new(NullSink),
-            sample_every: None,
+            ..ObsOptions::default()
         };
         b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
     });
     c.bench_function("obs/conv8/sampling-1k", |b| {
         let obs = ObsOptions {
-            tracer: Tracer::off(),
             sample_every: Some(1000),
+            ..ObsOptions::default()
+        };
+        b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
+    });
+    c.bench_function("obs/conv8/profiler-on", |b| {
+        let obs = ObsOptions {
+            profile: true,
+            ..ObsOptions::default()
         };
         b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
     });

@@ -1,9 +1,20 @@
 //! Ablation: the operand-network bandwidth doubling (one of the two
 //! TFlex optimizations over TRIPS, §5). Runs the suite at 8 and 16 cores
 //! with link bandwidth 1 (TRIPS-like) versus 2 (TFlex).
+//!
+//! The operand-network numbers come from the clp-prof attribution
+//! rather than ad-hoc message counters: `operand_noc` is the share of
+//! the whole-run critical path spent in operand-mesh transit (hop
+//! latency plus contention), and the mean hop count is derived from the
+//! profiler's per-link attribution (each critical mesh segment is spread
+//! over the dimension-order route it took, so total link cycles /
+//! operand_noc cycles is the average route length of critical
+//! operands). Ad-hoc hop counting in this binary was deleted in favor
+//! of that single source of truth.
 
 use clp_bench::{geomean, save_json};
-use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
+use clp_obs::{Bucket, ProfileReport};
 use clp_workloads::suite;
 use serde::Serialize;
 
@@ -11,28 +22,71 @@ use serde::Serialize;
 struct Point {
     cores: usize,
     speedup_from_double_bw_pct: f64,
+    /// Share of the critical path in operand-mesh transit (narrow bw).
+    narrow_noc_share_pct: f64,
+    /// Share of the critical path in operand-mesh transit (doubled bw).
+    wide_noc_share_pct: f64,
+    /// Mean dimension-order route length of critical operands, in links
+    /// (profiler link attribution / operand_noc cycles, doubled bw).
+    mean_critical_hops: f64,
+}
+
+fn noc_share_and_hops(report: &ProfileReport) -> (f64, f64) {
+    let buckets = report.run_buckets();
+    let noc = buckets.get(Bucket::OperandNoc);
+    let share = 100.0 * noc as f64 / buckets.total().max(1) as f64;
+    let link_total: u64 = report.link_cycles.iter().map(|&(_, c)| c).sum();
+    let hops = if noc == 0 {
+        0.0
+    } else {
+        link_total as f64 / noc as f64
+    };
+    (share, hops)
 }
 
 fn main() {
     let workloads = suite::all();
+    let obs = ObsOptions {
+        profile: true,
+        ..ObsOptions::default()
+    };
     let mut series = Vec::new();
     for &n in &[8usize, 16] {
         let mut ratios = Vec::new();
+        let mut narrow_shares = Vec::new();
+        let mut wide_shares = Vec::new();
+        let mut hop_means = Vec::new();
         for w in &workloads {
             let cw = compile_workload(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let wide = run_compiled(&cw, &ProcessorConfig::tflex(n))
+            let wide = run_compiled_observed(&cw, &ProcessorConfig::tflex(n), &obs)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let mut narrow_cfg = ProcessorConfig::tflex(n);
             narrow_cfg.sim.operand_net.link_bandwidth = 1;
-            let narrow =
-                run_compiled(&cw, &narrow_cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let narrow = run_compiled_observed(&cw, &narrow_cfg, &obs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             ratios.push(narrow.stats.cycles as f64 / wide.stats.cycles as f64);
+            let (ns, _) = noc_share_and_hops(narrow.profile.as_ref().expect("profiled"));
+            let (ws, wh) = noc_share_and_hops(wide.profile.as_ref().expect("profiled"));
+            narrow_shares.push(ns);
+            wide_shares.push(ws);
+            hop_means.push(wh);
         }
         let pct = 100.0 * (geomean(&ratios) - 1.0);
-        println!("{n:>2} cores: doubling operand bandwidth buys {pct:+.1}%");
+        let count = workloads.len() as f64;
+        let narrow_share = narrow_shares.iter().sum::<f64>() / count;
+        let wide_share = wide_shares.iter().sum::<f64>() / count;
+        let hops = hop_means.iter().sum::<f64>() / count;
+        println!(
+            "{n:>2} cores: doubling operand bandwidth buys {pct:+.1}% \
+             (critical-path noc share {narrow_share:.1}% -> {wide_share:.1}%, \
+             {hops:.1} hops/critical operand)"
+        );
         series.push(Point {
             cores: n,
             speedup_from_double_bw_pct: pct,
+            narrow_noc_share_pct: narrow_share,
+            wide_noc_share_pct: wide_share,
+            mean_critical_hops: hops,
         });
     }
     save_json("ablation_bandwidth.json", &series);

@@ -25,6 +25,11 @@
 //! program before simulating and refuses to run it if any
 //! error-severity diagnostic is found.
 //!
+//! `--profile` enables the clp-prof cycle-accounting layer and prints
+//! the top-down breakdown, the per-core contribution heatmap, and the
+//! hottest mesh links after the run (see also the `clp-prof` binary for
+//! suite-wide tables and JSON output).
+//!
 //! `--kill-core ID@CYCLE` (repeatable, up to 4) schedules a *hard*
 //! kill: global core ID dies permanently at that cycle and the
 //! composition must detect it, migrate state, and recompose around the
@@ -49,6 +54,7 @@ struct Args {
     fault_seed: u64,
     kills: Vec<CoreKill>,
     lint: bool,
+    profile: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -67,6 +73,7 @@ fn parse_args() -> Args {
         fault_seed: 1,
         kills: Vec::new(),
         lint: false,
+        profile: false,
     };
     let mut positional = 0;
     let mut it = std::env::args().skip(1);
@@ -86,6 +93,7 @@ fn parse_args() -> Args {
                 }
             }
             "--lint" => args.lint = true,
+            "--profile" => args.profile = true,
             "--faults" => args.faults = Some(flag_value("--faults")),
             "--kill-core" => {
                 let v = flag_value("--kill-core");
@@ -170,6 +178,9 @@ fn main() {
     if args.stats_json.is_some() || args.sample_every.is_some() {
         m.set_sample_period(args.sample_every.unwrap_or(1000));
     }
+    if args.profile {
+        m.enable_profiling();
+    }
     for (addr, words) in &w.init_mem {
         m.memory_mut().image.load_words(*addr, words);
     }
@@ -214,6 +225,12 @@ fn main() {
                     rec.migrated_bytes,
                     rec.degraded_ipc(),
                 );
+            }
+            if args.profile {
+                let report = m.profile_report().expect("profiling enabled");
+                print!("{}", report.render_breakdown());
+                print!("{}", report.render_core_heatmap());
+                print!("{}", report.render_links(8));
             }
             let snapshot = m.snapshot();
             if let Some(path) = &args.stats_json {

@@ -1,8 +1,16 @@
 //! Aggregates the JSON written by the `fig*`/`ablation_*` binaries into
 //! one paper-versus-measured summary table. Run the other binaries
 //! first (see EXPERIMENTS.md); missing results are reported as such.
+//!
+//! The fault-injection and recovery subsystems are summarized from their
+//! unified stats-registry nodes (`faults/*`, `recovery/*`) via two quick
+//! deterministic in-process runs, so those lines never depend on other
+//! binaries having been run first.
 
 use clp_bench::results_dir;
+use clp_core::{compile_workload, run_workload, ProcessorConfig};
+use clp_sim::FaultPlan;
+use clp_workloads::suite;
 use serde_json::Value;
 
 fn load(name: &str) -> Option<Value> {
@@ -88,5 +96,45 @@ fn main() {
             println!("§5      schedule-for-32 penalty on fewer cores: worst {worst:+.1}% (paper: 'little')");
         }
         _ => println!("§5      [run the ablation_schedule_target binary first]"),
+    }
+
+    // Fault-injection registry node (`faults/*`): a deterministic seeded
+    // chaos run on conv x8, summarized from the snapshot.
+    let w = suite::by_name("conv").expect("conv exists");
+    let plan = FaultPlan::parse("all=50", 1).expect("valid spec");
+    match run_workload(&w, &ProcessorConfig::tflex(8).with_faults(plan)) {
+        Ok(r) => println!(
+            "Faults  conv x8 @ all=50 seed 1: {} injected ({} noc delays, {} forced nacks, \
+             {} flipped predictions), still correct={}",
+            r.snapshot.expect("faults/total") as u64,
+            r.snapshot.expect("faults/noc_delays") as u64,
+            r.snapshot.expect("faults/forced_nacks") as u64,
+            r.snapshot.expect("faults/flipped_predictions") as u64,
+            r.correct,
+        ),
+        Err(e) => println!("Faults  [chaos run failed: {e}]"),
+    }
+
+    // Recovery registry node (`recovery/*`): kill one core of four
+    // mid-run and summarize detection/migration from the snapshot.
+    let cw = compile_workload(&w).expect("compiles");
+    let clean = clp_core::run_compiled(&cw, &ProcessorConfig::tflex(4)).expect("clean run");
+    let region = clp_noc::region_for(&ProcessorConfig::tflex(4).sim.operand_net, 4, 0)
+        .expect("region exists");
+    let victim = region[2].0;
+    let mut plan = FaultPlan::none();
+    plan.add_kill(victim, (clean.stats.cycles / 2).max(1))
+        .expect("valid kill");
+    match clp_core::run_compiled(&cw, &ProcessorConfig::tflex(4).with_faults(plan)) {
+        Ok(r) => println!(
+            "Recov   conv x4, core {victim} killed mid-run: detection {} cycles, \
+             {} blocks flushed, {} B migrated, degraded ipc {:.2}, correct={}",
+            r.snapshot.expect("recovery/detection_cycles") as u64,
+            r.snapshot.expect("recovery/flushed_blocks") as u64,
+            r.snapshot.expect("recovery/migrated_bytes") as u64,
+            r.snapshot.expect("recovery/degraded_ipc"),
+            r.correct,
+        ),
+        Err(e) => println!("Recov   [kill run failed: {e}]"),
     }
 }

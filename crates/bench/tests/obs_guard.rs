@@ -1,9 +1,12 @@
 //! Guards the cost of the observability hooks.
 //!
-//! Two properties: (1) attaching any sink must not perturb the simulated
-//! machine — cycle counts are bit-identical with tracing on, off, or
-//! null; (2) a `NullSink` run's wall-clock throughput stays within noise
-//! of a tracer-off run (the hooks are one branch, not a call).
+//! Three properties: (1) attaching any sink must not perturb the
+//! simulated machine — cycle counts are bit-identical with tracing on,
+//! off, or null; (2) a `NullSink` run's wall-clock throughput stays
+//! within noise of a tracer-off run (the hooks are one branch, not a
+//! call); (3) the clp-prof layer's recording and backward walk stay
+//! within a generous wall-clock factor of the bare run (the CI guard on
+//! the `obs_overhead` bench's profiler-on column).
 
 use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
 use clp_obs::{NullSink, RingRecorder, Tracer};
@@ -22,17 +25,23 @@ fn tracing_never_perturbs_the_simulation() {
     let off = run_with(&ObsOptions::default());
     let null = run_with(&ObsOptions {
         tracer: Tracer::new(NullSink),
-        sample_every: None,
+        ..ObsOptions::default()
     });
     let ring = run_with(&ObsOptions {
         tracer: Tracer::new(RingRecorder::new(4096)),
         sample_every: Some(500),
+        ..ObsOptions::default()
+    });
+    let profiled = run_with(&ObsOptions {
+        profile: true,
+        ..ObsOptions::default()
     });
     assert_eq!(off, null, "NullSink changed the simulated cycle count");
     assert_eq!(
         off, ring,
         "recording sink changed the simulated cycle count"
     );
+    assert_eq!(off, profiled, "clp-prof changed the simulated cycle count");
 }
 
 #[test]
@@ -43,7 +52,7 @@ fn null_sink_throughput_within_noise_of_off() {
     let off_obs = ObsOptions::default();
     let null_obs = ObsOptions {
         tracer: Tracer::new(NullSink),
-        sample_every: None,
+        ..ObsOptions::default()
     };
 
     let time = |obs: &ObsOptions| {
@@ -68,5 +77,41 @@ fn null_sink_throughput_within_noise_of_off() {
     assert!(
         ratio < 1.5,
         "NullSink run {ratio:.2}x slower than tracer-off ({null:?} vs {off:?})"
+    );
+}
+
+#[test]
+fn profiler_overhead_bounded() {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let cfg = ProcessorConfig::tflex(8);
+    let off_obs = ObsOptions::default();
+    let prof_obs = ObsOptions {
+        profile: true,
+        ..ObsOptions::default()
+    };
+
+    let time = |obs: &ObsOptions| {
+        let _ = run_compiled_observed(&cw, &cfg, obs).expect("runs");
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = run_compiled_observed(&cw, &cfg, obs).expect("runs");
+                t.elapsed()
+            })
+            .min()
+            .expect("nonempty")
+    };
+
+    let off = time(&off_obs);
+    let prof = time(&prof_obs);
+    // The recording is O(1) per event and the walk is O(chain) per
+    // committed block; real overhead is a few percent. 2.5x (plus a 5 ms
+    // absolute floor for very fast runs) only trips on a hot-path
+    // mistake — e.g. cloning a block profile or walking per cycle.
+    let cap = off.as_secs_f64() * 2.5 + 0.005;
+    assert!(
+        prof.as_secs_f64() < cap,
+        "clp-prof run too slow: {prof:?} vs bare {off:?}"
     );
 }

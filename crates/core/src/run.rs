@@ -3,7 +3,7 @@
 use clp_alloc::{SpeedupCurve, SIZES};
 use clp_compiler::{compile, CompileError, CompileOptions};
 use clp_isa::{EdgeProgram, Reg};
-use clp_obs::{StatsSnapshot, Tracer};
+use clp_obs::{ProfileReport, StatsSnapshot, Tracer};
 use clp_power::{AreaModel, EnergyModel, PowerBreakdown, PowerConfig};
 use clp_sim::{Machine, ProcId, RunError, RunStats, SimConfig};
 use clp_workloads::{Golden, VerifyError, Workload};
@@ -144,6 +144,9 @@ pub struct RunOutcome {
     pub power: PowerBreakdown,
     /// Area of the organization in mm².
     pub area_mm2: f64,
+    /// Cycle-accounting profile (present when [`ObsOptions::profile`]
+    /// was set).
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunOutcome {
@@ -165,6 +168,9 @@ pub struct ObsOptions {
     pub tracer: Tracer,
     /// Record one interval sample every N cycles (default: no sampling).
     pub sample_every: Option<u64>,
+    /// Enable the clp-prof cycle-accounting layer (default: off). When
+    /// off, the run is bit-identical to an unprofiled run.
+    pub profile: bool,
 }
 
 /// Runs a pre-compiled workload on `cfg`, verifying outputs.
@@ -198,6 +204,9 @@ pub fn run_compiled_observed(
     if let Some(period) = obs.sample_every {
         m.set_sample_period(period);
     }
+    if obs.profile {
+        m.enable_profiling();
+    }
     for (addr, words) in &cw.workload.init_mem {
         m.memory_mut().image.load_words(*addr, words);
     }
@@ -206,6 +215,7 @@ pub fn run_compiled_observed(
         .map_err(RunFailure::Compose)?;
     let stats = m.run().map_err(RunFailure::Run)?;
     let snapshot = m.snapshot();
+    let profile = m.profile_report();
     let ret = m.register(pid, Reg::new(1));
     cw.workload
         .verify_against(&cw.golden, ret, &m.memory().image)
@@ -225,6 +235,7 @@ pub fn run_compiled_observed(
         correct: true,
         power,
         area_mm2,
+        profile,
     })
 }
 

@@ -40,4 +40,6 @@ pub use image::MemoryImage;
 pub use l2::NucaL2;
 pub use lsq::{LsqBank, LsqInsert};
 pub use stats::MemStats;
-pub use system::{dbank_for, EvacuationReport, LoadResponse, MemorySystem, StoreResponse};
+pub use system::{
+    dbank_for, EvacuationReport, LoadResponse, LoadServe, MemorySystem, StoreResponse,
+};

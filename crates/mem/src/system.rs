@@ -27,6 +27,20 @@ pub fn dbank_for(addr: u64, n_cores: usize) -> usize {
     ((line ^ (line >> 9)) as usize) % n_cores
 }
 
+/// How an accepted load was served, reported alongside its latency so
+/// the profiler can classify critical-path loads without re-deriving the
+/// cache outcome from timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadServe {
+    /// Value forwarded from an older buffered store in the LSQ bank.
+    Forward,
+    /// Served by the L1 D-cache.
+    #[default]
+    L1,
+    /// Missed the L1 (served by the L2 or DRAM).
+    Miss,
+}
+
 /// Result of issuing a load to the memory system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LoadResponse {
@@ -36,6 +50,8 @@ pub enum LoadResponse {
         value: u64,
         /// Cycles until the value is available at the bank.
         latency: u32,
+        /// Where the value came from.
+        served: LoadServe,
     },
     /// The LSQ bank was full; retry after a back-off.
     Nack,
@@ -223,11 +239,23 @@ impl MemorySystem {
             }
             LsqInsert::Ok(value) => {
                 self.stats.lsq_inserts += 1;
-                if value != before {
+                let forwarded = value != before;
+                if forwarded {
                     self.stats.forwards += 1;
                 }
                 let latency = self.l1d_access(core, addr, false);
-                LoadResponse::Ok { value, latency }
+                let served = if forwarded {
+                    LoadServe::Forward
+                } else if latency > self.cfg.l1d_hit_latency {
+                    LoadServe::Miss
+                } else {
+                    LoadServe::L1
+                };
+                LoadResponse::Ok {
+                    value,
+                    latency,
+                    served,
+                }
             }
         }
     }
@@ -396,16 +424,26 @@ mod tests {
         let mut m = system();
         m.image.write_u64(0x1000, 5);
         let r1 = m.execute_load(0, 0, 0x1000, 8);
-        let LoadResponse::Ok { value, latency } = r1 else {
+        let LoadResponse::Ok {
+            value,
+            latency,
+            served,
+        } = r1
+        else {
             panic!("nack");
         };
         assert_eq!(value, 5);
         assert!(latency > 150, "cold miss goes to DRAM: {latency}");
+        assert_eq!(served, LoadServe::Miss);
         let r2 = m.execute_load(0, 1, 0x1008, 8);
-        let LoadResponse::Ok { latency, .. } = r2 else {
+        let LoadResponse::Ok {
+            latency, served, ..
+        } = r2
+        else {
             panic!("nack");
         };
         assert_eq!(latency, 2, "same line now hits");
+        assert_eq!(served, LoadServe::L1);
     }
 
     #[test]
@@ -415,10 +453,11 @@ mod tests {
         assert!(matches!(r, StoreResponse::Ok { violation: None }));
         assert_eq!(m.image.read_u64(0x40), 0, "not yet architectural");
         // A younger load through the same bank sees the forwarded value.
-        let LoadResponse::Ok { value, .. } = m.execute_load(0, 40, 0x40, 8) else {
+        let LoadResponse::Ok { value, served, .. } = m.execute_load(0, 40, 0x40, 8) else {
             panic!("nack");
         };
         assert_eq!(value, 99);
+        assert_eq!(served, LoadServe::Forward);
         m.commit_stores(&[0], 32, 64);
         assert_eq!(m.image.read_u64(0x40), 99);
         assert_eq!(m.stats().stores_committed, 1);

@@ -114,6 +114,28 @@ impl MeshConfig {
         let cb = self.coord(b);
         ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
     }
+
+    /// The inclusive node path a message takes from `a` to `b` under
+    /// X-then-Y dimension-order routing — the same route [`Mesh::step`]
+    /// walks hop by hop, so per-link attribution built on this path
+    /// names exactly the links the message crossed. `a == b` yields the
+    /// single-node path.
+    #[must_use]
+    pub fn route_nodes(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut c = self.coord(a);
+        let d = self.coord(b);
+        let mut path = Vec::with_capacity(self.hops(a, b) + 1);
+        path.push(a);
+        while c.x != d.x {
+            c.x = if c.x < d.x { c.x + 1 } else { c.x - 1 };
+            path.push(self.node_at(c));
+        }
+        while c.y != d.y {
+            c.y = if c.y < d.y { c.y + 1 } else { c.y - 1 };
+            path.push(self.node_at(c));
+        }
+        path
+    }
 }
 
 #[derive(Debug)]
@@ -370,6 +392,30 @@ mod tests {
         let out = run_until_delivered(&mut mesh, 3);
         assert_eq!(out, vec![(NodeId(5), 1, 1)]);
         assert_eq!(mesh.stats().link_traversals, 0);
+    }
+
+    #[test]
+    fn route_nodes_matches_dimension_order_walk() {
+        let cfg = small();
+        // (0,0) -> (2,1): X first (E, E), then Y (S).
+        assert_eq!(
+            cfg.route_nodes(NodeId(0), NodeId(6)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6)]
+        );
+        // Westward + northward.
+        assert_eq!(
+            cfg.route_nodes(NodeId(6), NodeId(1)),
+            vec![NodeId(6), NodeId(5), NodeId(1)]
+        );
+        // Self route is the single node.
+        assert_eq!(cfg.route_nodes(NodeId(9), NodeId(9)), vec![NodeId(9)]);
+        // Path length always hops + 1.
+        for a in 0..cfg.nodes() {
+            for b in 0..cfg.nodes() {
+                let path = cfg.route_nodes(NodeId(a), NodeId(b));
+                assert_eq!(path.len(), cfg.hops(NodeId(a), NodeId(b)) + 1);
+            }
+        }
     }
 
     #[test]

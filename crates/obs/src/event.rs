@@ -224,6 +224,17 @@ pub enum TraceEvent {
         /// cache lines).
         migrated_bytes: u64,
     },
+    /// A snapshot of the profiler's cumulative run-level cycle buckets,
+    /// emitted at each block commit when both tracing and profiling are
+    /// on. Renders as Perfetto counter tracks (`ph: "C"`) so the
+    /// top-down accounting draws alongside the event timeline.
+    ProfileBuckets {
+        /// Logical processor id.
+        proc: usize,
+        /// Cumulative cycles per bucket, indexed per
+        /// [`Bucket::ALL`](crate::profile::Bucket::ALL).
+        buckets: [u64; crate::profile::NUM_BUCKETS],
+    },
 }
 
 impl TraceEvent {
@@ -247,6 +258,7 @@ impl TraceEvent {
             TraceEvent::CoreKilled { .. } => "core_killed",
             TraceEvent::CoreDeclaredDead { .. } => "core_declared_dead",
             TraceEvent::RecoveryCompleted { .. } => "recovery_completed",
+            TraceEvent::ProfileBuckets { .. } => "cycle_accounting",
         }
     }
 
@@ -268,6 +280,7 @@ impl TraceEvent {
             TraceEvent::CoreDeclaredDead { .. } | TraceEvent::RecoveryCompleted { .. } => {
                 "recovery"
             }
+            TraceEvent::ProfileBuckets { .. } => "profile",
         }
     }
 
@@ -299,6 +312,7 @@ impl TraceEvent {
             }
             TraceEvent::CoreDeclaredDead { proc, .. }
             | TraceEvent::RecoveryCompleted { proc, .. } => (0, *proc as u64),
+            TraceEvent::ProfileBuckets { proc, .. } => (6, *proc as u64),
         }
     }
 
@@ -437,6 +451,10 @@ impl TraceEvent {
                 ("flushed_blocks", Value::UInt(flushed_blocks as u64)),
                 ("migrated_bytes", Value::UInt(migrated_bytes)),
             ],
+            TraceEvent::ProfileBuckets { buckets, .. } => crate::profile::Bucket::ALL
+                .iter()
+                .map(|b| (b.label(), Value::UInt(buckets[b.index()])))
+                .collect(),
         }
     }
 }

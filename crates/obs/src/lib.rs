@@ -22,12 +22,18 @@
 //!   hierarchical, serde-serializable tree, with optional per-interval
 //!   time series ([`IntervalSampler`]) so runs can report IPC and
 //!   network occupancy over time, not just end-of-run sums.
+//! - [`ProfileReport`] (the clp-prof data model) carries the top-down
+//!   cycle-accounting buckets and critical-path attribution the
+//!   simulator extracts from last-arrival dependence edges; see
+//!   [`profile`] for the bucket taxonomy.
 
 pub mod event;
+pub mod profile;
 pub mod sink;
 pub mod snapshot;
 
 pub use event::{CacheLevel, FlushReason, TraceEvent};
+pub use profile::{Bucket, BucketCycles, ProcProfile, ProfileReport, NUM_BUCKETS};
 pub use sink::{ChromeTraceWriter, NullSink, RingRecorder, TraceSink, Tracer};
 pub use snapshot::{
     IntervalSample, IntervalSampler, Metric, MetricValue, SampleCounters, StatsNode, StatsSnapshot,

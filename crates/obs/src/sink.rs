@@ -169,6 +169,11 @@ impl TraceSink for ChromeTraceWriter {
                 // Also drop an instant so the cause is visible at a glance.
                 self.push(cycle, "i", event.kind().to_string(), &event, None);
             }
+            TraceEvent::ProfileBuckets { .. } => {
+                // Counter sample: Perfetto draws one stacked counter
+                // track per bucket from the args object.
+                self.push(cycle, "C", event.kind().to_string(), &event, None);
+            }
             _ => self.push(cycle, "i", event.kind().to_string(), &event, None),
         }
     }

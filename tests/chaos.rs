@@ -161,7 +161,7 @@ fn injections_appear_in_the_trace_stream() {
     let rec = Arc::new(Mutex::new(RingRecorder::new(1 << 16)));
     let obs = ObsOptions {
         tracer: Tracer::shared(rec.clone()),
-        sample_every: None,
+        ..ObsOptions::default()
     };
     let cfg = ProcessorConfig::tflex(4).with_faults(FaultPlan::chaos(11, 100));
     let r = run_compiled_observed(&cw, &cfg, &obs).expect("runs under chaos");

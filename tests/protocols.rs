@@ -26,7 +26,7 @@ fn recomposition_preserves_coherence_without_flush() {
     let bank = dbank_for(addr, 4);
     let before = mem.stats();
     let resp = mem.execute_load(bank, 96, addr, 8);
-    let LoadResponse::Ok { value, latency } = resp else {
+    let LoadResponse::Ok { value, latency, .. } = resp else {
         panic!("load NACKed");
     };
     assert_eq!(value, 123, "directory must deliver the newest data");

@@ -192,7 +192,7 @@ fn recovery_lifecycle_appears_in_the_trace_stream() {
     let rec = Arc::new(Mutex::new(RingRecorder::new(1 << 16)));
     let obs = ObsOptions {
         tracer: Tracer::shared(rec.clone()),
-        sample_every: None,
+        ..ObsOptions::default()
     };
     let r = run_compiled_observed(&cw, &killed(8, &[(3, 4_000)]), &obs).expect("recovers");
     assert!(r.correct);
