@@ -2,12 +2,14 @@
 //! `NullSink` attached must be as fast as one with no tracer at all,
 //! proving the emission hooks compile down to a single predictable
 //! branch; the `profiler-on` column measures the clp-prof recording and
-//! backward-walk cost against the same baseline. The companion test
-//! `tests/obs_guard.rs` asserts hard bounds on both in CI; this bench
-//! gives the measured numbers.
+//! backward-walk cost against the same baseline, and the `trend-on`
+//! column adds the clp-trend columnar recorder on top of the profiler
+//! (one compare per cycle, a registry sample per interval). The
+//! companion test `tests/obs_guard.rs` asserts hard bounds on all of
+//! these in CI; this bench gives the measured numbers.
 
 use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
-use clp_obs::{NullSink, Tracer};
+use clp_obs::{NullSink, Tracer, TrendOptions};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -37,6 +39,13 @@ fn bench_obs_overhead(c: &mut Criterion) {
     c.bench_function("obs/conv8/profiler-on", |b| {
         let obs = ObsOptions {
             profile: true,
+            ..ObsOptions::default()
+        };
+        b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
+    });
+    c.bench_function("obs/conv8/trend-on", |b| {
+        let obs = ObsOptions {
+            trend: Some(TrendOptions::default()),
             ..ObsOptions::default()
         };
         b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))

@@ -15,8 +15,15 @@
 //! `--threshold` percent (default 2) or disappeared — the CI perf gate.
 //! The simulator is deterministic, so the threshold only leaves room
 //! for intentional modeling changes, which must re-baseline.
+//!
+//! `--explain` augments every regressed cell with clp-diff bucket
+//! attribution: the cycle-accounting buckets that moved between the
+//! baseline's recorded breakdown and the fresh measurement, largest
+//! movers first — so a gate failure names *what got slower*, not just
+//! that something did.
 
 use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
+use clp_obs::attribute_buckets;
 use clp_workloads::suite;
 use serde::Value;
 use std::sync::mpsc;
@@ -29,6 +36,7 @@ struct Args {
     out: String,
     check: Option<String>,
     threshold: f64,
+    explain: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -41,6 +49,7 @@ fn parse_args() -> Args {
         out: "BENCH_suite.json".to_string(),
         check: None,
         threshold: 2.0,
+        explain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,6 +60,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--out" => args.out = flag_value("--out"),
             "--check" => args.check = Some(flag_value("--check")),
+            "--explain" => args.explain = true,
             "--threshold" => {
                 let v = flag_value("--threshold");
                 match v.parse() {
@@ -150,8 +160,8 @@ fn to_doc(rows: &[(String, Vec<Cell>)]) -> Value {
     ])
 }
 
-/// Baseline cells as `(workload, cores) -> cycles`.
-fn baseline_cells(doc: &Value) -> Vec<((String, u64), u64)> {
+/// Baseline cells as `(workload, cores) -> (cycles, buckets)`.
+fn baseline_cells(doc: &Value) -> Vec<((String, u64), (u64, Value))> {
     let mut out = Vec::new();
     let Some(workloads) = doc.get("workloads").as_array() else {
         die("baseline has no `workloads` array (expected clp-bench-v1)");
@@ -166,7 +176,10 @@ fn baseline_cells(doc: &Value) -> Vec<((String, u64), u64)> {
         for r in runs {
             if let (Some(cores), Some(cycles)) = (r.get("cores").as_u64(), r.get("cycles").as_u64())
             {
-                out.push(((name.to_string(), cores), cycles));
+                out.push((
+                    (name.to_string(), cores),
+                    (cycles, r.get("buckets").clone()),
+                ));
             }
         }
     }
@@ -197,21 +210,34 @@ fn main() {
         let baseline = serde_json::from_str::<Value>(&text)
             .unwrap_or_else(|e| die(&format!("cannot parse `{baseline_path}`: {e}")));
         let mut regressions = Vec::new();
-        for ((name, cores), want) in baseline_cells(&baseline) {
+        for ((name, cores), (want, want_buckets)) in baseline_cells(&baseline) {
             let got = rows
                 .iter()
                 .find(|(n, _)| *n == name)
-                .and_then(|(_, cells)| cells.iter().find(|(n, ..)| *n as u64 == cores))
-                .map(|&(_, cycles, ..)| cycles);
+                .and_then(|(_, cells)| cells.iter().find(|(n, ..)| *n as u64 == cores));
             match got {
                 None => regressions.push(format!("{name} x{cores}: cell disappeared")),
-                Some(got) => {
-                    let delta = 100.0 * (got as f64 / want as f64 - 1.0);
+                Some((_, got, _, got_buckets)) => {
+                    let delta = 100.0 * (*got as f64 / want as f64 - 1.0);
                     if delta > args.threshold {
-                        regressions.push(format!(
+                        let mut msg = format!(
                             "{name} x{cores}: {want} -> {got} cycles ({delta:+.2}% > {:.2}%)",
                             args.threshold
-                        ));
+                        );
+                        if args.explain {
+                            // Attribute the regression to the buckets
+                            // that moved, largest movers first.
+                            for e in attribute_buckets(&want_buckets, got_buckets).iter().take(3) {
+                                msg.push_str(&format!(
+                                    "\n      {}: {} -> {} ({:+})",
+                                    e.label,
+                                    e.before,
+                                    e.after,
+                                    e.delta()
+                                ));
+                            }
+                        }
+                        regressions.push(msg);
                     }
                 }
             }

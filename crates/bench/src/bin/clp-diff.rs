@@ -1,0 +1,59 @@
+//! clp-diff: structural comparison of two measurement documents.
+//!
+//! ```sh
+//! cargo run --release -p clp-bench --bin clp-diff -- before.json after.json
+//! cargo run --release -p clp-bench --bin clp-diff -- BENCH_baseline.json BENCH_suite.json --top 5
+//! ```
+//!
+//! Both files must carry the same pinned schema — a stats-registry
+//! snapshot (`run_one --stats-json`), a `clp-prof-v1` profile
+//! (`clp-prof --json`), a `clp-bench-v1` matrix (`clp-bench`), or a
+//! `clp-trend-v1` time series (`clp-trend --json`, single run). The
+//! first file is the baseline; the report attributes the delta to the
+//! cycle-accounting buckets, cores, NoC links, and counters that moved,
+//! largest movers first.
+//!
+//! `--top N` bounds each section (default 10; 0 means unbounded).
+//! Exit codes: 0 = compared (even if everything moved), 2 = usage or
+//! parse error.
+
+use clp_obs::diff_documents;
+use serde::Value;
+
+fn die(msg: &str) -> ! {
+    eprintln!("clp-diff: {msg}");
+    eprintln!("usage: clp-diff <before.json> <after.json> [--top N]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read `{path}`: {e}")));
+    serde_json::from_str::<Value>(&text)
+        .unwrap_or_else(|e| die(&format!("cannot parse `{path}`: {e}")))
+}
+
+fn main() {
+    let mut files = Vec::new();
+    let mut top = 10usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                let v = it.next().unwrap_or_else(|| die("--top requires a value"));
+                match v.parse() {
+                    Ok(t) => top = t,
+                    Err(_) => die(&format!("bad --top `{v}`")),
+                }
+            }
+            _ => files.push(a),
+        }
+    }
+    let [before_path, after_path] = files.as_slice() else {
+        die("pass exactly two files");
+    };
+    let (before, after) = (load(before_path), load(after_path));
+    let report = diff_documents(&before, &after).unwrap_or_else(|e| die(&e));
+    println!("{} vs {} ({})", before_path, after_path, report.kind);
+    print!("{}", report.render(top));
+}

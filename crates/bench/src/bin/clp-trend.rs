@@ -1,0 +1,184 @@
+//! clp-trend: deterministic time-series telemetry and phase detection
+//! for composed processors.
+//!
+//! ```sh
+//! cargo run --release -p clp-bench --bin clp-trend -- conv 16
+//! cargo run --release -p clp-bench --bin clp-trend -- --suite --json
+//! cargo run --release -p clp-bench --bin clp-trend -- conv --paths mem/l1d_misses,operand_net/msgs_delivered
+//! ```
+//!
+//! Runs one workload (or the whole built-in suite with `--suite`) with
+//! trend recording enabled and prints, per workload, the ASCII IPC
+//! timeline with phase boundaries and the phase table with per-phase
+//! bucket breakdowns.
+//!
+//! `--json` replaces the tables with pinned `clp-trend-v1` documents on
+//! stdout (one top-level object; per-run reports under `"runs"`).
+//! `--cores N` picks the composition size (default 16); `--period N`
+//! the interval width in cycles (default 1000); `--paths a,b,c` records
+//! extra stats-registry columns; `--phase-window N` and `--threshold N`
+//! tune the change-point detector; `--perfetto <path>` additionally
+//! writes the series as Chrome counter tracks.
+
+use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
+use clp_obs::TrendOptions;
+use clp_workloads::suite;
+use serde::Value;
+
+struct Args {
+    workloads: Vec<String>,
+    cores: usize,
+    json: bool,
+    period: u64,
+    paths: Vec<String>,
+    phase_window: usize,
+    threshold: u64,
+    perfetto: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("clp-trend: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workloads: Vec::new(),
+        cores: 16,
+        json: false,
+        period: 1000,
+        paths: Vec::new(),
+        phase_window: 4,
+        threshold: 150,
+        perfetto: None,
+    };
+    let mut want_suite = false;
+    let mut positional = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--suite" => want_suite = true,
+            "--json" => args.json = true,
+            "--cores" => {
+                let v = flag_value("--cores");
+                match v.parse() {
+                    Ok(c) if c > 0 => args.cores = c,
+                    _ => die(&format!("bad --cores `{v}`")),
+                }
+            }
+            "--period" => {
+                let v = flag_value("--period");
+                match v.parse() {
+                    Ok(p) if p > 0 => args.period = p,
+                    _ => die(&format!("--period wants cycles >= 1, got `{v}`")),
+                }
+            }
+            "--paths" => {
+                let v = flag_value("--paths");
+                args.paths
+                    .extend(v.split(',').filter(|s| !s.is_empty()).map(String::from));
+            }
+            "--phase-window" => {
+                let v = flag_value("--phase-window");
+                match v.parse() {
+                    Ok(w) if w > 0 => args.phase_window = w,
+                    _ => die(&format!("bad --phase-window `{v}`")),
+                }
+            }
+            "--threshold" => {
+                let v = flag_value("--threshold");
+                match v.parse() {
+                    Ok(t) => args.threshold = t,
+                    Err(_) => die(&format!("bad --threshold `{v}`")),
+                }
+            }
+            "--perfetto" => args.perfetto = Some(flag_value("--perfetto")),
+            _ => {
+                match positional {
+                    0 => args.workloads.push(a),
+                    1 => match a.parse() {
+                        Ok(c) => args.cores = c,
+                        Err(_) => die(&format!("bad core count `{a}`")),
+                    },
+                    _ => die(&format!("unexpected argument `{a}`")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if want_suite {
+        args.workloads = suite::all()
+            .into_iter()
+            .map(|w| w.name.to_string())
+            .collect();
+    } else if args.workloads.is_empty() {
+        die("pass a workload name or --suite");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let trend_opts = TrendOptions {
+        period: args.period,
+        paths: args.paths.clone(),
+        phase_window: args.phase_window,
+        phase_threshold: args.threshold,
+        ..TrendOptions::default()
+    };
+    let obs = ObsOptions {
+        trend: Some(trend_opts),
+        ..ObsOptions::default()
+    };
+    let mut runs: Vec<Value> = Vec::new();
+    for name in &args.workloads {
+        let w = suite::by_name(name).unwrap_or_else(|| {
+            let names: Vec<&str> = suite::all().into_iter().map(|w| w.name).collect();
+            die(&format!(
+                "unknown workload `{name}`; available: {}",
+                names.join(", ")
+            ))
+        });
+        let cw = compile_workload(&w).unwrap_or_else(|e| die(&format!("{name}: {e}")));
+        let r = run_compiled_observed(&cw, &ProcessorConfig::tflex(args.cores), &obs)
+            .unwrap_or_else(|e| die(&format!("{name} on {} cores: {e}", args.cores)));
+        let trend = r.trend.expect("trend recording was enabled");
+        if let Some(path) = &args.perfetto {
+            std::fs::write(path, trend.to_chrome_trace())
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            println!("[perfetto counters -> {path}]");
+        }
+        if args.json {
+            runs.push(Value::Object(vec![
+                ("workload".to_string(), Value::String(name.clone())),
+                ("cores".to_string(), Value::UInt(args.cores as u64)),
+                ("trend".to_string(), trend.to_json_value()),
+            ]));
+        } else {
+            println!(
+                "== {name} on {} cores: {} cycles ==",
+                args.cores, trend.cycles
+            );
+            print!("{}", trend.render_timeline());
+            print!("{}", trend.render_phase_table());
+            println!();
+        }
+    }
+    if args.json {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String("clp-trend-suite-v1".to_string()),
+            ),
+            ("runs".to_string(), Value::Array(runs)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializes")
+        );
+    }
+}

@@ -15,7 +15,8 @@
 use clp_alloc::{
     fixed_cmp, granularity_fractions, optimal_clp, variable_best_cmp, Allocation, SpeedupCurve,
 };
-use clp_bench::{save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES};
+use clp_bench::cli::FigObs;
+use clp_bench::{save_json, sweep_suite_resilient_observed, CellFailure, SWEEP_SIZES};
 use clp_workloads::suite;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -49,9 +50,11 @@ struct Out {
 }
 
 fn main() {
+    let fig = FigObs::parse_env("fig10");
     // Measure the 12 hand-optimized speedup curves (Figure 6 data).
     let (rows, failures) =
-        sweep_suite_resilient(&suite::hand_optimized(), &SWEEP_SIZES).complete_rows();
+        sweep_suite_resilient_observed(&suite::hand_optimized(), &SWEEP_SIZES, &fig.obs_options())
+            .complete_rows();
     for f in &failures {
         eprintln!("warning: dropping failed cell {f}");
     }
@@ -161,4 +164,5 @@ fn main() {
             failures,
         },
     );
+    fig.save_sweep_snapshots(&rows);
 }

@@ -7,8 +7,9 @@
 //! >> compiled-INT, with compiled-INT at or below parity.
 
 use clp_baseline::{run_baseline, BaselineConfig};
+use clp_bench::cli::FigObs;
 use clp_bench::{geomean, save_json};
-use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_core::{compile_workload, run_compiled_observed, ProcessorConfig};
 use clp_workloads::{suite, WorkloadClass};
 use serde::Serialize;
 
@@ -23,11 +24,17 @@ struct Row {
 }
 
 fn main() {
+    let fig = FigObs::parse_env("fig5");
+    let obs = fig.obs_options();
     let mut rows = Vec::new();
+    let mut snapshots = Vec::new();
     for w in suite::all() {
         let cw = compile_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let trips = run_compiled(&cw, &ProcessorConfig::trips())
+        let trips = run_compiled_observed(&cw, &ProcessorConfig::trips(), &obs)
             .unwrap_or_else(|e| panic!("{} on TRIPS: {e}", w.name));
+        if fig.stats_json.is_some() {
+            snapshots.push((format!("{}/trips", w.name), trips.snapshot.clone()));
+        }
         let base = run_baseline(&w.program, &w.args, &w.init_mem, &BaselineConfig::core2());
         rows.push(Row {
             name: w.name,
@@ -72,4 +79,5 @@ fn main() {
     );
 
     save_json("fig5.json", &rows);
+    fig.save_snapshots(snapshots);
 }

@@ -5,8 +5,9 @@
 //! ~13% more (~4x); 8-core TFlex beats TRIPS by ~19%; BEST beats TRIPS
 //! by ~42%.
 
+use clp_bench::cli::FigObs;
 use clp_bench::{
-    geomean, order_by_ilp, save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES,
+    geomean, order_by_ilp, save_json, sweep_suite_resilient_observed, CellFailure, SWEEP_SIZES,
 };
 use clp_workloads::suite;
 use serde::Serialize;
@@ -28,8 +29,11 @@ struct Out {
 }
 
 fn main() {
+    let fig = FigObs::parse_env("fig6");
     let workloads = suite::all();
-    let (mut rows, failures) = sweep_suite_resilient(&workloads, &SWEEP_SIZES).complete_rows();
+    let (mut rows, failures) =
+        sweep_suite_resilient_observed(&workloads, &SWEEP_SIZES, &fig.obs_options())
+            .complete_rows();
     for f in &failures {
         eprintln!("warning: dropping failed cell {f}");
     }
@@ -98,4 +102,5 @@ fn main() {
             failures,
         },
     );
+    fig.save_sweep_snapshots(&rows);
 }

@@ -4,8 +4,9 @@
 //! Paper shape: area efficiency peaks at one or two cores for most
 //! benchmarks; beyond two cores performance grows more slowly than area.
 
+use clp_bench::cli::FigObs;
 use clp_bench::{
-    geomean, order_by_ilp, save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES,
+    geomean, order_by_ilp, save_json, sweep_suite_resilient_observed, CellFailure, SWEEP_SIZES,
 };
 use clp_power::perf_per_area;
 use clp_workloads::suite;
@@ -27,7 +28,10 @@ struct Out {
 }
 
 fn main() {
-    let (mut rows, failures) = sweep_suite_resilient(&suite::all(), &SWEEP_SIZES).complete_rows();
+    let fig = FigObs::parse_env("fig7");
+    let (mut rows, failures) =
+        sweep_suite_resilient_observed(&suite::all(), &SWEEP_SIZES, &fig.obs_options())
+            .complete_rows();
     for f in &failures {
         eprintln!("warning: dropping failed cell {f}");
     }
@@ -103,4 +107,5 @@ fn main() {
             failures,
         },
     );
+    fig.save_sweep_snapshots(&rows);
 }

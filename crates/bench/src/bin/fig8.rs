@@ -5,8 +5,9 @@
 //! picking per-application BEST adds ~22%; fixed 8-core TFlex is ~1.64x
 //! more power-efficient than TRIPS.
 
+use clp_bench::cli::FigObs;
 use clp_bench::{
-    geomean, order_by_ilp, save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES,
+    geomean, order_by_ilp, save_json, sweep_suite_resilient_observed, CellFailure, SWEEP_SIZES,
 };
 use clp_power::perf2_per_watt;
 use clp_workloads::suite;
@@ -27,7 +28,10 @@ struct Out {
 }
 
 fn main() {
-    let (mut rows, failures) = sweep_suite_resilient(&suite::all(), &SWEEP_SIZES).complete_rows();
+    let fig = FigObs::parse_env("fig8");
+    let (mut rows, failures) =
+        sweep_suite_resilient_observed(&suite::all(), &SWEEP_SIZES, &fig.obs_options())
+            .complete_rows();
     for f in &failures {
         eprintln!("warning: dropping failed cell {f}");
     }
@@ -111,4 +115,5 @@ fn main() {
             failures,
         },
     );
+    fig.save_sweep_snapshots(&rows);
 }

@@ -7,7 +7,8 @@
 //! bandwidth scales. For commit, handshaking grows with distance while
 //! the architectural-state update shrinks with added bandwidth.
 
-use clp_bench::{save_json, sweep_suite_resilient, CellFailure, SWEEP_SIZES};
+use clp_bench::cli::FigObs;
+use clp_bench::{save_json, sweep_suite_resilient_observed, CellFailure, SWEEP_SIZES};
 use clp_sim::{CommitLatencyBreakdown, FetchLatencyBreakdown};
 use clp_workloads::suite;
 use serde::Serialize;
@@ -26,7 +27,10 @@ struct Out {
 }
 
 fn main() {
-    let (rows, failures) = sweep_suite_resilient(&suite::all(), &SWEEP_SIZES).complete_rows();
+    let fig = FigObs::parse_env("fig9");
+    let (rows, failures) =
+        sweep_suite_resilient_observed(&suite::all(), &SWEEP_SIZES, &fig.obs_options())
+            .complete_rows();
     for f in &failures {
         eprintln!("warning: dropping failed cell {f}");
     }
@@ -89,4 +93,5 @@ fn main() {
     }
 
     save_json("fig9.json", &Out { series, failures });
+    fig.save_sweep_snapshots(&rows);
 }

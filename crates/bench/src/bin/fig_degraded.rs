@@ -16,8 +16,9 @@
 //! the kill schedule derives from the clean run's cycle count, not from
 //! any wall clock.
 
+use clp_bench::cli::FigObs;
 use clp_bench::{geomean, save_json};
-use clp_core::{compile_workload, run_compiled, ProcessorConfig};
+use clp_core::{compile_workload, run_compiled_observed, ProcessorConfig};
 use clp_sim::FaultPlan;
 use clp_workloads::suite;
 use serde::Serialize;
@@ -48,13 +49,16 @@ struct Row {
 }
 
 fn main() {
+    let fig = FigObs::parse_env("fig_degraded");
+    let obs = fig.obs_options();
     let mut rows = Vec::new();
+    let mut snapshots = Vec::new();
     for name in WORKLOADS {
         let w = suite::by_name(name).expect("workload exists");
         let cw = compile_workload(&w).unwrap_or_else(|e| panic!("{name}: {e}"));
         for n in SIZES {
             let clean_cfg = ProcessorConfig::tflex(n);
-            let clean = run_compiled(&cw, &clean_cfg)
+            let clean = run_compiled_observed(&cw, &clean_cfg, &obs)
                 .unwrap_or_else(|e| panic!("{name} clean on {n}: {e}"));
             assert!(clean.correct, "{name} clean on {n} cores must verify");
 
@@ -67,12 +71,20 @@ fn main() {
             let kill_cycle = (clean.stats.cycles / 2).max(1);
             let mut plan = FaultPlan::none();
             plan.add_kill(victim, kill_cycle).expect("valid kill");
-            let degraded = run_compiled(&cw, &ProcessorConfig::tflex(n).with_faults(plan))
-                .unwrap_or_else(|e| panic!("{name} degraded on {n}: {e}"));
+            let degraded =
+                run_compiled_observed(&cw, &ProcessorConfig::tflex(n).with_faults(plan), &obs)
+                    .unwrap_or_else(|e| panic!("{name} degraded on {n}: {e}"));
             assert!(
                 degraded.correct,
                 "{name} on {n} cores must verify after losing core {victim}"
             );
+            if fig.stats_json.is_some() {
+                snapshots.push((format!("{name}/tflex-{n}/clean"), clean.snapshot.clone()));
+                snapshots.push((
+                    format!("{name}/tflex-{n}/degraded"),
+                    degraded.snapshot.clone(),
+                ));
+            }
             let rec = &degraded.stats.recovery;
             rows.push(Row {
                 name: w.name,
@@ -134,4 +146,5 @@ fn main() {
     }
 
     save_json("fig_degraded.json", &rows);
+    fig.save_snapshots(snapshots);
 }

@@ -30,6 +30,12 @@
 //! hottest mesh links after the run (see also the `clp-prof` binary for
 //! suite-wide tables and JSON output).
 //!
+//! `--trend` records the clp-trend columnar time series (bucket shares
+//! and IPC per interval) and prints the ASCII phase timeline after the
+//! run; `--phase-table` also prints the per-phase bucket breakdown
+//! table (and implies `--trend`). Both enable profiling so the bucket
+//! columns are populated; cycle counts stay bit-identical either way.
+//!
 //! `--kill-core ID@CYCLE` (repeatable, up to 4) schedules a *hard*
 //! kill: global core ID dies permanently at that cycle and the
 //! composition must detect it, migrate state, and recompose around the
@@ -40,7 +46,7 @@
 
 use clp_core::compile_workload;
 use clp_isa::Reg;
-use clp_obs::{ChromeTraceWriter, Tracer};
+use clp_obs::{ChromeTraceWriter, Tracer, TrendOptions};
 use clp_sim::{CoreKill, FaultPlan, Machine, SimConfig, ALL_FAULT_KINDS};
 use clp_workloads::suite;
 
@@ -55,6 +61,8 @@ struct Args {
     kills: Vec<CoreKill>,
     lint: bool,
     profile: bool,
+    trend: bool,
+    phase_table: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -74,6 +82,8 @@ fn parse_args() -> Args {
         kills: Vec::new(),
         lint: false,
         profile: false,
+        trend: false,
+        phase_table: false,
     };
     let mut positional = 0;
     let mut it = std::env::args().skip(1);
@@ -94,6 +104,11 @@ fn parse_args() -> Args {
             }
             "--lint" => args.lint = true,
             "--profile" => args.profile = true,
+            "--trend" => args.trend = true,
+            "--phase-table" => {
+                args.phase_table = true;
+                args.trend = true;
+            }
             "--faults" => args.faults = Some(flag_value("--faults")),
             "--kill-core" => {
                 let v = flag_value("--kill-core");
@@ -181,6 +196,15 @@ fn main() {
     if args.profile {
         m.enable_profiling();
     }
+    if args.trend {
+        if !args.profile {
+            m.enable_profiling();
+        }
+        m.enable_trend(TrendOptions {
+            period: args.sample_every.unwrap_or(1000),
+            ..TrendOptions::default()
+        });
+    }
     for (addr, words) in &w.init_mem {
         m.memory_mut().image.load_words(*addr, words);
     }
@@ -231,6 +255,13 @@ fn main() {
                 print!("{}", report.render_breakdown());
                 print!("{}", report.render_core_heatmap());
                 print!("{}", report.render_links(8));
+            }
+            if args.trend {
+                let trend = m.take_trend_report().expect("trend enabled");
+                print!("{}", trend.render_timeline());
+                if args.phase_table {
+                    print!("{}", trend.render_phase_table());
+                }
             }
             let snapshot = m.snapshot();
             if let Some(path) = &args.stats_json {

@@ -12,12 +12,14 @@
 
 #![warn(missing_docs)]
 
-use clp_core::{compile_workload, run_compiled, ProcessorConfig, RunOutcome};
+use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig, RunOutcome};
 use clp_workloads::{IlpClass, Workload};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::thread;
+
+pub mod cli;
 
 /// The composition sizes of the Figure 6–8 sweeps.
 pub const SWEEP_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -189,6 +191,18 @@ impl SweepOutcome {
 /// size)` combination never kills a whole figure binary.
 #[must_use]
 pub fn sweep_suite_resilient(workloads: &[Workload], sizes: &[usize]) -> SweepOutcome {
+    sweep_suite_resilient_observed(workloads, sizes, &ObsOptions::default())
+}
+
+/// Like [`sweep_suite_resilient`], with observability attached to every
+/// cell's run (the figure binaries thread their shared `--sample-every`
+/// / `--stats-json` flags through here; see [`cli::FigObs`]).
+#[must_use]
+pub fn sweep_suite_resilient_observed(
+    workloads: &[Workload],
+    sizes: &[usize],
+    obs: &ObsOptions,
+) -> SweepOutcome {
     let (tx, rx) = mpsc::channel();
     thread::scope(|scope| {
         for (idx, w) in workloads.iter().enumerate() {
@@ -200,13 +214,13 @@ pub fn sweep_suite_resilient(workloads: &[Workload], sizes: &[usize]) -> SweepOu
                         let tflex = sizes
                             .iter()
                             .map(|&n| {
-                                let r = run_compiled(&cw, &ProcessorConfig::tflex(n))
+                                let r = run_compiled_observed(&cw, &ProcessorConfig::tflex(n), obs)
                                     .map_err(|e| e.to_string());
                                 (n, r)
                             })
                             .collect();
-                        let trips =
-                            run_compiled(&cw, &ProcessorConfig::trips()).map_err(|e| e.to_string());
+                        let trips = run_compiled_observed(&cw, &ProcessorConfig::trips(), obs)
+                            .map_err(|e| e.to_string());
                         RowResult {
                             workload: w.clone(),
                             tflex,

@@ -1,15 +1,20 @@
 //! Guards the cost of the observability hooks.
 //!
-//! Three properties: (1) attaching any sink must not perturb the
+//! Four properties: (1) attaching any sink must not perturb the
 //! simulated machine — cycle counts are bit-identical with tracing on,
 //! off, or null; (2) a `NullSink` run's wall-clock throughput stays
 //! within noise of a tracer-off run (the hooks are one branch, not a
 //! call); (3) the clp-prof layer's recording and backward walk stay
 //! within a generous wall-clock factor of the bare run (the CI guard on
-//! the `obs_overhead` bench's profiler-on column).
+//! the `obs_overhead` bench's profiler-on column); (4) the clp-trend
+//! recorder is equally free — cycle counts with trend recording on stay
+//! bit-identical to the pinned goldens *and* to the committed
+//! `BENCH_baseline.json` cells, and its wall-clock cost stays within
+//! noise of the profiler-on run.
 
 use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
-use clp_obs::{NullSink, RingRecorder, Tracer};
+use clp_obs::{NullSink, RingRecorder, Tracer, TrendOptions};
+use serde::Value;
 use std::time::Instant;
 
 fn run_with(obs: &ObsOptions) -> u64 {
@@ -113,5 +118,108 @@ fn profiler_overhead_bounded() {
     assert!(
         prof.as_secs_f64() < cap,
         "clp-prof run too slow: {prof:?} vs bare {off:?}"
+    );
+}
+
+fn trend_cycles(name: &str, cores: usize) -> u64 {
+    let w = clp_workloads::suite::by_name(name).expect("exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let obs = ObsOptions {
+        trend: Some(TrendOptions::default()),
+        ..ObsOptions::default()
+    };
+    let r = run_compiled_observed(&cw, &ProcessorConfig::tflex(cores), &obs).expect("runs");
+    assert!(r.correct);
+    r.cycles()
+}
+
+/// Trend recording is pure observation: with the recorder (and the
+/// profiler it pulls in) attached, cycle counts stay bit-identical to
+/// the pre-observability goldens that gate the fig5/TRIPS numbers.
+#[test]
+fn trend_never_perturbs_pinned_goldens() {
+    let goldens: [(&str, usize, u64); 3] = [
+        ("conv", 4, 9_383),
+        ("conv", 32, 7_085),
+        ("bezier", 32, 5_012),
+    ];
+    for (name, cores, want) in goldens {
+        assert_eq!(
+            trend_cycles(name, cores),
+            want,
+            "{name} x{cores}: trend recording perturbed the cycle count"
+        );
+    }
+}
+
+/// The same bit-identity against every committed `BENCH_baseline.json`
+/// cell for a representative workload subset: the perf baseline and the
+/// trend layer agree on the machine they measure.
+#[test]
+fn trend_cycles_match_the_bench_baseline() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_baseline.json is committed");
+    let doc = serde_json::from_str::<Value>(&text).expect("baseline parses");
+    let workloads = doc.get("workloads").as_array().expect("clp-bench-v1 shape");
+    let mut checked = 0;
+    for w in workloads {
+        let name = w.get("name").as_str().expect("named workload");
+        if !["conv", "tblook", "bezier"].contains(&name) {
+            continue;
+        }
+        for r in w.get("runs").as_array().expect("runs array") {
+            let cores = r.get("cores").as_u64().expect("cores") as usize;
+            if ![1, 4, 16].contains(&cores) {
+                continue;
+            }
+            let want = r.get("cycles").as_u64().expect("cycles");
+            assert_eq!(
+                trend_cycles(name, cores),
+                want,
+                "{name} x{cores}: trend-on run diverged from BENCH_baseline.json"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 9, "baseline subset went missing");
+}
+
+/// The trend recorder's marginal wall-clock cost over a profiler-on run
+/// is one compare per cycle plus a columnar push per interval —
+/// measured under 5%. The 1.5x cap (plus a 5 ms floor for fast runs)
+/// only trips on a hot-path mistake, e.g. sampling the stats registry
+/// every cycle instead of every interval.
+#[test]
+fn trend_overhead_bounded() {
+    let w = clp_workloads::suite::by_name("conv").expect("exists");
+    let cw = compile_workload(&w).expect("compiles");
+    let cfg = ProcessorConfig::tflex(8);
+    let prof_obs = ObsOptions {
+        profile: true,
+        ..ObsOptions::default()
+    };
+    let trend_obs = ObsOptions {
+        trend: Some(TrendOptions::default()),
+        ..ObsOptions::default()
+    };
+
+    let time = |obs: &ObsOptions| {
+        let _ = run_compiled_observed(&cw, &cfg, obs).expect("runs");
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = run_compiled_observed(&cw, &cfg, obs).expect("runs");
+                t.elapsed()
+            })
+            .min()
+            .expect("nonempty")
+    };
+
+    let prof = time(&prof_obs);
+    let trend = time(&trend_obs);
+    let cap = prof.as_secs_f64() * 1.5 + 0.005;
+    assert!(
+        trend.as_secs_f64() < cap,
+        "clp-trend run too slow: {trend:?} vs profiler-on {prof:?}"
     );
 }

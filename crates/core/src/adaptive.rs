@@ -11,7 +11,10 @@
 //! happens between epochs — exactly the property the paper's conclusion
 //! leans on.
 
-use crate::run::{compile_workload, run_compiled, CompiledWorkload, ProcessorConfig, RunFailure};
+use crate::run::{
+    compile_workload, run_compiled_observed, CompiledWorkload, ObsOptions, ProcessorConfig,
+    RunFailure,
+};
 use clp_power::{perf, perf2_per_watt, perf_per_area};
 use clp_workloads::Workload;
 
@@ -38,6 +41,21 @@ pub struct AdaptStep {
     pub score: f64,
 }
 
+/// One recomposition decision the controller made while searching —
+/// when (which epoch), which allocation change, and why.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptDecision {
+    /// Epoch index (into [`AdaptOutcome::history`]) at which the
+    /// controller moved.
+    pub epoch: usize,
+    /// Composition size before the move.
+    pub from_cores: usize,
+    /// Composition size after the move.
+    pub to_cores: usize,
+    /// Why the controller moved: `"start"`, `"grow"`, or `"shrink"`.
+    pub why: &'static str,
+}
+
 /// The controller's final decision.
 #[derive(Clone, Debug)]
 pub struct AdaptOutcome {
@@ -45,6 +63,9 @@ pub struct AdaptOutcome {
     pub cores: usize,
     /// All epochs observed while searching.
     pub history: Vec<AdaptStep>,
+    /// Every recomposition decision, in order — the audit trail an OS
+    /// scheduler would log when reallocating cores between threads.
+    pub decisions: Vec<AdaptDecision>,
 }
 
 fn score(goal: AdaptGoal, cycles: u64, area: f64, watts: f64) -> f64 {
@@ -59,8 +80,9 @@ fn run_epoch(
     cw: &CompiledWorkload,
     cores: usize,
     goal: AdaptGoal,
+    obs: &ObsOptions,
 ) -> Result<AdaptStep, RunFailure> {
-    let r = run_compiled(cw, &ProcessorConfig::tflex(cores))?;
+    let r = run_compiled_observed(cw, &ProcessorConfig::tflex(cores), obs)?;
     Ok(AdaptStep {
         cores,
         cycles: r.stats.cycles,
@@ -83,11 +105,34 @@ pub fn adapt_composition(
     goal: AdaptGoal,
     start: usize,
 ) -> Result<AdaptOutcome, RunFailure> {
+    adapt_composition_observed(workload, goal, start, &ObsOptions::default())
+}
+
+/// Like [`adapt_composition`], with observability attached to every
+/// epoch's run (the tracer sees each epoch's `processor_composed`
+/// event, so the controller's moves land in the trace too).
+///
+/// # Errors
+///
+/// Propagates the first failed epoch.
+pub fn adapt_composition_observed(
+    workload: &Workload,
+    goal: AdaptGoal,
+    start: usize,
+    obs: &ObsOptions,
+) -> Result<AdaptOutcome, RunFailure> {
     assert!(start.is_power_of_two() && start <= 32, "bad start size");
     let cw = compile_workload(workload)?;
     let mut history = Vec::new();
-    let mut current = run_epoch(&cw, start, goal)?;
+    let mut decisions = Vec::new();
+    let mut current = run_epoch(&cw, start, goal, obs)?;
     history.push(current.clone());
+    decisions.push(AdaptDecision {
+        epoch: 0,
+        from_cores: start,
+        to_cores: start,
+        why: "start",
+    });
 
     // Try growing, then shrinking, until neither helps.
     loop {
@@ -99,9 +144,19 @@ pub fn adapt_composition(
             if history.iter().any(|s| s.cores == candidate) {
                 continue; // already measured, known not better (or start)
             }
-            let step = run_epoch(&cw, candidate, goal)?;
+            let step = run_epoch(&cw, candidate, goal, obs)?;
             history.push(step.clone());
             if step.score > current.score {
+                decisions.push(AdaptDecision {
+                    epoch: history.len() - 1,
+                    from_cores: current.cores,
+                    to_cores: step.cores,
+                    why: if step.cores > current.cores {
+                        "grow"
+                    } else {
+                        "shrink"
+                    },
+                });
                 current = step;
                 improved = true;
                 break;
@@ -114,6 +169,7 @@ pub fn adapt_composition(
     Ok(AdaptOutcome {
         cores: current.cores,
         history,
+        decisions,
     })
 }
 
@@ -143,6 +199,26 @@ mod tests {
         }
         // A high-ILP kernel should not settle at one core.
         assert!(out.cores > 1, "autocor should grow past one core");
+    }
+
+    #[test]
+    fn decisions_record_every_move_with_a_reason() {
+        let w = suite::by_name("autocor").unwrap();
+        let out = adapt_composition(&w, AdaptGoal::Performance, 1).expect("adapts");
+        assert_eq!(out.decisions[0].why, "start");
+        assert_eq!(out.decisions[0].from_cores, 1);
+        // The chain of moves ends at the chosen size, each step doubling
+        // or halving the allocation.
+        let last = out.decisions.last().expect("at least start");
+        assert_eq!(last.to_cores, out.cores);
+        for w in out.decisions.windows(2) {
+            assert_eq!(w[1].from_cores, w[0].to_cores, "moves must chain");
+            assert!(
+                w[1].to_cores == w[1].from_cores * 2 || w[1].to_cores == w[1].from_cores / 2,
+                "moves are powers-of-two steps"
+            );
+            assert!(w[1].why == "grow" || w[1].why == "shrink");
+        }
     }
 
     #[test]

@@ -23,8 +23,11 @@ mod adaptive;
 mod multiprogram;
 mod run;
 
-pub use adaptive::{adapt_composition, AdaptGoal, AdaptOutcome, AdaptStep};
-pub use multiprogram::{run_multiprogram, MultiOutcome, ProgramSpec};
+pub use adaptive::{
+    adapt_composition, adapt_composition_observed, AdaptDecision, AdaptGoal, AdaptOutcome,
+    AdaptStep,
+};
+pub use multiprogram::{run_multiprogram, run_multiprogram_observed, MultiOutcome, ProgramSpec};
 pub use run::{
     compile_workload, run_compiled, run_compiled_observed, run_workload, speedup_curve, sweep,
     CompiledWorkload, ObsOptions, ProcessorConfig, ProcessorKind, RunFailure, RunOutcome,

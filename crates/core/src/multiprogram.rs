@@ -1,8 +1,9 @@
 //! Multiprogrammed execution: several workloads simultaneously on
 //! disjoint compositions of one chip, sharing the L2 and DRAM.
 
-use crate::run::{compile_workload, ProcessorConfig, RunFailure};
+use crate::run::{compile_workload, ObsOptions, ProcessorConfig, RunFailure};
 use clp_isa::Reg;
+use clp_obs::{StatsSnapshot, TrendReport};
 use clp_sim::{Machine, ProcId, RunStats};
 use clp_workloads::Workload;
 
@@ -21,10 +22,16 @@ pub struct ProgramSpec {
 pub struct MultiOutcome {
     /// Chip statistics (per-processor counters inside).
     pub stats: RunStats,
+    /// The unified stats registry for the run — the `compose/*` node
+    /// records every composition made while packing the chip.
+    pub snapshot: StatsSnapshot,
     /// Per-program cycle counts (until each halted).
     pub cycles: Vec<u64>,
     /// Per-program verification status.
     pub correct: Vec<bool>,
+    /// Chip-wide columnar time series (present when
+    /// [`ObsOptions::trend`] was set).
+    pub trend: Option<TrendReport>,
 }
 
 /// Runs several programs simultaneously on one chip. Core regions are
@@ -40,6 +47,21 @@ pub struct MultiOutcome {
 /// Returns a [`RunFailure`] if the specs do not fit, a program fails to
 /// compile, the simulation fails, or any program's outputs mismatch.
 pub fn run_multiprogram(specs: &[ProgramSpec]) -> Result<MultiOutcome, RunFailure> {
+    run_multiprogram_observed(specs, &ObsOptions::default())
+}
+
+/// Like [`run_multiprogram`], with tracing/sampling/trend recording
+/// attached to the shared chip. Composition decisions surface as
+/// `processor_composed` trace events and in the snapshot's `compose/*`
+/// counters.
+///
+/// # Errors
+///
+/// See [`run_multiprogram`].
+pub fn run_multiprogram_observed(
+    specs: &[ProgramSpec],
+    obs: &ObsOptions,
+) -> Result<MultiOutcome, RunFailure> {
     let total: usize = specs.iter().map(|s| s.cores).sum();
     assert!(total <= 32, "{total} cores requested, chip has 32");
 
@@ -49,6 +71,21 @@ pub fn run_multiprogram(specs: &[ProgramSpec]) -> Result<MultiOutcome, RunFailur
 
     let cfg = ProcessorConfig::tflex(32).sim;
     let mut m = Machine::new(cfg);
+    if obs.tracer.enabled() {
+        m.set_tracer(obs.tracer.clone());
+    }
+    if let Some(period) = obs.sample_every {
+        m.set_sample_period(period);
+    }
+    if obs.profile {
+        m.enable_profiling();
+    }
+    if let Some(t) = &obs.trend {
+        if (t.buckets || t.heat) && !m.profiling_enabled() {
+            m.enable_profiling();
+        }
+        m.enable_trend(t.clone());
+    }
     let mut compiled = Vec::with_capacity(specs.len());
     for s in specs {
         compiled.push(compile_workload(&s.workload)?);
@@ -83,6 +120,8 @@ pub fn run_multiprogram(specs: &[ProgramSpec]) -> Result<MultiOutcome, RunFailur
     }
 
     let stats = m.run().map_err(RunFailure::Run)?;
+    let trend = m.take_trend_report();
+    let snapshot = m.snapshot();
 
     let mut cycles = Vec::with_capacity(specs.len());
     let mut correct = Vec::with_capacity(specs.len());
@@ -97,8 +136,10 @@ pub fn run_multiprogram(specs: &[ProgramSpec]) -> Result<MultiOutcome, RunFailur
     }
     Ok(MultiOutcome {
         stats,
+        snapshot,
         cycles,
         correct,
+        trend,
     })
 }
 
@@ -145,6 +186,24 @@ mod tests {
         assert!(out.correct.iter().all(|&c| c), "all programs correct");
         assert!(out.cycles.iter().all(|&c| c > 0));
         assert_eq!(out.stats.procs.len(), 2);
+    }
+
+    #[test]
+    fn compose_decisions_surface_in_the_snapshot() {
+        let specs = vec![
+            ProgramSpec {
+                workload: suite::by_name("conv").unwrap(),
+                cores: 8,
+            },
+            ProgramSpec {
+                workload: suite::by_name("bezier").unwrap(),
+                cores: 4,
+            },
+        ];
+        let out = run_multiprogram_observed(&specs, &ObsOptions::default()).expect("runs");
+        assert_eq!(out.snapshot.expect("compose/compositions"), 2.0);
+        assert_eq!(out.snapshot.expect("compose/cores_allocated"), 12.0);
+        assert_eq!(out.snapshot.expect("compose/decompositions"), 0.0);
     }
 
     #[test]

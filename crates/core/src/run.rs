@@ -3,7 +3,7 @@
 use clp_alloc::{SpeedupCurve, SIZES};
 use clp_compiler::{compile, CompileError, CompileOptions};
 use clp_isa::{EdgeProgram, Reg};
-use clp_obs::{ProfileReport, StatsSnapshot, Tracer};
+use clp_obs::{ProfileReport, StatsSnapshot, Tracer, TrendOptions, TrendReport};
 use clp_power::{AreaModel, EnergyModel, PowerBreakdown, PowerConfig};
 use clp_sim::{Machine, ProcId, RunError, RunStats, SimConfig};
 use clp_workloads::{Golden, VerifyError, Workload};
@@ -147,6 +147,9 @@ pub struct RunOutcome {
     /// Cycle-accounting profile (present when [`ObsOptions::profile`]
     /// was set).
     pub profile: Option<ProfileReport>,
+    /// Columnar time series + phase table (present when
+    /// [`ObsOptions::trend`] was set).
+    pub trend: Option<TrendReport>,
 }
 
 impl RunOutcome {
@@ -171,6 +174,11 @@ pub struct ObsOptions {
     /// Enable the clp-prof cycle-accounting layer (default: off). When
     /// off, the run is bit-identical to an unprofiled run.
     pub profile: bool,
+    /// Record a clp-trend columnar time series (default: off). When the
+    /// options ask for bucket or heat columns, profiling is enabled
+    /// implicitly — the trend layer reads the profiler's accumulators
+    /// but never feeds timing, so cycles stay bit-identical either way.
+    pub trend: Option<TrendOptions>,
 }
 
 /// Runs a pre-compiled workload on `cfg`, verifying outputs.
@@ -207,6 +215,12 @@ pub fn run_compiled_observed(
     if obs.profile {
         m.enable_profiling();
     }
+    if let Some(t) = &obs.trend {
+        if (t.buckets || t.heat) && !m.profiling_enabled() {
+            m.enable_profiling();
+        }
+        m.enable_trend(t.clone());
+    }
     for (addr, words) in &cw.workload.init_mem {
         m.memory_mut().image.load_words(*addr, words);
     }
@@ -214,6 +228,7 @@ pub fn run_compiled_observed(
         .compose(cfg.cores(), 0, cw.edge.clone(), &cw.workload.args)
         .map_err(RunFailure::Compose)?;
     let stats = m.run().map_err(RunFailure::Run)?;
+    let trend = m.take_trend_report();
     let snapshot = m.snapshot();
     let profile = m.profile_report();
     let ret = m.register(pid, Reg::new(1));
@@ -236,6 +251,7 @@ pub fn run_compiled_observed(
         power,
         area_mm2,
         profile,
+        trend,
     })
 }
 

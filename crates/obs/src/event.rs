@@ -224,6 +224,28 @@ pub enum TraceEvent {
         /// cache lines).
         migrated_bytes: u64,
     },
+    /// A logical processor was composed from a region of cores — the
+    /// allocation decisions (multiprogramming, adaptive control,
+    /// degraded-mode recomposition) all flow through this event so trend
+    /// series can be aligned with composition changes.
+    ProcessorComposed {
+        /// Logical processor id assigned.
+        proc: usize,
+        /// Number of cores in the composition.
+        cores: usize,
+        /// Global index of the region's first core.
+        base_core: usize,
+        /// Why the composition happened (e.g. `"compose"`,
+        /// `"recompose"`).
+        why: &'static str,
+    },
+    /// A logical processor released its cores back to the chip.
+    ProcessorDecomposed {
+        /// Logical processor id.
+        proc: usize,
+        /// Number of cores released.
+        cores: usize,
+    },
     /// A snapshot of the profiler's cumulative run-level cycle buckets,
     /// emitted at each block commit when both tracing and profiling are
     /// on. Renders as Perfetto counter tracks (`ph: "C"`) so the
@@ -258,6 +280,8 @@ impl TraceEvent {
             TraceEvent::CoreKilled { .. } => "core_killed",
             TraceEvent::CoreDeclaredDead { .. } => "core_declared_dead",
             TraceEvent::RecoveryCompleted { .. } => "recovery_completed",
+            TraceEvent::ProcessorComposed { .. } => "processor_composed",
+            TraceEvent::ProcessorDecomposed { .. } => "processor_decomposed",
             TraceEvent::ProfileBuckets { .. } => "cycle_accounting",
         }
     }
@@ -279,6 +303,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } | TraceEvent::CoreKilled { .. } => "fault",
             TraceEvent::CoreDeclaredDead { .. } | TraceEvent::RecoveryCompleted { .. } => {
                 "recovery"
+            }
+            TraceEvent::ProcessorComposed { .. } | TraceEvent::ProcessorDecomposed { .. } => {
+                "compose"
             }
             TraceEvent::ProfileBuckets { .. } => "profile",
         }
@@ -311,7 +338,9 @@ impl TraceEvent {
                 (5, *core as u64)
             }
             TraceEvent::CoreDeclaredDead { proc, .. }
-            | TraceEvent::RecoveryCompleted { proc, .. } => (0, *proc as u64),
+            | TraceEvent::RecoveryCompleted { proc, .. }
+            | TraceEvent::ProcessorComposed { proc, .. }
+            | TraceEvent::ProcessorDecomposed { proc, .. } => (0, *proc as u64),
             TraceEvent::ProfileBuckets { proc, .. } => (6, *proc as u64),
         }
     }
@@ -450,6 +479,21 @@ impl TraceEvent {
                 ("survivors", Value::UInt(survivors as u64)),
                 ("flushed_blocks", Value::UInt(flushed_blocks as u64)),
                 ("migrated_bytes", Value::UInt(migrated_bytes)),
+            ],
+            TraceEvent::ProcessorComposed {
+                proc,
+                cores,
+                base_core,
+                why,
+            } => vec![
+                ("proc", Value::UInt(proc as u64)),
+                ("cores", Value::UInt(cores as u64)),
+                ("base_core", Value::UInt(base_core as u64)),
+                ("why", Value::String(why.to_string())),
+            ],
+            TraceEvent::ProcessorDecomposed { proc, cores } => vec![
+                ("proc", Value::UInt(proc as u64)),
+                ("cores", Value::UInt(cores as u64)),
             ],
             TraceEvent::ProfileBuckets { buckets, .. } => crate::profile::Bucket::ALL
                 .iter()

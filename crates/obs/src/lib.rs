@@ -26,15 +26,26 @@
 //!   cycle-accounting buckets and critical-path attribution the
 //!   simulator extracts from last-arrival dependence edges; see
 //!   [`profile`] for the bucket taxonomy.
+//! - [`TrendReport`] (the clp-trend data model) generalizes the interval
+//!   sampler into a columnar time series over any set of stats-registry
+//!   paths plus the profiler's buckets and per-core heat rows, with a
+//!   deterministic integer-only phase detector on top; see [`trend`].
+//! - [`diff`] structurally compares two runs' pinned JSON documents and
+//!   attributes the delta to the buckets, cores, and NoC links that
+//!   moved (the clp-diff library).
 
+pub mod diff;
 pub mod event;
 pub mod profile;
 pub mod sink;
 pub mod snapshot;
+pub mod trend;
 
+pub use diff::{attribute_buckets, detect_kind, diff_documents, AttributionReport, DiffEntry};
 pub use event::{CacheLevel, FlushReason, TraceEvent};
 pub use profile::{Bucket, BucketCycles, ProcProfile, ProfileReport, NUM_BUCKETS};
 pub use sink::{ChromeTraceWriter, NullSink, RingRecorder, TraceSink, Tracer};
 pub use snapshot::{
     IntervalSample, IntervalSampler, Metric, MetricValue, SampleCounters, StatsNode, StatsSnapshot,
 };
+pub use trend::{ColumnKind, Phase, TrendColumn, TrendOptions, TrendRecorder, TrendReport};

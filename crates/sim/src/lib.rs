@@ -48,5 +48,5 @@ pub use fault::{
 pub use machine::{ComposeError, Machine, ProcId, RunError};
 pub use regfile::{RegFile, RegRead};
 pub use stats::{
-    CommitLatencyBreakdown, FetchLatencyBreakdown, ProcStats, RecoveryStats, RunStats,
+    CommitLatencyBreakdown, ComposeStats, FetchLatencyBreakdown, ProcStats, RecoveryStats, RunStats,
 };

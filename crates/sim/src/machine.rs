@@ -18,13 +18,13 @@
 use crate::config::{ProtocolTiming, SimConfig};
 use crate::fault::{CoreKill, FaultInjector};
 use crate::regfile::{RegFile, RegRead};
-use crate::stats::{CommitLatencyBreakdown, ProcStats, RecoveryStats, RunStats};
+use crate::stats::{CommitLatencyBreakdown, ComposeStats, ProcStats, RecoveryStats, RunStats};
 use clp_isa::{Block, BlockAddr, BranchKind, EdgeProgram, Opcode, OpcodeClass, Reg, Target};
 use clp_mem::{dbank_for, LoadResponse, LoadServe, MemorySystem, StoreResponse};
 use clp_noc::{region_for, Mesh, NodeId, RegionError};
 use clp_obs::{
     Bucket, FlushReason, IntervalSampler, ProcProfile, ProfileReport, SampleCounters,
-    StatsSnapshot, TraceEvent, Tracer,
+    StatsSnapshot, TraceEvent, Tracer, TrendOptions, TrendRecorder, TrendReport,
 };
 use clp_predictor::{block_owner, ComposedPredictor, ExitOutcome, Prediction};
 use std::cmp::Reverse;
@@ -516,6 +516,11 @@ pub struct Machine {
     /// clp-prof accumulator; `None` (the default) keeps every hook down
     /// to a single branch and the run bit-identical to unprofiled builds.
     prof: Option<Box<ProfAcc>>,
+    /// clp-trend columnar time-series recorder; `None` (the default)
+    /// costs one branch per cycle and keeps the run bit-identical.
+    trend: Option<Box<TrendRecorder>>,
+    /// Composition-allocation counters (observation only).
+    compose_stats: ComposeStats,
 }
 
 impl Machine {
@@ -544,6 +549,8 @@ impl Machine {
             recovery_stats: RecoveryStats::default(),
             recovery_mark: None,
             prof: None,
+            trend: None,
+            compose_stats: ComposeStats::default(),
             cfg,
         }
     }
@@ -585,6 +592,74 @@ impl Machine {
             mesh_height: self.cfg.operand_net.height,
             elapsed: self.now,
         })
+    }
+
+    /// Enables clp-trend columnar time-series recording: one sample per
+    /// `opts.period` cycles over the selected stats paths plus (when
+    /// profiling is also enabled) the cycle-accounting buckets and the
+    /// per-core heat rows. Call before [`Machine::run`]; collect with
+    /// [`Machine::take_trend_report`].
+    ///
+    /// Recording is observational — samples are written on due cycles
+    /// but never read back for timing, so cycle counts stay bit-identical
+    /// to unrecorded runs.
+    pub fn enable_trend(&mut self, opts: TrendOptions) {
+        let cores = self.cfg.chip_cores();
+        self.trend = Some(Box::new(TrendRecorder::new(opts, cores)));
+    }
+
+    /// Finalizes and returns the trend report (closing the last partial
+    /// interval), or `None` when trend recording was never enabled.
+    /// Recording stops; a second call returns `None`.
+    #[must_use]
+    pub fn take_trend_report(&mut self) -> Option<TrendReport> {
+        let rec = self.trend.take()?;
+        let stats = self.collect_stats();
+        let root = stats.to_snapshot(Vec::new()).root;
+        let insts = stats.total_insts();
+        let prof = self.prof.as_deref().map(|acc| {
+            let mut total = clp_obs::BucketCycles::default();
+            for p in &acc.per_proc {
+                total.merge(&p.run_buckets);
+            }
+            (total, acc.core_cycles.clone())
+        });
+        Some(rec.finish(
+            self.now,
+            &root,
+            insts,
+            prof.as_ref().map(|(b, h)| (b, h.as_slice())),
+        ))
+    }
+
+    /// Closes the trend interval ending now. Only called on due cycles.
+    fn trend_sample(&mut self) {
+        let Some(mut rec) = self.trend.take() else {
+            return;
+        };
+        let stats = self.collect_stats();
+        let root = stats.to_snapshot(Vec::new()).root;
+        let insts = stats.total_insts();
+        let prof = self.prof.as_deref().map(|acc| {
+            let mut total = clp_obs::BucketCycles::default();
+            for p in &acc.per_proc {
+                total.merge(&p.run_buckets);
+            }
+            (total, acc.core_cycles.clone())
+        });
+        rec.record(
+            self.now,
+            &root,
+            insts,
+            prof.as_ref().map(|(b, h)| (b, h.as_slice())),
+        );
+        self.trend = Some(rec);
+    }
+
+    /// Composition-allocation counters so far.
+    #[must_use]
+    pub fn compose_stats(&self) -> &ComposeStats {
+        &self.compose_stats
     }
 
     /// Hard-fault detection/recomposition counters so far (all zero when
@@ -731,6 +806,17 @@ impl Machine {
         for (p, &c) in cores.iter().enumerate() {
             self.core_map[c] = Some((pid, p));
         }
+        self.compose_stats.compositions += 1;
+        self.compose_stats.cores_allocated += n_cores as u64;
+        self.compose_stats.last_change_cycle = self.now;
+        let base_core = cores[0];
+        self.tracer
+            .emit(self.now, || TraceEvent::ProcessorComposed {
+                proc: pid,
+                cores: n_cores,
+                base_core,
+                why: "compose",
+            });
         let pred_banks = if self.cfg.centralized_control {
             1
         } else {
@@ -1101,6 +1187,11 @@ impl Machine {
         self.last_progress = now;
 
         self.recovery_stats.recoveries += 1;
+        // A recovery is a forced recomposition: the survivor set is a new
+        // (smaller) core allocation for the same logical processor.
+        self.compose_stats.recompositions += 1;
+        self.compose_stats.cores_released += 1;
+        self.compose_stats.last_change_cycle = now;
         self.recovery_stats.flushed_blocks += flushed as u64;
         self.recovery_stats.migrated_regs += migrated_regs;
         self.recovery_stats.migrated_lines += migrated_lines;
@@ -3017,6 +3108,10 @@ impl Machine {
                 s.sample(self.now, counters);
             }
         }
+        // 5. clp-trend columnar recording: same one-compare contract.
+        if self.trend.as_ref().is_some_and(|t| t.due(self.now)) {
+            self.trend_sample();
+        }
     }
 
     /// Runs until every composed processor halts.
@@ -3073,6 +3168,7 @@ impl Machine {
                 }
                 r
             },
+            compose: self.compose_stats,
         };
         for (i, p) in self.procs.iter().enumerate() {
             stats.procs[i].predictor = *p.predictor.stats();
@@ -3104,10 +3200,19 @@ impl Machine {
             self.procs[pid.0].halted,
             "decompose requires a halted processor"
         );
+        let released = self.procs[pid.0].cores.len();
         for &c in &self.procs[pid.0].cores {
             self.core_map[c] = None;
         }
         self.procs[pid.0].cores.clear();
+        self.compose_stats.decompositions += 1;
+        self.compose_stats.cores_released += released as u64;
+        self.compose_stats.last_change_cycle = self.now;
+        self.tracer
+            .emit(self.now, || TraceEvent::ProcessorDecomposed {
+                proc: pid.0,
+                cores: released,
+            });
     }
 
     /// The physical base of processor `pid`'s address space (multiply

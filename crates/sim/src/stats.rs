@@ -259,6 +259,41 @@ impl RecoveryStats {
     }
 }
 
+/// Counters for composition-allocation decisions: when logical
+/// processors were composed, decomposed, or recomposed, and over how
+/// many cores. Lets trend series be aligned with allocation changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComposeStats {
+    /// Logical processors composed (including the initial composition).
+    pub compositions: u64,
+    /// Processors that released their cores back to the chip.
+    pub decompositions: u64,
+    /// Degraded-mode recompositions after a hard core failure.
+    pub recompositions: u64,
+    /// Total cores allocated across all compositions.
+    pub cores_allocated: u64,
+    /// Total cores released across all decompositions.
+    pub cores_released: u64,
+    /// Cycle of the most recent allocation change (0 if none happened
+    /// after cycle 0).
+    pub last_change_cycle: u64,
+}
+
+impl ComposeStats {
+    /// Renders these counters as a stats-registry node named
+    /// `"compose"`.
+    #[must_use]
+    pub fn to_node(&self) -> clp_obs::StatsNode {
+        clp_obs::StatsNode::new("compose")
+            .count("compositions", self.compositions)
+            .count("decompositions", self.decompositions)
+            .count("recompositions", self.recompositions)
+            .count("cores_allocated", self.cores_allocated)
+            .count("cores_released", self.cores_released)
+            .count("last_change_cycle", self.last_change_cycle)
+    }
+}
+
 /// Chip-level statistics for a completed run (inputs to the power model).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -277,6 +312,8 @@ pub struct RunStats {
     /// Hard-fault detection/recomposition counters (all zero unless a
     /// scheduled core kill fired).
     pub recovery: RecoveryStats,
+    /// Composition-allocation counters (when, how many cores).
+    pub compose: ComposeStats,
 }
 
 impl RunStats {
@@ -303,7 +340,8 @@ impl RunStats {
     /// ├── operand_net       (MeshStats)
     /// ├── control_net       (MeshStats)
     /// ├── faults            (FaultStats — zeros on fault-free runs)
-    /// └── recovery          (RecoveryStats — zeros unless a core died)
+    /// ├── recovery          (RecoveryStats — zeros unless a core died)
+    /// └── compose           (ComposeStats — allocation decisions)
     /// ```
     ///
     /// `intervals` carries the per-interval samples collected during the
@@ -322,7 +360,8 @@ impl RunStats {
             .child(self.operand_net.to_node("operand_net"))
             .child(self.control_net.to_node("control_net"))
             .child(self.faults.to_node())
-            .child(self.recovery.to_node());
+            .child(self.recovery.to_node())
+            .child(self.compose.to_node());
         clp_obs::StatsSnapshot {
             cycles: self.cycles,
             root,
