@@ -21,6 +21,11 @@
 //! `--fault-seed <n>` picks the PRNG stream (default 1); the same spec
 //! and seed always reproduce the same cycle count.
 //!
+//! `--threads <n>` steps the operand mesh on `n` worker shards; any
+//! value produces bit-identical cycle counts and stats (see the
+//! "Execution engine" section of DESIGN.md for the determinism
+//! argument), so this is purely a wall-clock knob.
+//!
 //! `--lint` runs the [`clp_lint`] static analyses on the compiled
 //! program before simulating and refuses to run it if any
 //! error-severity diagnostic is found.
@@ -60,6 +65,7 @@ struct Args {
     fault_seed: u64,
     kills: Vec<CoreKill>,
     lint: bool,
+    threads: usize,
     profile: bool,
     trend: bool,
     phase_table: bool,
@@ -81,6 +87,7 @@ fn parse_args() -> Args {
         fault_seed: 1,
         kills: Vec::new(),
         lint: false,
+        threads: 1,
         profile: false,
         trend: false,
         phase_table: false,
@@ -103,6 +110,13 @@ fn parse_args() -> Args {
                 }
             }
             "--lint" => args.lint = true,
+            "--threads" => {
+                let v = flag_value("--threads");
+                match v.parse() {
+                    Ok(t) if t >= 1 => args.threads = t,
+                    _ => die(&format!("--threads wants a count >= 1, got `{v}`")),
+                }
+            }
             "--profile" => args.profile = true,
             "--trend" => args.trend = true,
             "--phase-table" => {
@@ -177,6 +191,7 @@ fn main() {
     }
     let mut cfg = SimConfig::tflex();
     cfg.max_cycles = 2_000_000;
+    cfg.threads = args.threads;
     if let Some(spec) = &args.faults {
         cfg.faults = FaultPlan::parse(spec, args.fault_seed)
             .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));

@@ -179,6 +179,11 @@ pub struct ObsOptions {
     /// implicitly — the trend layer reads the profiler's accumulators
     /// but never feeds timing, so cycles stay bit-identical either way.
     pub trend: Option<TrendOptions>,
+    /// Drive the run with the reference single-step loop instead of the
+    /// event-driven skip-ahead engine (default: off). The two are
+    /// bit-identical by contract; this switch exists so the equivalence
+    /// suite can prove it on every workload rather than assume it.
+    pub stepped: bool,
 }
 
 /// Runs a pre-compiled workload on `cfg`, verifying outputs.
@@ -205,7 +210,19 @@ pub fn run_compiled_observed(
     cfg: &ProcessorConfig,
     obs: &ObsOptions,
 ) -> Result<RunOutcome, RunFailure> {
-    let mut m = Machine::new(cfg.sim);
+    let mut sim = cfg.sim;
+    // `CLP_SIM_THREADS` overrides the sharded-stepper width for every
+    // run in the process — the CI matrix uses it to re-run the whole
+    // test suite threaded without touching each call site. Thread
+    // count never changes results (cycle counts, stats, traces), only
+    // wall clock, so an override cannot invalidate a test.
+    if let Some(t) = std::env::var("CLP_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        sim.threads = t.max(1);
+    }
+    let mut m = Machine::new(sim);
     if obs.tracer.enabled() {
         m.set_tracer(obs.tracer.clone());
     }
@@ -227,7 +244,11 @@ pub fn run_compiled_observed(
     let pid: ProcId = m
         .compose(cfg.cores(), 0, cw.edge.clone(), &cw.workload.args)
         .map_err(RunFailure::Compose)?;
-    let stats = m.run().map_err(RunFailure::Run)?;
+    let stats = if obs.stepped {
+        m.run_stepped().map_err(RunFailure::Run)?
+    } else {
+        m.run().map_err(RunFailure::Run)?
+    };
     let trend = m.take_trend_report();
     let snapshot = m.snapshot();
     let profile = m.profile_report();

@@ -30,6 +30,7 @@
 
 mod mesh;
 mod region;
+mod sharded;
 mod stats;
 
 pub use mesh::{Mesh, MeshConfig, NodeId};

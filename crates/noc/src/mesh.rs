@@ -25,7 +25,7 @@ impl fmt::Display for NodeId {
 
 /// Output directions of a mesh router.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Dir {
+pub(crate) enum Dir {
     East,
     West,
     North,
@@ -136,16 +136,102 @@ impl MeshConfig {
         }
         path
     }
+
+    /// Next hop direction under X-then-Y dimension-order routing.
+    pub(crate) fn route_dir(&self, at: NodeId, dst: NodeId) -> Dir {
+        let a = self.coord(at);
+        let d = self.coord(dst);
+        if a.x < d.x {
+            Dir::East
+        } else if a.x > d.x {
+            Dir::West
+        } else if a.y < d.y {
+            Dir::South
+        } else if a.y > d.y {
+            Dir::North
+        } else {
+            Dir::Local
+        }
+    }
+
+    pub(crate) fn neighbor_of(&self, at: NodeId, dir: Dir) -> NodeId {
+        let c = self.coord(at);
+        let n = match dir {
+            Dir::East => Coord { x: c.x + 1, y: c.y },
+            Dir::West => Coord { x: c.x - 1, y: c.y },
+            Dir::South => Coord { x: c.x, y: c.y + 1 },
+            Dir::North => Coord { x: c.x, y: c.y - 1 },
+            Dir::Local => c,
+        };
+        self.node_at(n)
+    }
 }
 
 #[derive(Debug)]
-struct InFlight<M> {
-    at: NodeId,
-    src: NodeId,
-    dst: NodeId,
-    payload: M,
-    injected_at: u64,
-    seq: u64,
+pub(crate) struct InFlight<M> {
+    pub(crate) at: NodeId,
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) payload: M,
+    pub(crate) injected_at: u64,
+    pub(crate) seq: u64,
+}
+
+/// One router's work for one cycle, shared verbatim by the serial
+/// stepper and the sharded workers so both produce identical routing
+/// decisions: drains `queue` in FIFO order under a per-direction
+/// budget of `bw`, appending local deliveries to `delivered` and
+/// forwarded messages to `arriving`, accumulating counter deltas into
+/// `stats`. `scratch` must be empty on entry; on exit `queue` holds
+/// the messages that stalled this cycle (in order) and `scratch` is
+/// empty again.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_node_cycle<M>(
+    cfg: &MeshConfig,
+    cycle: u64,
+    node: usize,
+    bw: usize,
+    queue: &mut VecDeque<InFlight<M>>,
+    scratch: &mut VecDeque<InFlight<M>>,
+    delivered: &mut Vec<(NodeId, M)>,
+    arriving: &mut Vec<(NodeId, InFlight<M>)>,
+    stats: &mut MeshStats,
+    tracer: &Tracer,
+    plane: &'static str,
+) {
+    debug_assert!(scratch.is_empty());
+    let mut budget = [bw; 5];
+    while let Some(msg) = queue.pop_front() {
+        let dir = cfg.route_dir(msg.at, msg.dst);
+        let di = DIRS.iter().position(|&d| d == dir).expect("dir indexed");
+        if budget[di] == 0 {
+            stats.stalled_cycles += 1;
+            tracer.emit(cycle, || TraceEvent::LinkContention { plane, node });
+            scratch.push_back(msg);
+            continue;
+        }
+        budget[di] -= 1;
+        match dir {
+            Dir::Local => {
+                stats.delivered += 1;
+                let latency = cycle - msg.injected_at;
+                stats.total_latency += latency;
+                tracer.emit(cycle, || TraceEvent::OperandRouted {
+                    plane,
+                    src: msg.src.0,
+                    dst: msg.dst.0,
+                    latency,
+                });
+                delivered.push((msg.dst, msg.payload));
+            }
+            _ => {
+                stats.link_traversals += 1;
+                let next = cfg.neighbor_of(msg.at, dir);
+                arriving.push((next, InFlight { at: next, ..msg }));
+            }
+        }
+    }
+    std::mem::swap(queue, scratch);
 }
 
 /// A deterministic, dimension-order-routed 2-D mesh.
@@ -173,6 +259,16 @@ pub struct Mesh<M> {
     /// message per cycle regardless of configured bandwidth (used by the
     /// fault-injection layer to model contention bursts).
     throttled_until: u64,
+    /// Reusable holding deque for messages that stall during a router
+    /// cycle, so the hot loop never allocates.
+    scratch: VecDeque<InFlight<M>>,
+    /// Occupancy bitmask over `queues` (one bit per node, 64 nodes per
+    /// word): the router visits only set bits instead of scanning every
+    /// queue each cycle. Invariant: bit `n` is set iff `queues[n]` is
+    /// non-empty.
+    busy: Vec<u64>,
+    /// Worker pool for the sharded stepper; `None` runs serially.
+    sharding: Option<crate::sharded::ShardedRouter<M>>,
 }
 
 impl<M> Mesh<M> {
@@ -189,6 +285,9 @@ impl<M> Mesh<M> {
             tracer: Tracer::off(),
             plane: "operand",
             throttled_until: 0,
+            scratch: VecDeque::new(),
+            busy: vec![0; cfg.nodes().div_ceil(64)],
+            sharding: None,
             cfg,
         }
     }
@@ -247,48 +346,50 @@ impl<M> Mesh<M> {
             injected_at: self.cycle,
             seq,
         });
+        self.busy[src.0 / 64] |= 1 << (src.0 % 64);
     }
 
     /// True if no messages are queued, flying, or awaiting pickup.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.delivered.is_empty()
-            && self.arriving.is_empty()
-            && self.queues.iter().all(VecDeque::is_empty)
+        self.delivered.is_empty() && self.arriving.is_empty() && self.busy.iter().all(|&w| w == 0)
+    }
+
+    /// Advances the cycle counter directly to `cycle` without stepping.
+    ///
+    /// Only legal while the mesh is idle: stepping an idle mesh is a
+    /// pure cycle-counter increment (no routing, no stats, no traffic),
+    /// so an event-driven owner may jump the counter over any number of
+    /// idle cycles and remain bit-identical to a stepped run.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the mesh has in-flight traffic or `cycle`
+    /// moves backwards.
+    pub fn skip_to(&mut self, cycle: u64) {
+        debug_assert!(self.is_idle(), "cannot skip over in-flight messages");
+        debug_assert!(cycle >= self.cycle, "mesh cycle cannot move backwards");
+        self.cycle = cycle;
     }
 
     /// Next hop direction under X-then-Y dimension-order routing.
+    #[cfg(test)]
     fn route(&self, at: NodeId, dst: NodeId) -> Dir {
-        let a = self.cfg.coord(at);
-        let d = self.cfg.coord(dst);
-        if a.x < d.x {
-            Dir::East
-        } else if a.x > d.x {
-            Dir::West
-        } else if a.y < d.y {
-            Dir::South
-        } else if a.y > d.y {
-            Dir::North
-        } else {
-            Dir::Local
-        }
-    }
-
-    fn neighbor(&self, at: NodeId, dir: Dir) -> NodeId {
-        let c = self.cfg.coord(at);
-        let n = match dir {
-            Dir::East => Coord { x: c.x + 1, y: c.y },
-            Dir::West => Coord { x: c.x - 1, y: c.y },
-            Dir::South => Coord { x: c.x, y: c.y + 1 },
-            Dir::North => Coord { x: c.x, y: c.y - 1 },
-            Dir::Local => c,
-        };
-        self.cfg.node_at(n)
+        self.cfg.route_dir(at, dst)
     }
 
     /// Advances the mesh by one cycle.
     pub fn step(&mut self) {
         self.cycle += 1;
+
+        // Fast path: nothing queued anywhere means routing is a no-op
+        // (`arriving` is always drained at the end of the previous
+        // step). The cycle counter still advances.
+        if self.busy.iter().all(|&w| w == 0) {
+            debug_assert!(self.arriving.is_empty());
+            debug_assert!(self.queues.iter().all(VecDeque::is_empty));
+            return;
+        }
 
         // Each router forwards up to `link_bandwidth` messages per output
         // direction, in FIFO order (stable by sequence number).
@@ -297,56 +398,96 @@ impl<M> Mesh<M> {
         } else {
             self.cfg.link_bandwidth
         };
-        for node in 0..self.queues.len() {
-            let mut budget = [bw; 5];
-            let mut remaining: VecDeque<InFlight<M>> = VecDeque::new();
-            while let Some(msg) = self.queues[node].pop_front() {
-                let dir = self.route(msg.at, msg.dst);
-                let di = DIRS.iter().position(|&d| d == dir).expect("dir indexed");
-                if budget[di] == 0 {
-                    self.stats.stalled_cycles += 1;
-                    self.tracer.emit(self.cycle, || TraceEvent::LinkContention {
-                        plane: self.plane,
-                        node,
-                    });
-                    remaining.push_back(msg);
-                    continue;
-                }
-                budget[di] -= 1;
-                match dir {
-                    Dir::Local => {
-                        self.stats.delivered += 1;
-                        let latency = self.cycle - msg.injected_at;
-                        self.stats.total_latency += latency;
-                        self.tracer.emit(self.cycle, || TraceEvent::OperandRouted {
-                            plane: self.plane,
-                            src: msg.src.0,
-                            dst: msg.dst.0,
-                            latency,
-                        });
-                        self.delivered.push((msg.dst, msg.payload));
+        if self.sharding.is_some() && !self.tracer.enabled() {
+            self.step_sharded(bw);
+            // The shards may have drained any subset of their queues;
+            // rebuild the occupancy mask wholesale (one pass, only paid
+            // on busy sharded cycles).
+            for (i, word) in self.busy.iter_mut().enumerate() {
+                let mut w = 0u64;
+                for (b, q) in self.queues[i * 64..].iter().take(64).enumerate() {
+                    if !q.is_empty() {
+                        w |= 1 << b;
                     }
-                    _ => {
-                        self.stats.link_traversals += 1;
-                        let next = self.neighbor(msg.at, dir);
-                        self.arriving.push((next, InFlight { at: next, ..msg }));
+                }
+                *word = w;
+            }
+        } else {
+            // Visit only occupied queues, in ascending node order (word
+            // order, then bit order — identical to the full scan).
+            for i in 0..self.busy.len() {
+                let mut word = self.busy[i];
+                while word != 0 {
+                    let node = i * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    route_node_cycle(
+                        &self.cfg,
+                        self.cycle,
+                        node,
+                        bw,
+                        &mut self.queues[node],
+                        &mut self.scratch,
+                        &mut self.delivered,
+                        &mut self.arriving,
+                        &mut self.stats,
+                        &self.tracer,
+                        self.plane,
+                    );
+                    if self.queues[node].is_empty() {
+                        self.busy[i] &= !(1 << (node % 64));
                     }
                 }
             }
-            self.queues[node] = remaining;
         }
 
-        // Hop latency: forwarded messages are routable next cycle.
+        // Hop latency: forwarded messages are routable next cycle. The
+        // buffer is drained rather than consumed so its capacity is
+        // reused across cycles.
         let mut arriving = std::mem::take(&mut self.arriving);
         arriving.sort_by_key(|(_, m)| m.seq);
-        for (node, msg) in arriving {
+        for (node, msg) in arriving.drain(..) {
             self.queues[node.0].push_back(msg);
+            self.busy[node.0 / 64] |= 1 << (node.0 % 64);
         }
+        self.arriving = arriving;
+    }
+
+    /// One sharded router cycle: fan the non-empty queues out to the
+    /// worker shards, then merge their results in shard order at the
+    /// cycle barrier (see [`crate::sharded`] for the determinism
+    /// argument).
+    fn step_sharded(&mut self, bw: usize) {
+        let router = self.sharding.take().expect("sharding enabled");
+        router.step(
+            self.cycle,
+            bw,
+            &mut self.queues,
+            &mut self.delivered,
+            &mut self.arriving,
+            &mut self.stats,
+        );
+        self.sharding = Some(router);
     }
 
     /// Removes and returns all messages delivered by previous steps.
     pub fn drain_delivered(&mut self) -> Vec<(NodeId, M)> {
         std::mem::take(&mut self.delivered)
+    }
+}
+
+impl<M: Send + 'static> Mesh<M> {
+    /// Switches the router phase to `threads` worker shards (clamped to
+    /// the node count; `threads <= 1` keeps the serial stepper).
+    ///
+    /// Results are bit-identical to the serial path. Calls while a
+    /// tracer is attached still take effect, but traced steps fall back
+    /// to the serial path so trace files stay byte-identical.
+    pub fn enable_sharding(&mut self, threads: usize) {
+        if threads <= 1 {
+            self.sharding = None;
+            return;
+        }
+        self.sharding = Some(crate::sharded::ShardedRouter::new(self.cfg, threads));
     }
 }
 

@@ -1,0 +1,246 @@
+//! The sharded mesh stepper: the router phase of [`Mesh::step`]
+//! partitioned across persistent worker threads.
+//!
+//! Each worker owns a contiguous shard of node indices. Every cycle the
+//! owner ships each shard's non-empty router queues to its worker over
+//! a dedicated SPSC channel pair, the workers route their nodes with
+//! the *same* per-node kernel the serial path uses
+//! ([`route_node_cycle`]), and the owner blocks at the cycle barrier,
+//! collecting results **in shard order**. That fixed merge order is
+//! what makes the parallel path bit-identical to the serial one:
+//!
+//! - deliveries: the serial loop visits nodes in ascending index order;
+//!   shards are ascending contiguous ranges merged in shard order, so
+//!   the concatenated delivery list is in the same ascending node order
+//!   (and FIFO within a node, because the kernel is shared).
+//! - cross-shard forwards: every forwarded message carries a unique
+//!   injection sequence number and the owner sorts the merged arrival
+//!   list by it — exactly what the serial path does — so production
+//!   order across shards cannot matter.
+//! - stats: the four router counters are integer sums, merged with
+//!   [`MeshStats::merge`]; addition order is irrelevant.
+//!
+//! Workers never see a tracer ([`Mesh::step`] falls back to the serial
+//! path when tracing is on, so trace files stay byte-identical and the
+//! sink needs no thread-safety).
+
+use crate::mesh::{route_node_cycle, InFlight, MeshConfig};
+use crate::stats::MeshStats;
+use crate::NodeId;
+use clp_obs::Tracer;
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::Range;
+use std::sync::mpsc;
+use std::thread;
+
+/// One cycle's work order for a shard: the non-empty queues it owns.
+struct Job<M> {
+    cycle: u64,
+    bw: usize,
+    queues: Vec<(usize, VecDeque<InFlight<M>>)>,
+}
+
+/// A shard's results for one cycle, returned at the barrier.
+struct Done<M> {
+    queues: Vec<(usize, VecDeque<InFlight<M>>)>,
+    delivered: Vec<(NodeId, M)>,
+    arriving: Vec<(NodeId, InFlight<M>)>,
+    stats: MeshStats,
+}
+
+/// A pool of persistent router workers, one per shard.
+///
+/// Dropping the pool closes the job channels; workers observe the
+/// disconnect, exit, and are joined.
+pub(crate) struct ShardedRouter<M> {
+    jobs: Vec<mpsc::Sender<Job<M>>>,
+    results: Vec<mpsc::Receiver<Done<M>>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl<M> fmt::Debug for ShardedRouter<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedRouter")
+            .field("shards", &self.ranges)
+            .finish()
+    }
+}
+
+fn worker_loop<M>(cfg: MeshConfig, rx: &mpsc::Receiver<Job<M>>, tx: &mpsc::Sender<Done<M>>) {
+    let tracer = Tracer::off();
+    let mut scratch: VecDeque<InFlight<M>> = VecDeque::new();
+    while let Ok(mut job) = rx.recv() {
+        let mut delivered = Vec::new();
+        let mut arriving = Vec::new();
+        let mut stats = MeshStats::default();
+        for (node, queue) in &mut job.queues {
+            route_node_cycle(
+                &cfg,
+                job.cycle,
+                *node,
+                job.bw,
+                queue,
+                &mut scratch,
+                &mut delivered,
+                &mut arriving,
+                &mut stats,
+                &tracer,
+                "operand",
+            );
+        }
+        let done = Done {
+            queues: job.queues,
+            delivered,
+            arriving,
+            stats,
+        };
+        if tx.send(done).is_err() {
+            break;
+        }
+    }
+}
+
+impl<M: Send + 'static> ShardedRouter<M> {
+    /// Spawns `threads` workers over contiguous, balanced node shards.
+    pub(crate) fn new(cfg: MeshConfig, threads: usize) -> Self {
+        let nodes = cfg.nodes();
+        let threads = threads.clamp(1, nodes);
+        let per = nodes.div_ceil(threads);
+        let mut jobs = Vec::new();
+        let mut results = Vec::new();
+        let mut handles = Vec::new();
+        let mut ranges = Vec::new();
+        for t in 0..threads {
+            let lo = t * per;
+            let hi = ((t + 1) * per).min(nodes);
+            if lo >= hi {
+                break;
+            }
+            let (jtx, jrx) = mpsc::channel::<Job<M>>();
+            let (dtx, drx) = mpsc::channel::<Done<M>>();
+            let handle = thread::Builder::new()
+                .name(format!("clp-noc-shard{t}"))
+                .spawn(move || worker_loop(cfg, &jrx, &dtx))
+                .expect("spawn router worker");
+            jobs.push(jtx);
+            results.push(drx);
+            handles.push(handle);
+            ranges.push(lo..hi);
+        }
+        ShardedRouter {
+            jobs,
+            results,
+            handles,
+            ranges,
+        }
+    }
+}
+
+impl<M> ShardedRouter<M> {
+    /// One router cycle across all shards: fan out, barrier, merge.
+    ///
+    /// `queues` entries for this cycle are temporarily moved to the
+    /// workers and restored before returning; `delivered`, `arriving`
+    /// and `stats` receive the merged results in deterministic shard
+    /// order.
+    pub(crate) fn step(
+        &self,
+        cycle: u64,
+        bw: usize,
+        queues: &mut [VecDeque<InFlight<M>>],
+        delivered: &mut Vec<(NodeId, M)>,
+        arriving: &mut Vec<(NodeId, InFlight<M>)>,
+        stats: &mut MeshStats,
+    ) {
+        for (tx, range) in self.jobs.iter().zip(&self.ranges) {
+            let mut shard: Vec<(usize, VecDeque<InFlight<M>>)> = Vec::new();
+            for n in range.clone() {
+                if !queues[n].is_empty() {
+                    shard.push((n, std::mem::take(&mut queues[n])));
+                }
+            }
+            tx.send(Job {
+                cycle,
+                bw,
+                queues: shard,
+            })
+            .expect("router worker alive");
+        }
+        // The cycle barrier: receive every shard's results, merging in
+        // shard (= ascending node) order.
+        for rx in &self.results {
+            let done = rx.recv().expect("router worker alive");
+            for (node, q) in done.queues {
+                queues[node] = q;
+            }
+            delivered.extend(done.delivered);
+            arriving.extend(done.arriving);
+            stats.merge(&done.stats);
+        }
+    }
+}
+
+impl<M> Drop for ShardedRouter<M> {
+    fn drop(&mut self) {
+        // Closing the job channels makes every worker's `recv` fail,
+        // ending its loop.
+        self.jobs.clear();
+        self.results.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mesh, MeshConfig, NodeId};
+
+    fn traffic_pattern(mesh: &mut Mesh<u32>) {
+        // A mix of local, contended, and long-haul messages.
+        for i in 0..8 {
+            mesh.inject(NodeId(0), NodeId(3), i);
+            mesh.inject(NodeId(i as usize), NodeId(31 - i as usize), 100 + i);
+            mesh.inject(NodeId(5), NodeId(5), 200 + i);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_exactly() {
+        let cfg = MeshConfig::tflex_operand();
+        let mut serial: Mesh<u32> = Mesh::new(cfg);
+        let mut sharded: Mesh<u32> = Mesh::new(cfg);
+        sharded.enable_sharding(4);
+        let mut out_serial = Vec::new();
+        let mut out_sharded = Vec::new();
+        for round in 0..3 {
+            traffic_pattern(&mut serial);
+            traffic_pattern(&mut sharded);
+            for _ in 0..20 {
+                serial.step();
+                sharded.step();
+                out_serial.extend(serial.drain_delivered());
+                out_sharded.extend(sharded.drain_delivered());
+            }
+            assert!(serial.is_idle(), "round {round}: serial drained");
+            assert!(sharded.is_idle(), "round {round}: sharded drained");
+        }
+        assert_eq!(out_serial, out_sharded, "same payloads in same order");
+        assert_eq!(serial.stats(), sharded.stats(), "identical counters");
+    }
+
+    #[test]
+    fn sharding_clamps_to_node_count() {
+        let cfg = MeshConfig::tflex_operand();
+        let mut mesh: Mesh<u32> = Mesh::new(cfg);
+        // More threads than nodes must not panic or change results.
+        mesh.enable_sharding(1000);
+        mesh.inject(NodeId(0), NodeId(31), 7);
+        for _ in 0..20 {
+            mesh.step();
+        }
+        assert_eq!(mesh.drain_delivered(), vec![(NodeId(31), 7)]);
+    }
+}

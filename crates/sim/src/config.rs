@@ -72,6 +72,12 @@ pub struct SimConfig {
     /// after each all-alive probe round the timeout doubles, up to
     /// `watchdog_timeout << watchdog_backoff_cap`.
     pub watchdog_backoff_cap: u32,
+    /// Worker threads for the sharded mesh stepper; `1` (the default)
+    /// steps serially. Any value produces bit-identical cycle counts,
+    /// stats, profiles, and trends — sharding only changes *how* the
+    /// operand-router phase of each cycle is computed, never its
+    /// result.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -102,6 +108,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             watchdog_timeout: 64,
             watchdog_backoff_cap: 6,
+            threads: 1,
         }
     }
 
@@ -132,6 +139,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             watchdog_timeout: 64,
             watchdog_backoff_cap: 6,
+            threads: 1,
         }
     }
 

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod events;
 pub mod fault;
 mod machine;
 mod regfile;

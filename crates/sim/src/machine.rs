@@ -16,6 +16,7 @@
 //!   every run checks end-to-end correctness against the IR interpreter.
 
 use crate::config::{ProtocolTiming, SimConfig};
+use crate::events::EventWheel;
 use crate::fault::{CoreKill, FaultInjector};
 use crate::regfile::{RegFile, RegRead};
 use crate::stats::{CommitLatencyBreakdown, ComposeStats, ProcStats, RecoveryStats, RunStats};
@@ -28,8 +29,9 @@ use clp_obs::{
 };
 use clp_predictor::{block_owner, ComposedPredictor, ExitOutcome, Prediction};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies a logical processor within a [`Machine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -331,17 +333,30 @@ struct OpState {
 
 #[derive(Clone, Debug)]
 struct DispatchState {
-    ids: Vec<u8>,
+    ids: Arc<[u8]>,
     next: usize,
     start_at: u64,
     done: bool,
+}
+
+/// Everything about a block that is identical across fetches of the
+/// same address: built once per address (per composition) and shared by
+/// refcount afterwards, so the fetch hot path never deep-clones a block
+/// or re-walks its dispatch slices.
+#[derive(Debug)]
+struct FetchTemplate {
+    block: Arc<Block>,
+    /// Per participant core: instruction ids of its dispatch slice.
+    slices: Vec<Arc<[u8]>>,
+    outputs_needed: usize,
+    store_mask: u32,
 }
 
 #[derive(Clone, Debug)]
 struct Blk {
     seq: u64,
     addr: BlockAddr,
-    block: Block,
+    block: Arc<Block>,
     ops: Vec<OpState>,
     outputs_needed: usize,
     outputs_done: usize,
@@ -363,6 +378,10 @@ struct Blk {
     deferred_loads: Vec<(usize, u8)>,
     dispatch: Vec<DispatchState>,
     dispatch_pending_cores: usize,
+    /// Bitmask of parts with a started, unfinished dispatch slice (the
+    /// slice's fetch command arrived and `done` is still false) — the
+    /// exact set of slices `dispatch_stage` could make progress on.
+    runnable: u32,
     // timing marks
     t_init: u64,
     predict_cycles: f64,
@@ -381,6 +400,100 @@ impl Blk {
         } else {
             block_owner(self.addr, n)
         }
+    }
+}
+
+/// The in-flight block window, ordered by sequence number.
+///
+/// Sequence numbers are allocated monotonically and blocks install in
+/// order, so the deque is always sorted. The window never holds more
+/// than `max_inflight` live blocks, which makes binary search over
+/// contiguous storage far cheaper than the `BTreeMap` this replaced —
+/// block lookup is the single hottest operation in the simulator
+/// (every dispatch, issue, completion, and operand arrival pays one).
+#[derive(Debug)]
+struct BlockWindow {
+    blocks: VecDeque<(u64, Blk)>,
+}
+
+impl BlockWindow {
+    fn new() -> Self {
+        BlockWindow {
+            blocks: VecDeque::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64) -> Result<usize, usize> {
+        self.blocks.binary_search_by(|&(s, _)| s.cmp(&seq))
+    }
+
+    #[inline]
+    fn get(&self, seq: &u64) -> Option<&Blk> {
+        self.idx(*seq).ok().map(|i| &self.blocks[i].1)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, seq: &u64) -> Option<&mut Blk> {
+        match self.idx(*seq) {
+            Ok(i) => Some(&mut self.blocks[i].1),
+            Err(_) => None,
+        }
+    }
+
+    #[inline]
+    fn contains_key(&self, seq: &u64) -> bool {
+        self.idx(*seq).is_ok()
+    }
+
+    /// Installs a block; `seq` must exceed every stored sequence.
+    fn insert(&mut self, seq: u64, b: Blk) {
+        debug_assert!(self.blocks.back().is_none_or(|&(s, _)| s < seq));
+        self.blocks.push_back((seq, b));
+    }
+
+    fn remove(&mut self, seq: &u64) -> Option<Blk> {
+        let i = self.idx(*seq).ok()?;
+        self.blocks.remove(i).map(|(_, b)| b)
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Oldest in-flight block (lowest sequence number).
+    fn first(&self) -> Option<(u64, &Blk)> {
+        self.blocks.front().map(|(s, b)| (*s, b))
+    }
+
+    fn iter(&self) -> impl DoubleEndedIterator<Item = (u64, &Blk)> {
+        self.blocks.iter().map(|(s, b)| (*s, b))
+    }
+
+    fn values(&self) -> impl DoubleEndedIterator<Item = &Blk> {
+        self.blocks.iter().map(|(_, b)| b)
+    }
+
+    fn values_mut(&mut self) -> impl DoubleEndedIterator<Item = &mut Blk> {
+        self.blocks.iter_mut().map(|(_, b)| b)
+    }
+
+    /// Sequence numbers at or above `from`, ascending.
+    fn seqs_from(&self, from: u64) -> impl Iterator<Item = u64> + '_ {
+        let i = self.blocks.partition_point(|&(s, _)| s < from);
+        self.blocks.iter().skip(i).map(|&(s, _)| s)
+    }
+
+    /// Whether any block at or above `from` is in flight.
+    fn has_from(&self, from: u64) -> bool {
+        self.blocks.back().is_some_and(|&(s, _)| s >= from)
+    }
+}
+
+impl std::ops::Index<&u64> for BlockWindow {
+    type Output = Blk;
+    fn index(&self, seq: &u64) -> &Blk {
+        self.get(seq).expect("live block")
     }
 }
 
@@ -412,7 +525,7 @@ struct PendingFetch {
     reason: FetchReason,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct WaitingRead {
     seq: u64,
     reg: Reg,
@@ -429,9 +542,12 @@ struct Proc {
     /// multiprogrammed workloads that use identical virtual layouts.
     addr_base: u64,
     program: EdgeProgram,
+    /// Per-address fetch templates (see [`FetchTemplate`]); cleared on
+    /// recomposition because dispatch slices depend on `n`.
+    fetch_cache: BTreeMap<BlockAddr, FetchTemplate>,
     predictor: ComposedPredictor,
     regs: RegFile,
-    blocks: BTreeMap<u64, Blk>,
+    blocks: BlockWindow,
     next_seq: u64,
     pending: Option<PendingFetch>,
     /// Target of the youngest live prediction: the hand-off the fetch
@@ -451,11 +567,19 @@ struct Proc {
     waiting_reads: Vec<WaitingRead>,
     /// Per participant core: ready-to-issue (seq, inst) entries.
     ready: Vec<BTreeSet<(u64, u8)>>,
+    /// Bitmask over parts: bit set iff `ready[part]` is non-empty.
+    ready_mask: u32,
     /// Per participant core: in-flight completions, popped by done cycle
     /// (issue order within a cycle — see [`ExecDone`]).
     exec: Vec<BinaryHeap<Reverse<ExecDone>>>,
+    /// Bitmask over parts: bit set iff `exec[part]` is non-empty.
+    exec_mask: u32,
     /// Monotonic counter feeding [`ExecDone::push_seq`].
     exec_pushes: u64,
+    /// Number of in-flight blocks with `runnable != 0`; lets the
+    /// dispatch stage and the event horizon skip the block scan when
+    /// nothing can dispatch.
+    dispatch_armed: usize,
     /// Last cycle this processor made observable protocol progress —
     /// the "heartbeat" the hard-fault watchdog listens to. Only read
     /// when the fault plan schedules kills.
@@ -486,7 +610,7 @@ pub struct Machine {
     now: u64,
     mem: MemorySystem,
     opnet: Mesh<OpMsg>,
-    local: BTreeMap<u64, Vec<Ev>>,
+    local: EventWheel<Ev>,
     procs: Vec<Proc>,
     /// global core -> (proc, participant index)
     core_map: Vec<Option<(usize, usize)>>,
@@ -521,6 +645,19 @@ pub struct Machine {
     trend: Option<Box<TrendRecorder>>,
     /// Composition-allocation counters (observation only).
     compose_stats: ComposeStats,
+    /// Whether [`Machine::run`] may use event-driven skip-ahead. False
+    /// only when the fault plan draws PRNG state every cycle
+    /// (`noc_burst`), where skipping cycles would skip draws and change
+    /// the injected-fault schedule.
+    can_skip: bool,
+    /// Reusable scratch buffers for the per-cycle stages, so the hot
+    /// loop never allocates. Each is empty between uses.
+    scratch_seqs: Vec<(u64, u32)>,
+    scratch_ids: Vec<u8>,
+    scratch_picks: Vec<(u64, u8)>,
+    scratch_loads: Vec<(usize, u8)>,
+    scratch_reads: Vec<WaitingRead>,
+    scratch_evs: Vec<Ev>,
 }
 
 impl Machine {
@@ -530,11 +667,15 @@ impl Machine {
         let cores = cfg.chip_cores();
         let mut pending_kills: Vec<CoreKill> = cfg.faults.kills().collect();
         pending_kills.sort_by_key(|k| (k.cycle, k.core));
+        let mut opnet = Mesh::new(cfg.operand_net);
+        if cfg.threads > 1 {
+            opnet.enable_sharding(cfg.threads);
+        }
         Machine {
             now: 0,
             mem: MemorySystem::new(cfg.mem, cores),
-            opnet: Mesh::new(cfg.operand_net),
-            local: BTreeMap::new(),
+            opnet,
+            local: EventWheel::new(),
             procs: Vec::new(),
             core_map: vec![None; cores],
             last_progress: 0,
@@ -551,6 +692,13 @@ impl Machine {
             prof: None,
             trend: None,
             compose_stats: ComposeStats::default(),
+            can_skip: !cfg.faults.has_per_cycle_draws(),
+            scratch_seqs: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_picks: Vec::new(),
+            scratch_loads: Vec::new(),
+            scratch_reads: Vec::new(),
+            scratch_evs: Vec::new(),
             cfg,
         }
     }
@@ -834,9 +982,10 @@ impl Machine {
             n: n_cores,
             addr_base,
             program,
+            fetch_cache: BTreeMap::new(),
             predictor: ComposedPredictor::new(self.cfg.predictor, pred_banks),
             regs,
-            blocks: BTreeMap::new(),
+            blocks: BlockWindow::new(),
             next_seq: 0,
             pending: Some(PendingFetch {
                 addr: entry,
@@ -853,8 +1002,11 @@ impl Machine {
             stats: ProcStats::default(),
             waiting_reads: Vec::new(),
             ready: vec![BTreeSet::new(); n_cores],
+            ready_mask: 0,
             exec: (0..n_cores).map(|_| BinaryHeap::new()).collect(),
+            exec_mask: 0,
             exec_pushes: 0,
+            dispatch_armed: 0,
             last_beat: 0,
             probe_round: 0,
             probe_deadline: None,
@@ -879,7 +1031,7 @@ impl Machine {
 
     fn push_local(&mut self, at: u64, ev: Ev) {
         let at = at.max(self.now + 1);
-        self.local.entry(at).or_default().push(ev);
+        self.local.schedule(self.now, at, ev);
     }
 
     /// Injects an operand-class message onto the mesh — unless the fault
@@ -912,13 +1064,10 @@ impl Machine {
         value: Option<u64>,
         prov: Prov,
     ) {
-        let (n, cores): (usize, Vec<usize>) = {
-            let p = &self.procs[proc];
-            (p.n, p.cores.clone())
-        };
+        let n = self.procs[proc].n;
         for t in targets.iter().flatten() {
             let part = t.inst.core_of(n);
-            let dst = cores[part];
+            let dst = self.procs[proc].cores[part];
             let msg = OpMsg::Operand {
                 proc,
                 seq,
@@ -1114,7 +1263,7 @@ impl Machine {
         // Flush every in-flight block: any of them may hold operands,
         // LSQ entries, or dispatch slices on the dead cores.
         let flushed = self.procs[pi].blocks.len();
-        if let Some((&oldest, b)) = self.procs[pi].blocks.iter().next() {
+        if let Some((oldest, b)) = self.procs[pi].blocks.first() {
             let addr = b.addr;
             self.tracer.emit(now, || TraceEvent::BlockFlushed {
                 proc: pi,
@@ -1163,11 +1312,17 @@ impl Machine {
             let p = &mut self.procs[pi];
             p.cores = survivors;
             p.n = new_n;
+            // Dispatch slices are hashed over `n`: stale templates
+            // would dispatch dead-core slices.
+            p.fetch_cache.clear();
             // The predictor restarts cold: its banked tables were hashed
             // over the old core set and the dead bank's history is gone.
             p.predictor = ComposedPredictor::new(pred_cfg, if centralized { 1 } else { new_n });
             p.ready = vec![BTreeSet::new(); new_n];
+            p.ready_mask = 0;
             p.exec = (0..new_n).map(|_| BinaryHeap::new()).collect();
+            p.exec_mask = 0;
+            p.dispatch_armed = 0;
             p.waiting_reads.clear();
             p.max_inflight = max_inflight;
             p.slots_free = max_inflight;
@@ -1286,11 +1441,36 @@ impl Machine {
             addr: pending.addr,
             speculative: pending.hand_off_cycles > 0.0,
         });
-        let block = self.procs[pi]
-            .program
-            .block(pending.addr)
-            .expect("caller checked")
-            .clone();
+        // First fetch of this address (since compose / recovery) builds
+        // the per-address template: an `Arc` of the block plus the
+        // per-core dispatch slices. Every later fetch is refcount
+        // bumps instead of a deep block clone and `n` slice walks.
+        if !self.procs[pi].fetch_cache.contains_key(&pending.addr) {
+            let p = &mut self.procs[pi];
+            let block = p.program.block(pending.addr).expect("caller checked");
+            let tmpl = FetchTemplate {
+                slices: (0..p.n)
+                    .map(|part| {
+                        block
+                            .slice_for_core(part, p.n)
+                            .map(|(i, _)| i as u8)
+                            .collect()
+                    })
+                    .collect(),
+                outputs_needed: block.output_count(),
+                store_mask: block.store_lsids().iter().fold(0u32, |m, &l| m | (1 << l)),
+                block: Arc::new(block.clone()),
+            };
+            p.fetch_cache.insert(pending.addr, tmpl);
+        }
+        let tmpl = self.procs[pi]
+            .fetch_cache
+            .get(&pending.addr)
+            .expect("just filled");
+        let block = Arc::clone(&tmpl.block);
+        let outputs_needed = tmpl.outputs_needed;
+        let store_mask = tmpl.store_mask;
+        let slices = tmpl.slices.clone();
 
         // Declare register writes so younger readers wait (write mask is
         // part of the block header, known at fetch).
@@ -1299,23 +1479,17 @@ impl Machine {
         }
 
         // Per-core dispatch slices.
-        let mut dispatch = Vec::with_capacity(n);
-        for part in 0..n {
-            let ids: Vec<u8> = block
-                .slice_for_core(part, n)
-                .map(|(i, _)| i as u8)
-                .collect();
-            dispatch.push(DispatchState {
+        let dispatch: Vec<DispatchState> = slices
+            .into_iter()
+            .map(|ids| DispatchState {
                 ids,
                 next: 0,
                 start_at: u64::MAX,
                 done: false,
-            });
-        }
+            })
+            .collect();
 
-        let outputs_needed = block.output_count();
         let nops = block.len();
-        let store_mask = block.store_lsids().iter().fold(0u32, |m, &l| m | (1 << l));
         let conservative = self.procs[pi].violated_addrs.contains(&pending.addr);
         let mut blk = Blk {
             seq,
@@ -1335,6 +1509,7 @@ impl Machine {
             deferred_loads: Vec::new(),
             dispatch,
             dispatch_pending_cores: n,
+            runnable: 0,
             t_init: now,
             predict_cycles: 0.0,
             hand_off_cycles: pending.hand_off_cycles,
@@ -1501,6 +1676,7 @@ impl Machine {
             self.mem
                 .fetch_block_slice(core, addr.wrapping_add(self.procs[pi].addr_base), part, n);
         let p = &mut self.procs[pi];
+        let mut newly_armed = false;
         if let Some(b) = p.blocks.get_mut(&seq) {
             b.t_last_cmd = b.t_last_cmd.max(now);
             let ds = &mut b.dispatch[part];
@@ -1509,26 +1685,59 @@ impl Machine {
                 ds.done = true;
                 b.dispatch_pending_cores -= 1;
                 b.t_dispatch_done = b.t_dispatch_done.max(now);
+            } else {
+                newly_armed = b.runnable == 0;
+                b.runnable |= 1 << part;
             }
+        }
+        if newly_armed {
+            p.dispatch_armed += 1;
         }
     }
 
     fn dispatch_stage(&mut self, pi: usize) {
+        if self.procs[pi].dispatch_armed == 0 {
+            return;
+        }
         let now = self.now;
         let n = self.procs[pi].n;
         let bw = self.cfg.core.dispatch_per_cycle;
-        let seqs: Vec<u64> = self.procs[pi].blocks.keys().copied().collect();
+        // Only blocks with a runnable slice matter: every other slice is
+        // either `done` or still waiting for its fetch command
+        // (`start_at` unset), so the per-part scan would skip it without
+        // consuming budget. Filtering up front is behavior-neutral. The
+        // snapshot of `runnable` is safe to branch on inside the part
+        // loop because a part's processing only ever clears its own bit.
+        let mut seqs = std::mem::take(&mut self.scratch_seqs);
+        debug_assert!(seqs.is_empty());
+        seqs.extend(
+            self.procs[pi]
+                .blocks
+                .iter()
+                .filter(|(_, b)| b.runnable != 0)
+                .map(|(seq, b)| (seq, b.runnable)),
+        );
+        if seqs.is_empty() {
+            self.scratch_seqs = seqs;
+            return;
+        }
+        let mut to_dispatch = std::mem::take(&mut self.scratch_ids);
+        debug_assert!(to_dispatch.is_empty());
+        let mut disarmed = 0;
         for part in 0..n {
             if self.has_kills && self.dead[self.procs[pi].cores[part]] {
                 continue;
             }
             let mut budget = bw;
-            for &seq in &seqs {
+            for &(seq, runnable) in &seqs {
                 if budget == 0 {
                     break;
                 }
+                if runnable & (1 << part) == 0 {
+                    continue;
+                }
                 // Collect ids to dispatch this cycle.
-                let mut to_dispatch: Vec<u8> = Vec::new();
+                to_dispatch.clear();
                 {
                     let b = match self.procs[pi].blocks.get_mut(&seq) {
                         Some(b) => b,
@@ -1547,13 +1756,22 @@ impl Machine {
                         ds.done = true;
                         b.dispatch_pending_cores -= 1;
                         b.t_dispatch_done = b.t_dispatch_done.max(now);
+                        b.runnable &= !(1 << part);
+                        if b.runnable == 0 {
+                            disarmed += 1;
+                        }
                     }
                 }
-                for id in to_dispatch {
+                for &id in &to_dispatch {
                     self.dispatch_inst(pi, seq, part, id);
                 }
             }
         }
+        self.procs[pi].dispatch_armed -= disarmed;
+        to_dispatch.clear();
+        self.scratch_ids = to_dispatch;
+        seqs.clear();
+        self.scratch_seqs = seqs;
     }
 
     fn dispatch_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
@@ -1679,7 +1897,9 @@ impl Machine {
         match action {
             Action::None => {}
             Action::Queue => {
-                self.procs[pi].ready[part].insert((seq, id));
+                let p = &mut self.procs[pi];
+                p.ready[part].insert((seq, id));
+                p.ready_mask |= 1 << part;
             }
             Action::Write {
                 from,
@@ -1715,16 +1935,24 @@ impl Machine {
     // -- issue & execute ----------------------------------------------------
 
     fn issue_stage(&mut self, pi: usize) {
+        if self.procs[pi].ready_mask == 0 {
+            return;
+        }
         let n = self.procs[pi].n;
+        let mut picks = std::mem::take(&mut self.scratch_picks);
+        debug_assert!(picks.is_empty());
         for part in 0..n {
+            if self.procs[pi].ready_mask & (1 << part) == 0 {
+                continue;
+            }
             if self.has_kills && self.dead[self.procs[pi].cores[part]] {
                 continue;
             }
             let mut total = self.cfg.core.issue_width;
             let mut fp = self.cfg.core.fp_issue;
-            let picks: Vec<(u64, u8)> = {
+            picks.clear();
+            {
                 let p = &self.procs[pi];
-                let mut picks = Vec::new();
                 for &(seq, id) in &p.ready[part] {
                     if total == 0 {
                         break;
@@ -1743,13 +1971,17 @@ impl Machine {
                     total -= 1;
                     picks.push((seq, id));
                 }
-                picks
-            };
-            for (seq, id) in picks {
+            }
+            for &(seq, id) in &picks {
                 self.procs[pi].ready[part].remove(&(seq, id));
                 self.execute_inst(pi, seq, part, id);
             }
+            if self.procs[pi].ready[part].is_empty() {
+                self.procs[pi].ready_mask &= !(1 << part);
+            }
         }
+        picks.clear();
+        self.scratch_picks = picks;
     }
 
     fn execute_inst(&mut self, pi: usize, seq: u64, part: usize, id: u8) {
@@ -1939,6 +2171,7 @@ impl Machine {
                 let p = &mut self.procs[pi];
                 let push_seq = p.exec_pushes;
                 p.exec_pushes += 1;
+                p.exec_mask |= 1 << part;
                 p.exec[part].push(Reverse(ExecDone {
                     done: now + latency,
                     push_seq,
@@ -2009,9 +2242,15 @@ impl Machine {
     }
 
     fn completion_stage(&mut self, pi: usize) {
+        if self.procs[pi].exec_mask == 0 {
+            return;
+        }
         let now = self.now;
         let n = self.procs[pi].n;
         for part in 0..n {
+            if self.procs[pi].exec_mask & (1 << part) == 0 {
+                continue;
+            }
             if self.has_kills && self.dead[self.procs[pi].cores[part]] {
                 continue;
             }
@@ -2058,6 +2297,9 @@ impl Machine {
                     };
                     self.route_operands(from, pi, seq, &targets, result, prov);
                 }
+            }
+            if self.procs[pi].exec[part].is_empty() {
+                self.procs[pi].exec_mask &= !(1 << part);
             }
         }
     }
@@ -2357,18 +2599,35 @@ impl Machine {
     }
 
     fn retry_waiting_reads(&mut self, proc: usize, reg: Reg) {
-        let waiting: Vec<WaitingRead> = {
+        // Stable in-place partition: matching reads move (in order) to
+        // the scratch buffer, the rest compact down without reordering.
+        // Retries that miss again re-append behind the kept entries —
+        // exactly the order the old drain-and-partition produced, and
+        // order matters: each retry schedules a SendOperands whose
+        // within-cycle position feeds mesh arbitration.
+        let mut hit = std::mem::take(&mut self.scratch_reads);
+        debug_assert!(hit.is_empty());
+        {
             let p = &mut self.procs[proc];
-            let (hit, keep): (Vec<_>, Vec<_>) =
-                p.waiting_reads.drain(..).partition(|w| w.reg == reg);
-            p.waiting_reads = keep;
-            hit
-        };
-        for w in waiting {
+            let mut kept = 0;
+            for i in 0..p.waiting_reads.len() {
+                let w = p.waiting_reads[i];
+                if w.reg == reg {
+                    hit.push(w);
+                } else {
+                    p.waiting_reads[kept] = w;
+                    kept += 1;
+                }
+            }
+            p.waiting_reads.truncate(kept);
+        }
+        for &w in &hit {
             if self.procs[proc].blocks.contains_key(&w.seq) {
                 self.try_read(proc, w.seq, w.reg, w.targets, w.bank_core, w.prov);
             }
         }
+        hit.clear();
+        self.scratch_reads = hit;
     }
 
     // -- owner logic: resolution, flush, commit -----------------------------
@@ -2428,16 +2687,17 @@ impl Machine {
                     if !is_halt {
                         // The flush broadcast must reach every core before
                         // the corrected chain restarts.
-                        let (owner, cores) = {
+                        let owner = {
                             let p = &self.procs[pi];
                             let op = if self.cfg.centralized_control {
                                 0
                             } else {
                                 block_owner(addr, p.n)
                             };
-                            (p.cores[op], p.cores.clone())
+                            p.cores[op]
                         };
-                        let redirect_delay = cores
+                        let redirect_delay = self.procs[pi]
+                            .cores
                             .iter()
                             .map(|&c| self.ctrl_delay(owner, c))
                             .max()
@@ -2459,7 +2719,7 @@ impl Machine {
                 // freshly redirected chain whose successor is not yet
                 // pending).
                 if is_halt {
-                    if self.procs[pi].blocks.range(seq + 1..).next().is_some() {
+                    if self.procs[pi].blocks.has_from(seq + 1) {
                         self.tracer.emit(now, || TraceEvent::BlockFlushed {
                             proc: pi,
                             addr,
@@ -2490,7 +2750,7 @@ impl Machine {
     fn flush_from(&mut self, pi: usize, from: u64) {
         let seqs: Vec<u64> = {
             let p = &self.procs[pi];
-            p.blocks.range(from..).map(|(&s, _)| s).collect()
+            p.blocks.seqs_from(from).collect()
         };
         // Roll back orphaned speculation youngest-first (their own
         // next_preds, i.e. predictions for blocks beyond them).
@@ -2508,7 +2768,11 @@ impl Machine {
             p.halt_seq = None;
         }
         for &s in &seqs {
-            p.blocks.remove(&s);
+            if let Some(b) = p.blocks.remove(&s) {
+                if b.runnable != 0 {
+                    p.dispatch_armed -= 1;
+                }
+            }
             p.slots_free += 1;
             p.stats.blocks_flushed += 1;
         }
@@ -2516,24 +2780,36 @@ impl Machine {
             // The block numbering restarts after the flushed range so
             // stale in-flight messages can never alias re-fetched blocks.
             p.regs.flush_from(from);
-            let cores = p.cores.clone();
-            for set in &mut p.ready {
+            p.ready_mask = 0;
+            for (part, set) in p.ready.iter_mut().enumerate() {
                 set.retain(|&(s, _)| s < from);
+                if !set.is_empty() {
+                    p.ready_mask |= 1 << part;
+                }
             }
-            for q in &mut p.exec {
+            p.exec_mask = 0;
+            for (part, q) in p.exec.iter_mut().enumerate() {
                 q.retain(|&Reverse(e)| e.seq < from);
+                if !q.is_empty() {
+                    p.exec_mask |= 1 << part;
+                }
             }
             p.waiting_reads.retain(|w| w.seq < from);
-            self.mem.flush_from(&cores, from * 32);
-            // Re-check reads that may have been waiting on flushed writers.
-            let regs: Vec<Reg> = (0..clp_isa::NUM_ARCH_REGS).map(Reg::new).collect();
-            let _ = regs;
-            let waiting: Vec<WaitingRead> = self.procs[pi].waiting_reads.drain(..).collect();
-            for w in waiting {
+            self.mem.flush_from(&self.procs[pi].cores, from * 32);
+            // Re-check surviving reads that may have been waiting on
+            // flushed writers, in order; misses re-append behind via
+            // the normal Wait path. The scratch buffer keeps this
+            // allocation-free.
+            let mut retry = std::mem::take(&mut self.scratch_reads);
+            debug_assert!(retry.is_empty());
+            retry.append(&mut self.procs[pi].waiting_reads);
+            for &w in &retry {
                 if self.procs[pi].blocks.contains_key(&w.seq) {
                     self.try_read(pi, w.seq, w.reg, w.targets, w.bank_core, w.prov);
                 }
             }
+            retry.clear();
+            self.scratch_reads = retry;
         }
         // The youngest surviving block no longer speculates a successor.
         if let Some(b) = self.procs[pi].blocks.values_mut().next_back() {
@@ -2600,7 +2876,8 @@ impl Machine {
             return;
         }
         let now = self.now;
-        let mut ready_loads: Vec<(usize, u8)> = Vec::new();
+        let mut ready_loads = std::mem::take(&mut self.scratch_loads);
+        debug_assert!(ready_loads.is_empty());
         if let Some(b) = self.procs[pi].blocks.get_mut(&seq) {
             b.outputs_done += 1;
             if !b.committing {
@@ -2611,12 +2888,16 @@ impl Machine {
             }
             if let Some(l) = lsid {
                 b.stores_resolved |= 1 << l;
-                // Release conservative loads whose older stores resolved.
+                // Release conservative loads whose older stores resolved
+                // — a stable in-place partition: released loads collect
+                // (in order) into the scratch buffer, the rest compact
+                // down without reordering or reallocating.
                 let resolved = b.stores_resolved;
                 let mask = b.store_mask;
                 let block = &b.block;
-                let mut still = Vec::new();
-                for (part, id) in b.deferred_loads.drain(..) {
+                let mut kept = 0;
+                for i in 0..b.deferred_loads.len() {
+                    let (part, id) = b.deferred_loads[i];
                     let ll = block.instructions()[id as usize]
                         .lsid
                         .expect("load has lsid")
@@ -2625,13 +2906,14 @@ impl Machine {
                     if older & !resolved == 0 {
                         ready_loads.push((part, id));
                     } else {
-                        still.push((part, id));
+                        b.deferred_loads[kept] = (part, id);
+                        kept += 1;
                     }
                 }
-                b.deferred_loads = still;
+                b.deferred_loads.truncate(kept);
             }
         }
-        for (part, id) in ready_loads {
+        for &(part, id) in &ready_loads {
             let (op_is_store, l, imm, left, right, targets) = {
                 let b = &self.procs[pi].blocks[&seq];
                 let inst = &b.block.instructions()[id as usize];
@@ -2655,6 +2937,8 @@ impl Machine {
             };
             self.send_mem_req(pi, seq, part, id, op_is_store, l, imm, left, right, targets);
         }
+        ready_loads.clear();
+        self.scratch_loads = ready_loads;
         self.check_commit(pi);
     }
 
@@ -2665,7 +2949,7 @@ impl Machine {
         if self.procs[pi].recovery_pending {
             return;
         }
-        let Some((&seq, _)) = self.procs[pi].blocks.iter().next() else {
+        let Some((seq, _)) = self.procs[pi].blocks.first() else {
             return;
         };
         // A dead owner cannot run the commit handshake.
@@ -2684,14 +2968,16 @@ impl Machine {
         }
         self.last_progress = now;
         // Commit: functional effects now; timing modeled analytically.
-        let (owner_core, cores, n) = {
+        let (owner_core, n) = {
             let p = &self.procs[pi];
             let b = &p.blocks[&seq];
             let op = b.owner_part(p.n, self.cfg.centralized_control);
-            (p.cores[op], p.cores.clone(), p.n)
+            (p.cores[op], p.n)
         };
-        // Count register writes per bank before committing them.
-        let mut reg_writes_per_bank = vec![0u32; n];
+        // Count register writes per bank before committing them. A
+        // block writes at most 32 registers, so a fixed array replaces
+        // the per-commit heap allocation (`n <= 32` participants).
+        let mut reg_writes_per_bank = [0u32; 32];
         {
             let b = &self.procs[pi].blocks[&seq];
             for &(_, reg) in b.block.writes() {
@@ -2703,10 +2989,11 @@ impl Machine {
         let hi = lo + 32;
         let mut last_ack = now + 1;
         let mut max_update = 0u64;
-        for (part, &core) in cores.iter().enumerate() {
+        for (part, &bank_writes) in reg_writes_per_bank.iter().enumerate().take(n) {
+            let core = self.procs[pi].cores[part];
             let cmd = self.ctrl_delay(owner_core, core);
             let store_lat = u64::from(self.mem.commit_stores_core(core, lo, hi));
-            let update = store_lat.max(u64::from(reg_writes_per_bank[part]));
+            let update = store_lat.max(u64::from(bank_writes));
             max_update = max_update.max(update);
             let ack = now + cmd + update + cmd;
             last_ack = last_ack.max(ack);
@@ -2734,6 +3021,9 @@ impl Machine {
         let Some(b) = self.procs[pi].blocks.remove(&seq) else {
             return;
         };
+        // Commit gates on dispatch_pending_cores == 0, so every slice is
+        // done and the block can't still be counted as armed.
+        debug_assert_eq!(b.runnable, 0);
         // Commit completion is past the point of no return: the block's
         // functional effects applied when the handshake started, so it
         // finishes even if its owner died mid-handshake (modeling
@@ -2805,10 +3095,8 @@ impl Machine {
         let Some(pr) = b.prof.as_deref() else {
             return;
         };
-        let (cores, n) = {
-            let p = &self.procs[pi];
-            (p.cores.clone(), p.n)
-        };
+        let n = self.procs[pi].n;
+        let cores = &self.procs[pi].cores;
         let owner = cores[b.owner_part(n, self.cfg.centralized_control)];
         let mesh = self.cfg.operand_net;
         let t0 = b.t_init.min(t_end);
@@ -3006,6 +3294,10 @@ impl Machine {
     pub fn step(&mut self) {
         self.now += 1;
         self.mem.set_cycle(self.now);
+        // Rotate the event wheel first: far events whose cycle just
+        // entered the window must land in their slot before anything
+        // this cycle can schedule after them.
+        self.local.advance(self.now);
         // 0a. Hard faults: silence any core whose kill cycle arrived.
         if self.has_kills {
             self.apply_due_kills();
@@ -3030,8 +3322,11 @@ impl Machine {
             self.handle_op(node.0, msg);
         }
         // 2. Scheduled local/control events.
-        if let Some(evs) = self.local.remove(&self.now) {
-            for ev in evs {
+        let mut evs = std::mem::take(&mut self.scratch_evs);
+        debug_assert!(evs.is_empty());
+        self.local.pop_due(self.now, &mut evs);
+        {
+            for ev in evs.drain(..) {
                 match ev {
                     Ev::Op(core, msg) => self.handle_op(core, msg),
                     Ev::OutputDone {
@@ -3083,6 +3378,7 @@ impl Machine {
                 }
             }
         }
+        self.scratch_evs = evs;
         // 3. Per-proc pipeline stages.
         for pi in 0..self.procs.len() {
             if self.procs[pi].halted {
@@ -3114,13 +3410,132 @@ impl Machine {
         }
     }
 
-    /// Runs until every composed processor halts.
+    /// The earliest future cycle at which any subsystem can do work —
+    /// the event-driven skip-ahead horizon.
+    ///
+    /// Deliberately conservative: it may name a cycle *earlier* than
+    /// the true next event (waking up to a quiet cycle is a provable
+    /// no-op) but never later (sleeping past an event would change the
+    /// run). Every state transition in the machine is driven by one of
+    /// the sources below — scheduled local events, mesh traffic, exec
+    /// completions, dispatch slices, the fetch engine, the watchdog and
+    /// kill schedule, and the samplers — so between `now` and the
+    /// returned cycle every [`Machine::step`] is an empty loop over
+    /// empty queues. `u64::MAX` means nothing is scheduled at all.
+    fn next_event_cycle(&self) -> u64 {
+        // In-flight mesh traffic moves every cycle.
+        if !self.opnet.is_idle() {
+            return self.now + 1;
+        }
+        let mut h = u64::MAX;
+        // Scheduled local/control events.
+        h = h.min(self.local.next_due(self.now));
+        for p in &self.procs {
+            if p.halted {
+                continue;
+            }
+            // A draining recovery re-evaluates every cycle.
+            if p.recovery_pending {
+                return self.now + 1;
+            }
+            // Ready-to-issue instructions issue on the next step.
+            if p.ready_mask != 0 {
+                return self.now + 1;
+            }
+            // Earliest in-flight execution completion per core.
+            let mut em = p.exec_mask;
+            while em != 0 {
+                let part = em.trailing_zeros() as usize;
+                em &= em - 1;
+                if let Some(&Reverse(e)) = p.exec[part].peek() {
+                    h = h.min(e.done);
+                }
+            }
+            // The fetch engine acts once its pending block is ready.
+            // The dead-owner stall is deliberately ignored: waking to a
+            // cycle where fetch still can't install is harmless.
+            if p.halt_seq.is_none() && p.slots_free > 0 {
+                if let Some(f) = &p.pending {
+                    if p.program.block(f.addr).is_some() {
+                        h = h.min(f.ready_at);
+                    }
+                }
+            }
+            // Dispatch slices whose fetch command has arrived: exactly
+            // the `runnable` bits (`start_at` stays `u64::MAX` until the
+            // FetchCmd event — which the local horizon already covers).
+            if p.dispatch_armed > 0 {
+                for b in p.blocks.values() {
+                    let mut rm = b.runnable;
+                    while rm != 0 {
+                        let part = rm.trailing_zeros() as usize;
+                        rm &= rm - 1;
+                        h = h.min(b.dispatch[part].start_at);
+                    }
+                }
+            }
+        }
+        if self.has_kills {
+            if let Some(k) = self.pending_kills.first() {
+                h = h.min(k.cycle);
+            }
+            for p in &self.procs {
+                if p.halted || p.cores.is_empty() {
+                    continue;
+                }
+                match p.probe_deadline {
+                    // An armed probe is judged at its deadline.
+                    Some(d) => h = h.min(d),
+                    // Otherwise the watchdog fires one cycle past the
+                    // current (backed-off) silence threshold.
+                    None => {
+                        let round = p.probe_round.min(self.cfg.watchdog_backoff_cap);
+                        let timeout = self.cfg.watchdog_timeout << round;
+                        h = h.min(p.last_beat + timeout + 1);
+                    }
+                }
+            }
+        }
+        // Interval boundaries are events too: skipping past a due cycle
+        // would shift every later window.
+        if let Some(s) = &self.sampler {
+            h = h.min(s.next_due_cycle());
+        }
+        if let Some(t) = &self.trend {
+            h = h.min(t.next_due_cycle());
+        }
+        h
+    }
+
+    /// Runs until every composed processor halts, using event-driven
+    /// skip-ahead: whole idle stretches (no tile has work, nothing in
+    /// flight) are jumped over instead of stepped. Cycle counts, stats,
+    /// traces, profiles, and trends are bit-identical to
+    /// [`Machine::run_stepped`]; only wall-clock time differs. Plans
+    /// with per-cycle PRNG draws (`noc_burst`) fall back to stepping so
+    /// the draw schedule is preserved.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::CycleLimit`] past the configured budget or
     /// [`RunError::Deadlock`] if nothing progresses for a long time.
     pub fn run(&mut self) -> Result<RunStats, RunError> {
+        self.run_inner(self.can_skip)
+    }
+
+    /// The reference single-step loop: semantically identical to
+    /// [`Machine::run`] but advances one cycle at a time with no
+    /// skip-ahead. Exists so equivalence tests (and benchmarks) can
+    /// compare the optimized engine against the plainly-correct one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Machine::run`].
+    pub fn run_stepped(&mut self) -> Result<RunStats, RunError> {
+        self.run_inner(false)
+    }
+
+    fn run_inner(&mut self, skip: bool) -> Result<RunStats, RunError> {
         // Kill schedules are validated against the *composed* machine:
         // every target must be a participating core, and every logical
         // processor must keep at least one survivor.
@@ -3139,6 +3554,17 @@ impl Machine {
                 }
             }
         }
+        // Horizon backoff: during work-dense phases the skip check
+        // never fires, so its cost is pure overhead. After each failed
+        // attempt the next one is deferred exponentially (up to 64
+        // steps). This only changes *when* a skip is attempted — a
+        // cycle the horizon could have jumped is instead stepped, and
+        // stepping an idle cycle is exactly equivalent — so reported
+        // cycles stay bit-identical while dense phases pay (almost)
+        // nothing for the feature.
+        let mut backoff_steps = 0u32;
+        let mut fail_streak = 0u32;
+        let mut steps = 0u64;
         while self.procs.iter().any(|p| !p.halted) {
             if self.now >= self.cfg.max_cycles {
                 return Err(RunError::CycleLimit(self.cfg.max_cycles));
@@ -3146,7 +3572,37 @@ impl Machine {
             if self.now.saturating_sub(self.last_progress) > 500_000 {
                 return Err(RunError::Deadlock { cycle: self.now });
             }
+            if skip && backoff_steps == 0 {
+                // Jump to one cycle *before* the horizon so the next
+                // step lands exactly on it. The clamp makes the
+                // CycleLimit / Deadlock checks above trip at the same
+                // `now` a stepped run reports: a stepped run's last
+                // executed step lands on `max_cycles` (or
+                // `last_progress + 500_001`), then the loop top errors.
+                let h = self.next_event_cycle();
+                let stop =
+                    (self.cfg.max_cycles.saturating_sub(1)).min(self.last_progress + 500_000);
+                let target = h.saturating_sub(1).min(stop);
+                if target > self.now {
+                    // The mesh keeps its own cycle counter (it stamps
+                    // injections and ages throttles); an idle mesh step
+                    // is a pure increment, so syncing the counter is
+                    // exactly equivalent to stepping it.
+                    self.opnet.skip_to(target);
+                    self.now = target;
+                    fail_streak = 0;
+                } else {
+                    fail_streak = (fail_streak + 1).min(6);
+                    backoff_steps = 1 << fail_streak;
+                }
+            } else {
+                backoff_steps = backoff_steps.saturating_sub(1);
+            }
             self.step();
+            steps += 1;
+        }
+        if std::env::var_os("CLP_ENGINE_DEBUG").is_some() {
+            eprintln!("engine: {steps} steps over {} cycles", self.now);
         }
         Ok(self.collect_stats())
     }
@@ -3248,7 +3704,7 @@ impl Machine {
                 p.pending.as_ref().map(|f| (f.addr, f.ready_at)),
                 p.chain_next,
             ));
-            for (seq, b) in &p.blocks {
+            for (seq, b) in p.blocks.iter() {
                 out.push_str(&format!(
                     "  blk {seq} @{:#x}: outputs {}/{} resolved={} committing={} disp_pending={}\n",
                     b.addr,
@@ -3291,7 +3747,7 @@ impl Machine {
                     .collect::<Vec<_>>(),
                 p.ready.iter().map(|r| r.len()).collect::<Vec<_>>(),
                 p.exec.iter().map(|q| q.len()).collect::<Vec<_>>(),
-                self.local.values().map(Vec::len).sum::<usize>(),
+                self.local.len(),
             ));
         }
         out
