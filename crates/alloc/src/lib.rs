@@ -52,6 +52,31 @@ impl SpeedupCurve {
         }
     }
 
+    /// Builds an *analytic* curve from static cycle bounds: the sample
+    /// at `n` cores is `bound(1) / bound(n)`. Because clp-bound's
+    /// per-size bounds are each sound lower bounds on real cycles, the
+    /// resulting curve sketches the best speedup shape the dataflow and
+    /// resource structure admits — an upper envelope to compare the
+    /// measured Figure 6 sweep against, computed without simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample uses an illegal size, no samples are given,
+    /// or no sample at 1 core (the normalization base) is present.
+    #[must_use]
+    pub fn analytic(name: &str, bounds: &[(usize, u64)]) -> Self {
+        let base = bounds
+            .iter()
+            .find(|&&(c, _)| c == 1)
+            .map(|&(_, b)| b)
+            .expect("analytic curve needs a 1-core bound");
+        let samples: Vec<(usize, f64)> = bounds
+            .iter()
+            .map(|&(c, b)| (c, base as f64 / b.max(1) as f64))
+            .collect();
+        SpeedupCurve::new(name, &samples)
+    }
+
     /// Speedup at `cores` (must be a sampled size).
     ///
     /// # Panics
@@ -224,6 +249,27 @@ mod tests {
             })
             .collect();
         SpeedupCurve::new(name, &samples)
+    }
+
+    #[test]
+    fn analytic_curve_normalizes_to_one_core_bound() {
+        // bound(1)/bound(n): halving the cycle floor doubles the
+        // sketched speedup; a floor that *grows* with cores (mesh hops
+        // outpacing the resource spread) dips below 1.
+        let c = SpeedupCurve::analytic("x", &[(1, 40), (2, 20), (4, 10), (8, 50)]);
+        assert!((c.at(1) - 1.0).abs() < 1e-12);
+        assert!((c.at(2) - 2.0).abs() < 1e-12);
+        assert!((c.at(4) - 4.0).abs() < 1e-12);
+        assert!((c.at(8) - 0.8).abs() < 1e-12);
+        assert_eq!(c.best_size(), 4);
+    }
+
+    #[test]
+    fn analytic_curve_guards_zero_bounds() {
+        // A degenerate 0-cycle sample clamps to 1 rather than dividing
+        // by zero.
+        let c = SpeedupCurve::analytic("x", &[(1, 8), (2, 0)]);
+        assert!((c.at(2) - 8.0).abs() < 1e-12);
     }
 
     #[test]

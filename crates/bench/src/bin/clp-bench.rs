@@ -20,7 +20,10 @@
 //! attribution: the cycle-accounting buckets that moved between the
 //! baseline's recorded breakdown and the fresh measurement, largest
 //! movers first — so a gate failure names *what got slower*, not just
-//! that something did.
+//! that something did. It also reports the cell's clp-bound static
+//! cycle floor and how the measured/bound tightness ratio moved, which
+//! tells whether the regression ate into genuine headroom or the cell
+//! was already near its dataflow/resource floor.
 //!
 //! `--time` switches to the wall-clock harness: every `(workload,
 //! cores)` cell is simulated serially (no harness-level parallelism,
@@ -451,6 +454,16 @@ fn run_time_mode(args: &Args) {
     }
 }
 
+/// The clp-bound static cycle floor of one suite cell, or `None` if
+/// the workload vanished or no longer compiles (the regression line
+/// itself already reports that kind of drift).
+fn static_floor(name: &str, cores: usize) -> Option<u64> {
+    let w = suite::by_name(name)?;
+    let cw = compile_workload(&w).ok()?;
+    let cfg = clp_lint::LintConfig::default();
+    Some(clp_lint::bound_program(&cw.edge, &cfg, cores).cycles)
+}
+
 fn main() {
     let args = parse_args();
     if args.time {
@@ -503,6 +516,16 @@ fn main() {
                                     e.before,
                                     e.after,
                                     e.delta()
+                                ));
+                            }
+                            // How much of the regression is headroom:
+                            // tightness against the static cycle floor.
+                            if let Some(bound) = static_floor(&name, cores as usize) {
+                                msg.push_str(&format!(
+                                    "\n      static floor {bound} cycles: tightness \
+                                     {:.2}x -> {:.2}x",
+                                    want as f64 / bound as f64,
+                                    *got as f64 / bound as f64,
                                 ));
                             }
                         }

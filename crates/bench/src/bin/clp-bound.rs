@@ -1,0 +1,344 @@
+//! clp-bound: static per-block cycle/resource lower bounds, checked
+//! against the simulator.
+//!
+//! ```sh
+//! cargo run --release -p clp-bench --bin clp-bound -- conv 16
+//! cargo run --release -p clp-bench --bin clp-bound -- --suite --json
+//! cargo run --release -p clp-bench --bin clp-bound -- --suite --check BOUND_baseline.json
+//! ```
+//!
+//! For each workload and composition size, computes the clp-lint static
+//! cycle bound ([`clp_lint::bound_program`]), runs the simulator with
+//! profiling, and reports the bound beside the measured cycles with the
+//! tightness ratio `measured / bound`. Every invocation *enforces
+//! soundness*: the program bound must not exceed the measured cycles,
+//! and no per-block bound may exceed the shortest fetch-to-commit span
+//! the profiler observed for that block — any violation is printed and
+//! the process exits 1.
+//!
+//! `--json` emits the pinned `clp-bound-v1` schema; `--check FILE`
+//! compares the per-cell `bound`/`measured` figures against a committed
+//! baseline (the CI regression gate); `--cores A,B,..` overrides the
+//! default 1,2,4,8,16 sweep. The `curves` section is the analytic
+//! speedup sketch `bound(1)/bound(n)` exported through
+//! [`clp_alloc::SpeedupCurve::analytic`].
+
+use clp_alloc::SpeedupCurve;
+use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
+use clp_lint::{bound_program, LintConfig, ProgramBound};
+use clp_workloads::suite;
+use serde::Value;
+
+const DEFAULT_CORES: [usize; 5] = [1, 2, 4, 8, 16];
+
+struct Args {
+    workloads: Vec<String>,
+    cores: Vec<usize>,
+    json: bool,
+    check: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("clp-bound: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workloads: Vec::new(),
+        cores: DEFAULT_CORES.to_vec(),
+        json: false,
+        check: None,
+    };
+    let mut want_suite = false;
+    let mut positional = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "--suite" => want_suite = true,
+            "--json" => args.json = true,
+            "--check" => args.check = Some(flag_value("--check")),
+            "--cores" => {
+                let v = flag_value("--cores");
+                let parsed: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
+                match parsed {
+                    Ok(cs) if !cs.is_empty() && cs.iter().all(|&c| c > 0) => args.cores = cs,
+                    _ => die(&format!("bad --cores `{v}`")),
+                }
+            }
+            _ => {
+                match positional {
+                    0 => args.workloads.push(a),
+                    1 => match a.parse() {
+                        Ok(c) if c > 0 => args.cores = vec![c],
+                        _ => die(&format!("bad core count `{a}`")),
+                    },
+                    _ => die(&format!("unexpected argument `{a}`")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if want_suite {
+        args.workloads = suite::all()
+            .into_iter()
+            .map(|w| w.name.to_string())
+            .collect();
+    } else if args.workloads.is_empty() {
+        die("pass a workload name or --suite");
+    }
+    args
+}
+
+struct Cell {
+    workload: String,
+    cores: usize,
+    bound: ProgramBound,
+    measured: u64,
+}
+
+impl Cell {
+    fn tightness(&self) -> f64 {
+        self.measured as f64 / self.bound.cycles as f64
+    }
+
+    /// Which program-level floor set the bound.
+    fn floor(&self) -> &'static str {
+        let b = &self.bound;
+        if b.must_commit >= b.terminal && b.must_commit >= b.work_floor {
+            "must-commit"
+        } else if b.terminal >= b.work_floor {
+            "terminal"
+        } else {
+            "work"
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("workload".to_string(), Value::String(self.workload.clone())),
+            ("cores".to_string(), Value::UInt(self.cores as u64)),
+            ("bound".to_string(), Value::UInt(self.bound.cycles)),
+            ("measured".to_string(), Value::UInt(self.measured)),
+            ("tightness".to_string(), Value::Float(self.tightness())),
+            (
+                "must_commit".to_string(),
+                Value::UInt(self.bound.must_commit),
+            ),
+            ("terminal".to_string(), Value::UInt(self.bound.terminal)),
+            ("work_floor".to_string(), Value::UInt(self.bound.work_floor)),
+        ])
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = LintConfig::default();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+
+    for name in &args.workloads {
+        let w = suite::by_name(name).unwrap_or_else(|| {
+            let names: Vec<&str> = suite::all().into_iter().map(|w| w.name).collect();
+            die(&format!(
+                "unknown workload `{name}`; available: {}",
+                names.join(", ")
+            ))
+        });
+        let cw = compile_workload(&w).unwrap_or_else(|e| die(&format!("{name}: {e}")));
+        for &cores in &args.cores {
+            let pb = bound_program(&cw.edge, &cfg, cores);
+            let obs = ObsOptions {
+                profile: true,
+                ..ObsOptions::default()
+            };
+            let r = run_compiled_observed(&cw, &ProcessorConfig::tflex(cores), &obs)
+                .unwrap_or_else(|e| die(&format!("{name} on {cores} cores: {e}")));
+            let measured = r.stats.cycles;
+            if pb.cycles > measured {
+                violations.push(format!(
+                    "{name} on {cores} cores: program bound {} > measured {measured}",
+                    pb.cycles
+                ));
+            }
+            let spans = r.profile.expect("profiling was enabled").block_spans();
+            for bb in &pb.blocks {
+                if let Some(s) = spans.get(&bb.addr) {
+                    if bb.cycles > s.min_cycles {
+                        violations.push(format!(
+                            "{name} on {cores} cores: block @{:#x} bound {} \
+                             ({}) > measured min span {}",
+                            bb.addr,
+                            bb.cycles,
+                            bb.binding.label(),
+                            s.min_cycles
+                        ));
+                    }
+                }
+            }
+            cells.push(Cell {
+                workload: name.clone(),
+                cores,
+                bound: pb,
+                measured,
+            });
+        }
+    }
+
+    let curves: Vec<(String, SpeedupCurve)> = args
+        .workloads
+        .iter()
+        .filter_map(|name| {
+            let samples: Vec<(usize, u64)> = cells
+                .iter()
+                .filter(|c| &c.workload == name)
+                .map(|c| (c.cores, c.bound.cycles))
+                .collect();
+            samples
+                .iter()
+                .any(|&(c, _)| c == 1)
+                .then(|| (name.clone(), SpeedupCurve::analytic(name, &samples)))
+        })
+        .collect();
+
+    if args.json {
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String("clp-bound-v1".to_string()),
+            ),
+            (
+                "cores".to_string(),
+                Value::Array(args.cores.iter().map(|&c| Value::UInt(c as u64)).collect()),
+            ),
+            (
+                "cells".to_string(),
+                Value::Array(cells.iter().map(Cell::to_json).collect()),
+            ),
+            (
+                "curves".to_string(),
+                Value::Array(
+                    curves
+                        .iter()
+                        .map(|(name, curve)| {
+                            Value::Object(vec![
+                                ("workload".to_string(), Value::String(name.clone())),
+                                (
+                                    "speedup".to_string(),
+                                    Value::Object(
+                                        curve
+                                            .speedup
+                                            .iter()
+                                            .map(|(&c, &s)| (c.to_string(), Value::Float(s)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializes")
+        );
+    } else {
+        let mut last = "";
+        for cell in &cells {
+            if cell.workload != last {
+                println!("== {} ==", cell.workload);
+                println!(
+                    "{:>6} {:>10} {:>10} {:>10}  floor",
+                    "cores", "bound", "measured", "tightness"
+                );
+                last = &cell.workload;
+            }
+            println!(
+                "{:>6} {:>10} {:>10} {:>9.2}x  {}",
+                cell.cores,
+                cell.bound.cycles,
+                cell.measured,
+                cell.tightness(),
+                cell.floor()
+            );
+        }
+        for (name, curve) in &curves {
+            let samples: Vec<String> = curve
+                .speedup
+                .iter()
+                .map(|(c, s)| format!("{c}:{s:.2}"))
+                .collect();
+            println!("analytic speedup sketch {name}: {}", samples.join(" "));
+        }
+    }
+
+    for v in &violations {
+        eprintln!("clp-bound: SOUNDNESS VIOLATION: {v}");
+    }
+    let mut failed = !violations.is_empty();
+
+    if let Some(path) = &args.check {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let doc: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("bad json in {path}: {e}")));
+        let Value::Array(baseline) = &doc["cells"] else {
+            die(&format!("{path} has no `cells` array"));
+        };
+        let mut mismatches = 0usize;
+        for want in baseline {
+            let (Some(wl), Some(cores), Some(bound), Some(measured)) = (
+                want["workload"].as_str(),
+                want["cores"].as_u64(),
+                want["bound"].as_u64(),
+                want["measured"].as_u64(),
+            ) else {
+                die(&format!("{path} has a malformed cell"));
+            };
+            let got = cells
+                .iter()
+                .find(|c| c.workload == wl && c.cores as u64 == cores);
+            match got {
+                None => {
+                    eprintln!("clp-bound: baseline cell {wl}/{cores} was not computed");
+                    mismatches += 1;
+                }
+                Some(c) if c.bound.cycles != bound || c.measured != measured => {
+                    eprintln!(
+                        "clp-bound: {wl} on {cores} cores drifted: bound {} \
+                         (baseline {bound}), measured {} (baseline {measured}), \
+                         tightness {:.2}x",
+                        c.bound.cycles,
+                        c.measured,
+                        c.tightness()
+                    );
+                    mismatches += 1;
+                }
+                Some(_) => {}
+            }
+        }
+        if baseline.len() != cells.len() {
+            eprintln!(
+                "clp-bound: baseline has {} cells, this run produced {}",
+                baseline.len(),
+                cells.len()
+            );
+            mismatches += 1;
+        }
+        if mismatches > 0 {
+            eprintln!("clp-bound: {mismatches} baseline mismatch(es) against {path}");
+            failed = true;
+        } else {
+            eprintln!("clp-bound: all {} cells match {path}", cells.len());
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

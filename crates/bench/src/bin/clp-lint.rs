@@ -13,8 +13,11 @@
 //! rendered text; `--allow <code>` silences a lint and
 //! `--deny <code>` promotes it to an error (codes accept `L001` or
 //! slug form, e.g. `dead-dataflow`); `--cores <n>` sets the composition
-//! size assumed by the placement lints. Exits 1 if any error-severity
-//! diagnostic remains, 2 on usage or input errors.
+//! size assumed by the placement and bound lints; `--bound` adds the
+//! L5xx static-cycle-bound lints, whose notes name the binding
+//! resource (dataflow height vs issue bandwidth vs NoC link) per
+//! block. Exits 1 if any error-severity diagnostic remains, 2 on usage
+//! or input errors.
 
 use clp_core::compile_workload;
 use clp_isa::asm;
@@ -26,6 +29,7 @@ struct Args {
     all: bool,
     asm_path: Option<String>,
     json: bool,
+    bound: bool,
     cores: usize,
 }
 
@@ -44,6 +48,7 @@ fn parse_args(cfg: &mut LintConfig) -> Args {
         all: false,
         asm_path: None,
         json: false,
+        bound: false,
         cores: 32,
     };
     let mut it = std::env::args().skip(1);
@@ -56,6 +61,7 @@ fn parse_args(cfg: &mut LintConfig) -> Args {
             "--suite" => args.all = true,
             "--asm" => args.asm_path = Some(flag_value("--asm")),
             "--json" => args.json = true,
+            "--bound" => args.bound = true,
             "--allow" => {
                 cfg.allow(parse_code(&flag_value("--allow")));
             }
@@ -72,7 +78,7 @@ fn parse_args(cfg: &mut LintConfig) -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: clp-lint [--suite | --asm FILE | WORKLOAD...] \
-                     [--json] [--allow CODE] [--deny CODE] [--cores N]"
+                     [--json] [--bound] [--allow CODE] [--deny CODE] [--cores N]"
                 );
                 println!("\nlint codes:");
                 for &c in LintCode::ALL {
@@ -133,7 +139,10 @@ fn main() {
     let mut merged = LintReport::default();
     let mut failed = false;
     for (label, prog) in &programs {
-        let report = lint_program(prog, &cfg);
+        let mut report = lint_program(prog, &cfg);
+        if args.bound {
+            report.diagnostics.extend(clp_lint::lint_bounds(prog, &cfg));
+        }
         if args.json {
             merged.diagnostics.extend(report.diagnostics.clone());
         } else if report.is_empty() {

@@ -30,6 +30,12 @@
 //! program before simulating and refuses to run it if any
 //! error-severity diagnostic is found.
 //!
+//! `--bound` computes the clp-bound static cycle floor at the chosen
+//! composition size, prints it beside the measured cycles with the
+//! per-block component breakdown (which resource binds each block:
+//! dataflow height, issue bandwidth, NoC link, or dispatch), and
+//! renders the L5xx bound lints rustc-style.
+//!
 //! `--profile` enables the clp-prof cycle-accounting layer and prints
 //! the top-down breakdown, the per-core contribution heatmap, and the
 //! hottest mesh links after the run (see also the `clp-prof` binary for
@@ -65,6 +71,7 @@ struct Args {
     fault_seed: u64,
     kills: Vec<CoreKill>,
     lint: bool,
+    bound: bool,
     threads: usize,
     profile: bool,
     trend: bool,
@@ -87,6 +94,7 @@ fn parse_args() -> Args {
         fault_seed: 1,
         kills: Vec::new(),
         lint: false,
+        bound: false,
         threads: 1,
         profile: false,
         trend: false,
@@ -110,6 +118,7 @@ fn parse_args() -> Args {
                 }
             }
             "--lint" => args.lint = true,
+            "--bound" => args.bound = true,
             "--threads" => {
                 let v = flag_value("--threads");
                 match v.parse() {
@@ -264,6 +273,47 @@ fn main() {
                     rec.migrated_bytes,
                     rec.degraded_ipc(),
                 );
+            }
+            if args.bound {
+                let lcfg = clp_lint::LintConfig {
+                    placement_cores: n,
+                    ..clp_lint::LintConfig::default()
+                };
+                let pb = clp_lint::bound_program(&cw.edge, &lcfg, n);
+                println!(
+                    "[bound: static floor {} cycles vs {} measured ({:.2}x), \
+                     floors must-commit={} terminal={} work={}]",
+                    pb.cycles,
+                    stats.cycles,
+                    stats.cycles as f64 / pb.cycles as f64,
+                    pb.must_commit,
+                    pb.terminal,
+                    pb.work_floor,
+                );
+                for b in &pb.blocks {
+                    println!(
+                        "  block @{:#x}: bound {} cycles, bound by {} \
+                         (height {}, flat {}, issue {}, noc {}, dispatch {}{})",
+                        b.addr,
+                        b.cycles,
+                        b.binding.label(),
+                        b.height,
+                        b.flat_height,
+                        b.issue,
+                        b.noc,
+                        b.dispatch,
+                        if b.exhaustive {
+                            ""
+                        } else {
+                            "; sampled predicate paths"
+                        },
+                    );
+                }
+                let diags = clp_lint::lint_bounds(&cw.edge, &lcfg);
+                if !diags.is_empty() {
+                    let report = clp_lint::LintReport { diagnostics: diags };
+                    print!("{}", clp_lint::render_report(&report, Some(&cw.edge)));
+                }
             }
             if args.profile {
                 let report = m.profile_report().expect("profiling enabled");

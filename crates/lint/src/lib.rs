@@ -42,6 +42,7 @@ use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
+mod bound;
 mod dataflow;
 mod graph;
 mod lsid;
@@ -50,6 +51,10 @@ mod predicate;
 mod program;
 mod render;
 
+pub use bound::{
+    bound_block, bound_curve_samples, bound_program, lint_bounds, BlockBound, BoundMachine,
+    ProgramBound, Resource,
+};
 pub use render::{render, render_in, render_report};
 
 /// How severe a diagnostic is. `Error` means the block can deadlock,
@@ -88,7 +93,8 @@ macro_rules! lint_codes {
         ///
         /// The numeric code groups rules by analysis: `L0xx` predicate
         /// paths, `L1xx` LSID order, `L2xx` dead dataflow, `L3xx`
-        /// placement cost, `L4xx` whole-program.
+        /// placement cost, `L4xx` whole-program, `L5xx` static cycle
+        /// bounds.
         #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub enum LintCode {
             $( $(#[$meta])* $variant, )+
@@ -207,6 +213,17 @@ lint_codes! {
     /// No reachable halt exit: the program cannot terminate.
     NoHaltExit = ("L404", "no-halt-exit", Warn,
         "no halt exit is reachable from the entry block");
+    /// A block whose static bound is set by per-core issue bandwidth
+    /// rather than its dataflow height.
+    IssueBoundBlock = ("L501", "issue-bound-block", Info,
+        "a block whose static cycle bound is set by per-core issue bandwidth, not dataflow height");
+    /// Placement stretching the static critical path past the
+    /// configured threshold over the placement-free height.
+    PlacementInflatedPath = ("L502", "placement-inflated-path", Info,
+        "mesh routing inflates the static critical path beyond the configured margin");
+    /// A block whose static bound is set by one operand-network link.
+    NocBoundBlock = ("L503", "noc-bound-block", Info,
+        "a block whose static cycle bound is set by a single operand-network link");
 }
 
 impl fmt::Display for LintCode {
@@ -360,6 +377,10 @@ pub struct LintConfig {
     /// architectural budget — so only a lowered threshold (modeling a
     /// smaller LSQ) ever fires on a valid block.
     pub lsq_entries: usize,
+    /// Percentage by which placement may inflate a block's static
+    /// critical path over its placement-free height before
+    /// [`LintCode::PlacementInflatedPath`] fires.
+    pub bound_inflation_pct: u32,
 }
 
 impl Default for LintConfig {
@@ -372,6 +393,7 @@ impl Default for LintConfig {
             max_route_hops: 6,
             max_fanout_depth: 4,
             lsq_entries: 44,
+            bound_inflation_pct: 50,
         }
     }
 }

@@ -18,13 +18,7 @@
 use crate::graph::BlockGraph;
 use crate::{Diagnostic, LintCode, LintConfig, Span};
 use clp_isa::{Block, Opcode};
-use clp_noc::{region_rect, MeshConfig};
-
-fn hop_distance(a: usize, b: usize, rect_w: usize) -> u32 {
-    let (ax, ay) = (a % rect_w, a / rect_w);
-    let (bx, by) = (b % rect_w, b / rect_w);
-    (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
-}
+use clp_noc::{rect_hops, region_rect, MeshConfig};
 
 /// Runs the placement-cost analysis on one block.
 pub fn analyze(block: &Block, g: &BlockGraph, cfg: &LintConfig) -> Vec<Diagnostic> {
@@ -37,7 +31,7 @@ pub fn analyze(block: &Block, g: &BlockGraph, cfg: &LintConfig) -> Vec<Diagnosti
         let n = cfg.placement_cores;
         for (i, inst) in insts.iter().enumerate() {
             for t in inst.targets() {
-                let hops = hop_distance(i % n, t.inst.index() % n, rect_w);
+                let hops = rect_hops(i % n, t.inst.index() % n, rect_w) as u32;
                 if hops > cfg.max_route_hops {
                     diags.push(
                         Diagnostic::new(

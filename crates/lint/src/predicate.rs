@@ -45,7 +45,7 @@ pub struct PathFacts {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Fire {
+pub(crate) enum Fire {
     No,
     Yes,
     Maybe,
@@ -394,6 +394,45 @@ fn value_of(
             }
         }
         _ => var_val(i, insts, var_of, mask),
+    }
+}
+
+/// Per-path firing vectors for the clp-bound analyzer.
+///
+/// When the predicate space is exhaustively enumerable there is one
+/// vector per assignment, and the real execution path always matches
+/// one of them. Otherwise there is a single assignment-free vector
+/// (every discovered condition left `Unknown`), whose `Fire::Yes`
+/// entries fire under *every* assignment — an under-approximation of
+/// each real path's firing set, which is the sound direction for a
+/// lower bound.
+pub(crate) struct FiringPaths {
+    /// Whether `paths` covers every predicate assignment.
+    pub(crate) exhaustive: bool,
+    /// One `Fire` entry per instruction, per enumerated path.
+    pub(crate) paths: Vec<Vec<Fire>>,
+}
+
+/// Enumerates firing vectors for `block` (see [`FiringPaths`]).
+pub(crate) fn firing_paths(block: &Block, g: &BlockGraph, cfg: &LintConfig) -> FiringPaths {
+    let mut all_vars = discover_vars(block, g);
+    let spill = all_vars.len().saturating_sub(64);
+    all_vars.truncate(64);
+    let vars = all_vars;
+    if spill > 0 || vars.len() as u32 > cfg.max_pred_vars {
+        let pe = eval_path(block, g, &BTreeMap::new(), 0);
+        return FiringPaths {
+            exhaustive: false,
+            paths: vec![pe.fire],
+        };
+    }
+    let var_of: BTreeMap<usize, usize> = vars.iter().enumerate().map(|(v, &i)| (i, v)).collect();
+    let paths = (0..(1u64 << vars.len()))
+        .map(|mask| eval_path(block, g, &var_of, mask).fire)
+        .collect();
+    FiringPaths {
+        exhaustive: true,
+        paths,
     }
 }
 

@@ -34,5 +34,5 @@ mod sharded;
 mod stats;
 
 pub use mesh::{Mesh, MeshConfig, NodeId};
-pub use region::{region_for, region_rect, Coord, RegionError};
+pub use region::{rect_hops, rect_route, region_for, region_rect, Coord, RegionError};
 pub use stats::MeshStats;

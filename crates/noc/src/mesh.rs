@@ -107,12 +107,14 @@ impl MeshConfig {
         NodeId(c.y * self.width + c.x)
     }
 
-    /// Manhattan hop distance between two nodes.
+    /// Manhattan hop distance between two nodes (the shared
+    /// [`crate::rect_hops`] definition, so lint and bound route lengths
+    /// can never drift from the router's).
     #[must_use]
     pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
-        let ca = self.coord(a);
-        let cb = self.coord(b);
-        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+        assert!(a.0 < self.nodes(), "node {a} outside mesh");
+        assert!(b.0 < self.nodes(), "node {b} outside mesh");
+        crate::region::rect_hops(a.0, b.0, self.width)
     }
 
     /// The inclusive node path a message takes from `a` to `b` under
@@ -122,19 +124,12 @@ impl MeshConfig {
     /// single-node path.
     #[must_use]
     pub fn route_nodes(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        let mut c = self.coord(a);
-        let d = self.coord(b);
-        let mut path = Vec::with_capacity(self.hops(a, b) + 1);
-        path.push(a);
-        while c.x != d.x {
-            c.x = if c.x < d.x { c.x + 1 } else { c.x - 1 };
-            path.push(self.node_at(c));
-        }
-        while c.y != d.y {
-            c.y = if c.y < d.y { c.y + 1 } else { c.y - 1 };
-            path.push(self.node_at(c));
-        }
-        path
+        assert!(a.0 < self.nodes(), "node {a} outside mesh");
+        assert!(b.0 < self.nodes(), "node {b} outside mesh");
+        crate::region::rect_route(a.0, b.0, self.width)
+            .into_iter()
+            .map(NodeId)
+            .collect()
     }
 
     /// Next hop direction under X-then-Y dimension-order routing.

@@ -49,6 +49,56 @@ impl fmt::Display for RegionError {
 
 impl std::error::Error for RegionError {}
 
+/// Manhattan hop distance between two slots of a row-major rectangle
+/// of width `rect_w`.
+///
+/// This is *the* route-length definition for every layer that reasons
+/// about operand traffic: the X-Y mesh router ([`MeshConfig::hops`]),
+/// the placement lints, and the clp-bound static analyzer all call this
+/// one helper, so they can never disagree on how far a message travels.
+/// Slot indices are row-major (`x = slot % rect_w`, `y = slot / rect_w`),
+/// which matches both whole-mesh node IDs and the instruction-slot
+/// layout inside a composition rectangle.
+///
+/// # Panics
+///
+/// Panics if `rect_w` is zero.
+#[must_use]
+pub fn rect_hops(a: usize, b: usize, rect_w: usize) -> usize {
+    assert!(rect_w > 0, "zero-width rectangle");
+    let (ax, ay) = (a % rect_w, a / rect_w);
+    let (bx, by) = (b % rect_w, b / rect_w);
+    ax.abs_diff(bx) + ay.abs_diff(by)
+}
+
+/// The inclusive slot path a message takes from `a` to `b` under
+/// X-then-Y dimension-order routing in a row-major rectangle of width
+/// `rect_w` — the same walk [`crate::Mesh::step`] performs hop by hop,
+/// expressed over slot indices so per-link attribution can be computed
+/// without materializing a mesh. `a == b` yields the single-slot path;
+/// otherwise the path has [`rect_hops`]` + 1` entries.
+///
+/// # Panics
+///
+/// Panics if `rect_w` is zero.
+#[must_use]
+pub fn rect_route(a: usize, b: usize, rect_w: usize) -> Vec<usize> {
+    assert!(rect_w > 0, "zero-width rectangle");
+    let (mut x, mut y) = (a % rect_w, a / rect_w);
+    let (dx, dy) = (b % rect_w, b / rect_w);
+    let mut path = Vec::with_capacity(rect_hops(a, b, rect_w) + 1);
+    path.push(a);
+    while x != dx {
+        x = if x < dx { x + 1 } else { x - 1 };
+        path.push(y * rect_w + x);
+    }
+    while y != dy {
+        y = if y < dy { y + 1 } else { y - 1 };
+        path.push(y * rect_w + x);
+    }
+    path
+}
+
 /// The width and height of the rectangle used for an `n_cores`
 /// composition on a mesh of the given width.
 ///
@@ -123,6 +173,34 @@ mod tests {
             width: 4,
             height: 8,
             link_bandwidth: 2,
+        }
+    }
+
+    #[test]
+    fn rect_hops_is_manhattan_distance() {
+        // 2x2 rectangle: diagonal is two hops, neighbors one.
+        assert_eq!(rect_hops(0, 3, 2), 2);
+        assert_eq!(rect_hops(0, 1, 2), 1);
+        assert_eq!(rect_hops(2, 2, 2), 0);
+        // 4-wide chip layout: node 0 (0,0) to node 31 (3,7).
+        assert_eq!(rect_hops(0, 31, 4), 10);
+    }
+
+    #[test]
+    fn rect_route_matches_mesh_route_nodes() {
+        let cfg = chip();
+        for a in 0..cfg.nodes() {
+            for b in 0..cfg.nodes() {
+                let by_slot = rect_route(a, b, cfg.width);
+                let by_mesh: Vec<usize> = cfg
+                    .route_nodes(NodeId(a), NodeId(b))
+                    .into_iter()
+                    .map(|n| n.0)
+                    .collect();
+                assert_eq!(by_slot, by_mesh, "route {a} -> {b}");
+                assert_eq!(by_slot.len(), rect_hops(a, b, cfg.width) + 1);
+                assert_eq!(rect_hops(a, b, cfg.width), cfg.hops(NodeId(a), NodeId(b)));
+            }
         }
     }
 

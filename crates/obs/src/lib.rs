@@ -43,7 +43,7 @@ pub mod trend;
 
 pub use diff::{attribute_buckets, detect_kind, diff_documents, AttributionReport, DiffEntry};
 pub use event::{CacheLevel, FlushReason, TraceEvent};
-pub use profile::{Bucket, BucketCycles, ProcProfile, ProfileReport, NUM_BUCKETS};
+pub use profile::{BlockSpanStat, Bucket, BucketCycles, ProcProfile, ProfileReport, NUM_BUCKETS};
 pub use sink::{ChromeTraceWriter, NullSink, RingRecorder, TraceSink, Tracer};
 pub use snapshot::{
     IntervalSample, IntervalSampler, Metric, MetricValue, SampleCounters, StatsNode, StatsSnapshot,

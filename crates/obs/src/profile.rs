@@ -17,6 +17,7 @@
 
 use crate::snapshot::StatsNode;
 use serde::Value;
+use std::collections::BTreeMap;
 
 /// Number of cycle-accounting buckets (the length of [`Bucket::ALL`]).
 pub const NUM_BUCKETS: usize = 14;
@@ -159,6 +160,22 @@ impl BucketCycles {
     }
 }
 
+/// Span observations for one block address: how often it committed and
+/// the shortest fetch-to-commit span any commit achieved.
+///
+/// The *minimum* is the figure of merit: clp-bound's static per-block
+/// lower bound must hold for every execution, so the soundness gate
+/// compares it against the best span the simulator ever measured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockSpanStat {
+    /// Block address.
+    pub addr: u64,
+    /// Commits observed for this block.
+    pub commits: u64,
+    /// Minimum fetch-to-commit span over those commits, in cycles.
+    pub min_cycles: u64,
+}
+
 /// One logical processor's profile: per-block tilings summed over every
 /// committed block, plus the whole-run critical path.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -187,9 +204,31 @@ pub struct ProcProfile {
     pub crit_loads_l1: u64,
     /// Critical loads that missed L1 (served by L2 or DRAM).
     pub crit_loads_missed: u64,
+    /// Per-block span observations, sorted by block address.
+    pub block_spans: Vec<BlockSpanStat>,
 }
 
 impl ProcProfile {
+    /// Folds one committed block's fetch-to-commit span into the
+    /// per-address span table.
+    pub fn record_span(&mut self, addr: u64, span: u64) {
+        match self.block_spans.binary_search_by_key(&addr, |s| s.addr) {
+            Ok(i) => {
+                let s = &mut self.block_spans[i];
+                s.commits += 1;
+                s.min_cycles = s.min_cycles.min(span);
+            }
+            Err(i) => self.block_spans.insert(
+                i,
+                BlockSpanStat {
+                    addr,
+                    commits: 1,
+                    min_cycles: span,
+                },
+            ),
+        }
+    }
+
     /// Renders this processor's profile as a stats-registry node.
     #[must_use]
     pub fn to_node(&self, name: &str) -> StatsNode {
@@ -240,6 +279,21 @@ impl ProcProfile {
             ),
             ("run_buckets".to_string(), self.run_buckets.to_json()),
             ("block_buckets".to_string(), self.block_buckets.to_json()),
+            (
+                "block_spans".to_string(),
+                Value::Array(
+                    self.block_spans
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("addr".to_string(), Value::UInt(s.addr)),
+                                ("commits".to_string(), Value::UInt(s.commits)),
+                                ("min_cycles".to_string(), Value::UInt(s.min_cycles)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -274,6 +328,26 @@ impl ProfileReport {
             total.merge(&p.run_buckets);
         }
         total
+    }
+
+    /// Per-address span observations merged across processors: commit
+    /// counts sum, minimum spans take the min. This is the measured side
+    /// of the clp-bound soundness check.
+    #[must_use]
+    pub fn block_spans(&self) -> BTreeMap<u64, BlockSpanStat> {
+        let mut merged: BTreeMap<u64, BlockSpanStat> = BTreeMap::new();
+        for p in &self.procs {
+            for s in &p.block_spans {
+                merged
+                    .entry(s.addr)
+                    .and_modify(|m| {
+                        m.commits += s.commits;
+                        m.min_cycles = m.min_cycles.min(s.min_cycles);
+                    })
+                    .or_insert(*s);
+            }
+        }
+        merged
     }
 
     /// Whole-run critical-path length (max over processors — independent

@@ -3231,6 +3231,7 @@ impl Machine {
         // Block-level book: the unclipped span.
         pp.blocks += 1;
         pp.block_cycles += t_end - t0;
+        pp.record_span(b.addr, t_end - t0);
         for &(s, e, bucket, _, _) in &cutter.segs {
             pp.block_buckets.add(bucket, e - s);
         }
