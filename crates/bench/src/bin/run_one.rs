@@ -50,15 +50,23 @@
 //! `--kill-core ID@CYCLE` (repeatable, up to 4) schedules a *hard*
 //! kill: global core ID dies permanently at that cycle and the
 //! composition must detect it, migrate state, and recompose around the
-//! survivors. The schedule is exactly reproducible. Exit codes tell
-//! failure modes apart: 1 = outputs diverged from the golden,
-//! 2 = usage error, 3 = the run itself failed (deadlock, cycle limit,
-//! invalid kill schedule — i.e. recovery failure).
+//! survivors. The schedule is exactly reproducible.
+//!
+//! `--max-cycles N` arms the per-run deadline watchdog: if the
+//! simulation crosses N cycles it is killed with a typed
+//! `DeadlineExceeded` error and run_one exits with code 4 — distinct
+//! from other run failures so wrappers (CI timeouts, clp-serve) can
+//! tell "job was slow" from "job is broken".
+//!
+//! Exit codes tell failure modes apart: 1 = outputs diverged from the
+//! golden, 2 = usage error, 3 = the run itself failed (deadlock, cycle
+//! limit, invalid kill schedule — i.e. recovery failure), 4 = killed by
+//! the `--max-cycles` deadline.
 
 use clp_core::compile_workload;
 use clp_isa::Reg;
 use clp_obs::{ChromeTraceWriter, Tracer, TrendOptions};
-use clp_sim::{CoreKill, FaultPlan, Machine, SimConfig, ALL_FAULT_KINDS};
+use clp_sim::{CoreKill, FaultPlan, Machine, RunError, SimConfig, ALL_FAULT_KINDS};
 use clp_workloads::suite;
 
 struct Args {
@@ -70,6 +78,7 @@ struct Args {
     faults: Option<String>,
     fault_seed: u64,
     kills: Vec<CoreKill>,
+    max_cycles: Option<u64>,
     lint: bool,
     bound: bool,
     threads: usize,
@@ -93,6 +102,7 @@ fn parse_args() -> Args {
         faults: None,
         fault_seed: 1,
         kills: Vec::new(),
+        max_cycles: None,
         lint: false,
         bound: false,
         threads: 1,
@@ -138,6 +148,13 @@ fn parse_args() -> Args {
                 match CoreKill::parse(&v) {
                     Ok(k) => args.kills.push(k),
                     Err(e) => die(&format!("bad --kill-core: {e}")),
+                }
+            }
+            "--max-cycles" => {
+                let v = flag_value("--max-cycles");
+                match v.parse() {
+                    Ok(n) if n > 0 => args.max_cycles = Some(n),
+                    _ => die(&format!("--max-cycles wants a budget >= 1, got `{v}`")),
                 }
             }
             "--fault-seed" => {
@@ -200,6 +217,7 @@ fn main() {
     }
     let mut cfg = SimConfig::tflex();
     cfg.max_cycles = 2_000_000;
+    cfg.deadline = args.max_cycles;
     cfg.threads = args.threads;
     if let Some(spec) = &args.faults {
         cfg.faults = FaultPlan::parse(spec, args.fault_seed)
@@ -337,6 +355,13 @@ fn main() {
                     snapshot.expect("proc0/ipc"),
                 );
             }
+        }
+        Err(RunError::DeadlineExceeded { budget }) => {
+            println!("{name} on {n} cores KILLED: exceeded --max-cycles deadline of {budget}");
+            // 4: the watchdog fired. The job may well be fine, just
+            // slower than the budget — callers decide whether to retry
+            // with a larger one.
+            exit_code = 4;
         }
         Err(e) => {
             println!("{name} on {n} cores FAILED: {e}");

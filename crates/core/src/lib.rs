@@ -27,10 +27,13 @@ pub use adaptive::{
     adapt_composition, adapt_composition_observed, AdaptDecision, AdaptGoal, AdaptOutcome,
     AdaptStep,
 };
-pub use multiprogram::{run_multiprogram, run_multiprogram_observed, MultiOutcome, ProgramSpec};
+pub use multiprogram::{
+    run_multiprogram, run_multiprogram_observed, MultiOutcome, PlacementError, ProgramSpec,
+};
 pub use run::{
     compile_workload, run_compiled, run_compiled_observed, run_workload, speedup_curve, sweep,
-    CompiledWorkload, ObsOptions, ProcessorConfig, ProcessorKind, RunFailure, RunOutcome,
+    CompiledWorkload, FailureClass, ObsOptions, ProcessorConfig, ProcessorKind, RunFailure,
+    RunOutcome,
 };
 // Fault-injection vocabulary, re-exported so harnesses and tests can
 // build plans without depending on clp-sim directly.

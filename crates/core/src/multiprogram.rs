@@ -6,6 +6,7 @@ use clp_isa::Reg;
 use clp_obs::{StatsSnapshot, TrendReport};
 use clp_sim::{Machine, ProcId, RunStats};
 use clp_workloads::Workload;
+use std::fmt;
 
 /// One entry of a multiprogrammed workload: a benchmark and the number
 /// of cores its logical processor gets.
@@ -16,6 +17,46 @@ pub struct ProgramSpec {
     /// Composition size (power of two).
     pub cores: usize,
 }
+
+/// Why a program of a multiprogrammed mix could not be placed on the
+/// chip. Region exhaustion is a *schedulable* condition — a service can
+/// hold the job until a region frees up, shrink the request, or reject
+/// it with a typed error — so it must never crash the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The specs together ask for more cores than the chip has.
+    Oversubscribed {
+        /// Total cores requested across all specs.
+        requested: usize,
+        /// Cores the chip has.
+        capacity: usize,
+    },
+    /// No free aligned region of the requested size exists (either the
+    /// size has no tiling on this mesh, or every candidate region
+    /// overlaps an earlier placement).
+    NoFreeRegion {
+        /// The composition size that could not be placed.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Oversubscribed {
+                requested,
+                capacity,
+            } => {
+                write!(f, "{requested} cores requested, chip has {capacity}")
+            }
+            PlacementError::NoFreeRegion { cores } => {
+                write!(f, "no free {cores}-core region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
 
 /// Result of a multiprogrammed run.
 #[derive(Clone, Debug)]
@@ -44,8 +85,10 @@ pub struct MultiOutcome {
 ///
 /// # Errors
 ///
-/// Returns a [`RunFailure`] if the specs do not fit, a program fails to
-/// compile, the simulation fails, or any program's outputs mismatch.
+/// Returns [`RunFailure::Placement`] if the specs do not fit (total
+/// oversubscription or region exhaustion), or another [`RunFailure`] if
+/// a program fails to compile, the simulation fails, or any program's
+/// outputs mismatch.
 pub fn run_multiprogram(specs: &[ProgramSpec]) -> Result<MultiOutcome, RunFailure> {
     run_multiprogram_observed(specs, &ObsOptions::default())
 }
@@ -63,7 +106,12 @@ pub fn run_multiprogram_observed(
     obs: &ObsOptions,
 ) -> Result<MultiOutcome, RunFailure> {
     let total: usize = specs.iter().map(|s| s.cores).sum();
-    assert!(total <= 32, "{total} cores requested, chip has 32");
+    if total > 32 {
+        return Err(RunFailure::Placement(PlacementError::Oversubscribed {
+            requested: total,
+            capacity: 32,
+        }));
+    }
 
     // Place largest-first (best-fit packing), remembering original order.
     let mut order: Vec<usize> = (0..specs.len()).collect();
@@ -98,13 +146,15 @@ pub fn run_multiprogram_observed(
         // First-fit over the standard tiling: regions are rectangles, so
         // a simple linear offset does not work for mixed sizes.
         let mesh = clp_noc::MeshConfig::tflex_operand();
-        let index = (0..32 / s.cores)
+        let index = (0..32 / s.cores.max(1))
             .find(|&idx| {
                 clp_noc::region_for(&mesh, s.cores, idx)
                     .map(|nodes| nodes.iter().all(|n| !used[n.0]))
                     .unwrap_or(false)
             })
-            .unwrap_or_else(|| panic!("no free {}-core region", s.cores));
+            .ok_or(RunFailure::Placement(PlacementError::NoFreeRegion {
+                cores: s.cores,
+            }))?;
         for n in clp_noc::region_for(&mesh, s.cores, index).expect("checked") {
             used[n.0] = true;
         }
@@ -245,8 +295,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chip has 32")]
-    fn oversubscription_rejected() {
+    fn oversubscription_rejected_with_typed_error() {
         let w = suite::by_name("conv").unwrap();
         let specs: Vec<ProgramSpec> = (0..3)
             .map(|_| ProgramSpec {
@@ -254,6 +303,38 @@ mod tests {
                 cores: 16,
             })
             .collect();
-        let _ = run_multiprogram(&specs);
+        match run_multiprogram(&specs) {
+            Err(RunFailure::Placement(PlacementError::Oversubscribed {
+                requested,
+                capacity,
+            })) => {
+                assert_eq!(requested, 48);
+                assert_eq!(capacity, 32);
+            }
+            other => panic!("expected Oversubscribed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untileable_size_rejected_with_typed_error() {
+        // 3 is not a power of two, so no aligned region exists for it:
+        // the placement loop must report NoFreeRegion, not panic.
+        let specs = vec![ProgramSpec {
+            workload: suite::by_name("conv").unwrap(),
+            cores: 3,
+        }];
+        match run_multiprogram(&specs) {
+            Err(RunFailure::Placement(PlacementError::NoFreeRegion { cores })) => {
+                assert_eq!(cores, 3);
+            }
+            other => panic!("expected NoFreeRegion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_errors_are_transient() {
+        use crate::run::FailureClass;
+        let e = RunFailure::Placement(PlacementError::NoFreeRegion { cores: 8 });
+        assert_eq!(e.class(), FailureClass::Transient);
     }
 }

@@ -59,6 +59,18 @@ impl ProcessorConfig {
         self
     }
 
+    /// The same configuration with a per-run cycle deadline (builder
+    /// style): the run aborts with a typed deadline kill
+    /// ([`RunError::DeadlineExceeded`]) once `budget` cycles have
+    /// elapsed. clp-serve attaches one to every job so a runaway
+    /// simulation is reaped and reported instead of occupying a worker
+    /// until the 200M-cycle safety net.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: u64) -> Self {
+        self.sim.deadline = Some(budget);
+        self
+    }
+
     /// Cores the organization occupies.
     #[must_use]
     pub fn cores(&self) -> usize {
@@ -81,19 +93,65 @@ impl ProcessorConfig {
 pub enum RunFailure {
     /// The workload failed to compile to EDGE code.
     Compile(CompileError),
+    /// The reference interpreter could not produce a golden result (the
+    /// program never terminates or blows the call stack) — a malformed
+    /// job, rejected before any machine is composed.
+    Golden(clp_compiler::InterpError),
     /// The machine could not be composed.
     Compose(clp_sim::ComposeError),
+    /// No chip region could be found for a program of a multiprogrammed
+    /// mix (region exhaustion is a schedulable condition, not a crash).
+    Placement(crate::multiprogram::PlacementError),
     /// The simulation did not complete.
     Run(RunError),
     /// Outputs differ from the reference interpreter.
     Verify(VerifyError),
 }
 
+/// How a [`RunFailure`] should be treated by a scheduler: the typed
+/// taxonomy clp-serve uses to decide between rejecting a job outright,
+/// retrying it with backoff, and retrying it with a larger budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The job itself is bad (malformed program, wrong outputs): no
+    /// retry can ever succeed.
+    Permanent,
+    /// The *environment* failed (injected faults, recovery failure,
+    /// region exhaustion, busy cores): the same job can be retried.
+    Transient,
+    /// The job outlived its cycle budget: retryable, but only with an
+    /// escalated deadline.
+    DeadlineKill,
+}
+
+impl RunFailure {
+    /// Classifies this failure for retry policy. See [`FailureClass`].
+    #[must_use]
+    pub fn class(&self) -> FailureClass {
+        match self {
+            RunFailure::Compile(_) | RunFailure::Golden(_) | RunFailure::Verify(_) => {
+                FailureClass::Permanent
+            }
+            // Argument overflow is a property of the job; busy cores and
+            // unsatisfiable regions are properties of the moment.
+            RunFailure::Compose(clp_sim::ComposeError::TooManyArgs(_)) => FailureClass::Permanent,
+            RunFailure::Compose(_) | RunFailure::Placement(_) => FailureClass::Transient,
+            RunFailure::Run(RunError::DeadlineExceeded { .. })
+            | RunFailure::Run(RunError::CycleLimit(_)) => FailureClass::DeadlineKill,
+            // Deadlock, invalid kills, and no-survivor schedules are
+            // recovery failures: the next attempt runs on fresh hardware.
+            RunFailure::Run(_) => FailureClass::Transient,
+        }
+    }
+}
+
 impl fmt::Display for RunFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunFailure::Compile(e) => write!(f, "compile: {e}"),
+            RunFailure::Golden(e) => write!(f, "golden: {e}"),
             RunFailure::Compose(e) => write!(f, "compose: {e}"),
+            RunFailure::Placement(e) => write!(f, "placement: {e}"),
             RunFailure::Run(e) => write!(f, "run: {e}"),
             RunFailure::Verify(e) => write!(f, "verify: {e}"),
         }
@@ -118,11 +176,14 @@ pub struct CompiledWorkload {
 ///
 /// # Errors
 ///
-/// Returns [`RunFailure::Compile`] if lowering fails.
+/// Returns [`RunFailure::Compile`] if lowering fails, or
+/// [`RunFailure::Golden`] if the reference interpreter cannot produce a
+/// golden result (non-terminating or stack-blowing program) — both are
+/// typed rejections of a malformed job, never panics.
 pub fn compile_workload(w: &Workload) -> Result<CompiledWorkload, RunFailure> {
     let edge = compile(&w.program, &CompileOptions::default()).map_err(RunFailure::Compile)?;
     Ok(CompiledWorkload {
-        golden: w.golden(),
+        golden: w.try_golden().map_err(RunFailure::Golden)?,
         workload: w.clone(),
         edge,
     })

@@ -1,0 +1,117 @@
+//! Latency distribution summaries (nearest-rank percentiles).
+//!
+//! clp-serve reports job sojourn times in virtual ticks; figure and CI
+//! tooling want the usual tail percentiles rather than raw sample lists.
+//! Everything here is integer-in / deterministic-out: nearest-rank
+//! percentiles over a sorted sample vector, so the same samples always
+//! produce the same summary on every platform.
+
+use crate::snapshot::StatsNode;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Nearest-rank 50th percentile.
+    pub p50: u64,
+    /// Nearest-rank 90th percentile.
+    pub p90: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Nearest-rank percentile of a sorted, non-empty slice: the smallest
+/// sample such that at least `pct`% of the set is `<=` it.
+fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (sorted.len() as u64 * pct).div_ceil(100).max(1);
+    sorted[(rank as usize - 1).min(sorted.len() - 1)]
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set. The input is sorted in place; an empty
+    /// set produces the all-zero summary rather than an error, so
+    /// services that completed no jobs still render a well-formed report.
+    #[must_use]
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let sum: u64 = samples.iter().sum();
+        LatencySummary {
+            count: samples.len(),
+            mean: sum as f64 / samples.len() as f64,
+            p50: nearest_rank(samples, 50),
+            p90: nearest_rank(samples, 90),
+            p99: nearest_rank(samples, 99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Renders the summary as a stats-registry node named `name`, so a
+    /// service can hang it off its `serve/*` subtree.
+    #[must_use]
+    pub fn to_node(&self, name: &str) -> StatsNode {
+        StatsNode::new(name)
+            .count("count", self.count as u64)
+            .gauge("mean", self.mean)
+            .count("p50", self.p50)
+            .count("p90", self.p90)
+            .count("p99", self.p99)
+            .count("max", self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let s = LatencySummary::from_samples(&mut []);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_samples(&mut [7]);
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        // 1..=100: pN is exactly N.
+        let mut v: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&mut v);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut v = vec![30, 10, 20];
+        let s = LatencySummary::from_samples(&mut v);
+        assert_eq!(s.p50, 20);
+        assert_eq!(s.max, 30);
+    }
+
+    #[test]
+    fn renders_as_a_stats_node() {
+        let s = LatencySummary::from_samples(&mut [1, 2, 3, 4]);
+        let n = s.to_node("latency");
+        assert_eq!(n.lookup("p90").map(|m| m.as_f64()), Some(4.0));
+        assert_eq!(n.lookup("count").map(|m| m.as_f64()), Some(4.0));
+    }
+}

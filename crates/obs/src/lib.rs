@@ -36,6 +36,7 @@
 
 pub mod diff;
 pub mod event;
+pub mod latency;
 pub mod profile;
 pub mod sink;
 pub mod snapshot;
@@ -43,6 +44,7 @@ pub mod trend;
 
 pub use diff::{attribute_buckets, detect_kind, diff_documents, AttributionReport, DiffEntry};
 pub use event::{CacheLevel, FlushReason, TraceEvent};
+pub use latency::LatencySummary;
 pub use profile::{BlockSpanStat, Bucket, BucketCycles, ProcProfile, ProfileReport, NUM_BUCKETS};
 pub use sink::{ChromeTraceWriter, NullSink, RingRecorder, TraceSink, Tracer};
 pub use snapshot::{

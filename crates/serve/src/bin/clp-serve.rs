@@ -1,0 +1,225 @@
+//! The clp-serve driver: generate a seeded job schedule, run the
+//! service to full drain, and report.
+//!
+//! ```sh
+//! # A quick chaotic run: 24 jobs, a planted panic, a doomed kill job.
+//! cargo run --release -p clp-serve -- \
+//!     --jobs 24 --seed 7 --plant-panic 5 --kill-core 11@800
+//!
+//! # Regenerate the committed benchmark document.
+//! cargo run --release -p clp-serve -- --bench --json BENCH_serve.json
+//!
+//! # CI gate: rerun the pinned configuration and compare.
+//! cargo run --release -p clp-serve -- --bench --check BENCH_serve.json
+//! ```
+//!
+//! `--bench` pins the full configuration (seed 42, 48 jobs, 4 workers,
+//! tight-budget jobs, a planted panic, and a no-survivor core kill) so
+//! the resulting `clp-serve-v1` document is byte-reproducible; `--check
+//! <path>` reruns it and compares against the committed baseline with a
+//! latency/throughput threshold (default 10%), exiting 1 on regression.
+//!
+//! Exit codes: 0 = drained with no check regression, 1 = `--check`
+//! found a regression, 2 = usage error.
+
+use clp_serve::{arrivals, report, service, ServiceReport};
+
+struct Args {
+    jobs: usize,
+    seed: u64,
+    workers: usize,
+    queue_cap: usize,
+    degrade_at: usize,
+    mean_gap: u64,
+    budget: u64,
+    tight_every: usize,
+    tight_budget: u64,
+    retries: u32,
+    plant_panic: Vec<u64>,
+    kill_core: Vec<(u64, u64)>,
+    json: Option<String>,
+    bench: bool,
+    check: Option<String>,
+    threshold: f64,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("clp-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: 24,
+        seed: 7,
+        workers: 4,
+        queue_cap: 8,
+        degrade_at: 6,
+        mean_gap: 3_000,
+        budget: 200_000,
+        tight_every: 0,
+        tight_budget: 2_500,
+        retries: 3,
+        plant_panic: Vec::new(),
+        kill_core: Vec::new(),
+        json: None,
+        bench: false,
+        check: None,
+        threshold: 10.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        macro_rules! parse_into {
+            ($field:expr, $flag:expr) => {{
+                let v = flag_value($flag);
+                match v.parse() {
+                    Ok(x) => $field = x,
+                    Err(_) => die(&format!("bad {} value `{v}`", $flag)),
+                }
+            }};
+        }
+        match a.as_str() {
+            "--jobs" => parse_into!(args.jobs, "--jobs"),
+            "--seed" => parse_into!(args.seed, "--seed"),
+            "--workers" => parse_into!(args.workers, "--workers"),
+            "--queue-cap" => parse_into!(args.queue_cap, "--queue-cap"),
+            "--degrade-at" => parse_into!(args.degrade_at, "--degrade-at"),
+            "--mean-gap" => parse_into!(args.mean_gap, "--mean-gap"),
+            "--budget" => parse_into!(args.budget, "--budget"),
+            "--tight-every" => parse_into!(args.tight_every, "--tight-every"),
+            "--tight-budget" => parse_into!(args.tight_budget, "--tight-budget"),
+            "--retries" => parse_into!(args.retries, "--retries"),
+            "--threshold" => parse_into!(args.threshold, "--threshold"),
+            "--plant-panic" => {
+                let v = flag_value("--plant-panic");
+                match v.parse() {
+                    Ok(id) => args.plant_panic.push(id),
+                    Err(_) => die(&format!("bad --plant-panic job id `{v}`")),
+                }
+            }
+            "--kill-core" => {
+                // JOB@CYCLE: job JOB's first attempt kills its (only)
+                // core at CYCLE — a guaranteed recovery failure.
+                let v = flag_value("--kill-core");
+                let parsed = v
+                    .split_once('@')
+                    .and_then(|(j, c)| Some((j.trim().parse().ok()?, c.trim().parse().ok()?)));
+                match parsed {
+                    Some(jc) => args.kill_core.push(jc),
+                    None => die(&format!("bad --kill-core `{v}` (expected JOB@CYCLE)")),
+                }
+            }
+            "--json" => args.json = Some(flag_value("--json")),
+            "--bench" => args.bench = true,
+            "--check" => args.check = Some(flag_value("--check")),
+            _ => die(&format!("unexpected argument `{a}`")),
+        }
+    }
+    args
+}
+
+/// The pinned benchmark configuration: fixed seed, a planted panic, a
+/// no-survivor core kill, and tight-budget jobs, so the committed
+/// `BENCH_serve.json` exercises every fault domain and reproduces
+/// byte-for-byte.
+fn bench_args(mut args: Args) -> Args {
+    args.jobs = 48;
+    args.seed = 42;
+    args.workers = 4;
+    args.queue_cap = 8;
+    args.degrade_at = 6;
+    args.mean_gap = 3_000;
+    args.budget = 200_000;
+    args.tight_every = 7;
+    args.tight_budget = 2_500;
+    args.retries = 3;
+    args.plant_panic = vec![5, 23];
+    args.kill_core = vec![(11, 800)];
+    args
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.bench {
+        args = bench_args(args);
+    }
+    let acfg = arrivals::ArrivalConfig {
+        jobs: args.jobs,
+        seed: args.seed,
+        mean_gap: args.mean_gap.max(1),
+        budget: args.budget,
+        tight_every: args.tight_every,
+        tight_budget: args.tight_budget,
+        plant_panic: args.plant_panic.clone(),
+        kill_at: args.kill_core.clone(),
+    };
+    let scfg = service::ServiceConfig {
+        workers: args.workers.max(1),
+        queue_cap: args.queue_cap.max(1),
+        degrade_at: args.degrade_at.max(1),
+        max_retries: args.retries,
+        seed: args.seed,
+        ..service::ServiceConfig::default()
+    };
+    let schedule = arrivals::generate(&acfg);
+    let result = service::serve(schedule, &scfg);
+    let rep = ServiceReport::new(&acfg, &scfg, &result);
+
+    let t = &rep.totals;
+    println!(
+        "clp-serve: {} submitted, {} completed, {} shed, {} invalid, \
+         {} permanent, {} exhausted ({} retries)",
+        t.submitted,
+        t.completed,
+        t.rejected_overloaded,
+        t.rejected_invalid,
+        t.failed_permanent,
+        t.exhausted,
+        t.retries,
+    );
+    println!(
+        "[faults: {} deadline kills, {} panics, {} respawns, {} transient, {} degraded]",
+        t.deadline_kills, t.panics, t.respawns, t.transient_failures, t.degraded,
+    );
+    println!(
+        "[cache: {} hits, {} misses, {} programs, {} lint warnings]",
+        t.cache_hits, t.cache_misses, t.cache_entries, t.lint_warnings,
+    );
+    println!(
+        "[latency: p50 {} p90 {} p99 {} max {} ticks; throughput {:.3}/ktick; drained at {}]",
+        rep.latency_ticks.p50,
+        rep.latency_ticks.p90,
+        rep.latency_ticks.p99,
+        rep.latency_ticks.max,
+        rep.throughput_per_ktick,
+        t.drained_at,
+    );
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, rep.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+        println!("[report -> {path}]");
+    }
+    if let Some(path) = &args.check {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
+        let baseline: serde::Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("baseline `{path}` is not JSON: {e}")));
+        let regressions = report::check(&baseline, &rep, args.threshold);
+        if regressions.is_empty() {
+            println!(
+                "[check: OK against {path} (threshold {:.0}%)]",
+                args.threshold
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("clp-serve: REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Content-hashed cache of compiled hyperblock programs and their lint
+//! results.
+//!
+//! The scheduler — never a worker — performs lookups and inserts, at
+//! virtual-time events in deterministic order, so hit/miss counts are a
+//! pure function of the job schedule and can be asserted byte-for-byte
+//! in the replay golden. Workers only *compile* on a miss and hand the
+//! finished [`CompiledWorkload`] back for insertion at the completion
+//! event.
+
+use clp_core::CompiledWorkload;
+use clp_workloads::Workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a over the `Debug` rendering of everything that affects
+/// compilation and verification: the IR program, the arguments, the
+/// initial memory, and the check spec. Two workloads with identical
+/// content share one cache entry regardless of name.
+#[must_use]
+pub fn content_hash(w: &Workload) -> u64 {
+    let rendered = format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        w.program, w.args, w.init_mem, w.check
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached compilation: the compiled program (with its golden) plus
+/// the lint warning count recorded when it was first compiled.
+#[derive(Clone)]
+pub struct CacheEntry {
+    /// The compiled workload, shared with in-flight executions.
+    pub compiled: Arc<CompiledWorkload>,
+    /// Warning-severity lint diagnostics found at compile time.
+    pub lint_warnings: u64,
+}
+
+/// The compile cache, with hit/miss accounting.
+#[derive(Default)]
+pub struct CompileCache {
+    entries: HashMap<u64, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a content hash, counting the hit or miss.
+    pub fn lookup(&mut self, key: u64) -> Option<CacheEntry> {
+        match self.entries.get(&key) {
+            Some(e) => {
+                self.hits += 1;
+                Some(e.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled entry. A concurrent miss on the same
+    /// key may insert twice; the first insertion wins so every later
+    /// hit shares one allocation.
+    pub fn insert(&mut self, key: u64, entry: CacheEntry) {
+        self.entries.entry(key).or_insert(entry);
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct programs cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total lint warnings across distinct cached programs.
+    #[must_use]
+    pub fn lint_warnings(&self) -> u64 {
+        self.entries.values().map(|e| e.lint_warnings).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clp_workloads::suite;
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let a = suite::by_name("conv").unwrap();
+        let b = suite::by_name("conv").unwrap();
+        assert_eq!(content_hash(&a), content_hash(&b));
+        let c = suite::by_name("bezier").unwrap();
+        assert_ne!(content_hash(&a), content_hash(&c));
+        // Same program, different args: different entry.
+        let mut d = suite::by_name("conv").unwrap();
+        d.args.push(1);
+        assert_ne!(content_hash(&a), content_hash(&d));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut cache = CompileCache::new();
+        let w = suite::by_name("conv").unwrap();
+        let key = content_hash(&w);
+        assert!(cache.lookup(key).is_none());
+        let cw = clp_core::compile_workload(&w).unwrap();
+        cache.insert(
+            key,
+            CacheEntry {
+                compiled: Arc::new(cw),
+                lint_warnings: 2,
+            },
+        );
+        assert!(cache.lookup(key).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lint_warnings(), 2);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let mut cache = CompileCache::new();
+        let w = suite::by_name("conv").unwrap();
+        let key = content_hash(&w);
+        let cw = Arc::new(clp_core::compile_workload(&w).unwrap());
+        cache.insert(
+            key,
+            CacheEntry {
+                compiled: cw.clone(),
+                lint_warnings: 1,
+            },
+        );
+        cache.insert(
+            key,
+            CacheEntry {
+                compiled: cw,
+                lint_warnings: 9,
+            },
+        );
+        assert_eq!(cache.lint_warnings(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! # clp-serve — a deterministic, fault-tolerant simulation service
+//!
+//! Long-running experiment campaigns treat the simulator as a *service*:
+//! jobs (workload, composition size, cycle budget) arrive over time,
+//! execute on a pool of workers, and must survive everything the
+//! robustness layers can throw at them — injected protocol faults,
+//! scheduled core kills, runaway simulations, even a panicking worker —
+//! without dropping or corrupting any *other* job.
+//!
+//! The subsystem is built from five pieces:
+//!
+//! - [`job`] — the typed vocabulary: [`JobSpec`], the typed rejections
+//!   ([`Rejected`]), and terminal [`JobOutcome`]s.
+//! - [`arrivals`] — a seeded open-loop arrival generator; the schedule
+//!   is a pure function of `(seed, count)`.
+//! - [`cache`] — a content-hashed cache of compiled hyperblock programs
+//!   and their lint results, owned by the scheduler so hit/miss counts
+//!   are deterministic.
+//! - [`pool`] — persistent worker threads running jobs under
+//!   `catch_unwind`; a panicking job poisons its worker, which is
+//!   disposed of and respawned.
+//! - [`service`] — the virtual-time scheduler: bounded admission queue
+//!   with deterministic load shedding and graceful degradation, per-job
+//!   cycle-budget deadlines, seeded exponential backoff with jitter for
+//!   transient failures, and a full drain on shutdown.
+//! - [`report`] — the pinned `clp-serve-v1` JSON document, the
+//!   `serve/*` stats-registry export, and the CI threshold gate.
+//!
+//! The load-bearing property is *replayability*: no wall-clock exists
+//! anywhere, every stochastic choice draws from seeded SplitMix64
+//! streams, and event classes are processed in a fixed order per virtual
+//! tick — so one `(seed, job list)` pair reproduces the entire service
+//! run, including every retry, panic, and shed job, byte-for-byte.
+//!
+//! ```
+//! use clp_serve::{arrivals, report::ServiceReport, service};
+//!
+//! let acfg = arrivals::ArrivalConfig { jobs: 2, seed: 7, ..Default::default() };
+//! let scfg = service::ServiceConfig::default();
+//! let result = service::serve(arrivals::generate(&acfg), &scfg);
+//! let report = ServiceReport::new(&acfg, &scfg, &result);
+//! assert_eq!(report.totals.submitted, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod cache;
+pub mod job;
+pub mod pool;
+pub mod report;
+pub mod service;
+
+pub use arrivals::ArrivalConfig;
+pub use job::{JobOutcome, JobSpec, Rejected};
+pub use report::{check, ServiceReport, SCHEMA};
+pub use service::{serve, JobRecord, ServiceConfig, ServiceResult, ServiceTotals};

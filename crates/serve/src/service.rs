@@ -1,0 +1,609 @@
+//! The deterministic service loop: virtual-time scheduling over a
+//! physical worker pool.
+//!
+//! All policy decisions — admission, shedding, degradation, dispatch,
+//! retry timing — happen on a *virtual* tick clock, with event classes
+//! processed in a fixed order per tick (completions by worker index,
+//! then retry releases by job id, then arrivals in schedule order, then
+//! dispatch by worker index). Job execution is physically parallel on
+//! the pool threads, but every result is a pure function of its request,
+//! so the virtual schedule — and therefore the entire service report —
+//! is bit-for-bit reproducible from `(arrival schedule, config)`. No
+//! wall-clock exists anywhere in this module.
+//!
+//! Service time charged per attempt:
+//! - success: the simulated cycle count (plus the compile charge on a
+//!   cache miss);
+//! - deadline kill: the full budget (the watchdog ran the machine that
+//!   long before reaping it);
+//! - deadlock: the cycle at which the stall was detected;
+//! - compose/placement/compile/golden rejections and kill-schedule
+//!   validation failures: a small fixed validation charge;
+//! - verify mismatch: the budget (the run finished but its exact cycle
+//!   count is not reported with the error — documented pessimism);
+//! - planted panic: a fixed respawn charge for disposing of the
+//!   poisoned worker and spawning a fresh one.
+
+use crate::cache::{content_hash, CacheEntry, CompileCache};
+use crate::job::{JobOutcome, JobSpec, Rejected};
+use crate::pool::{ExecOutcome, ExecRequest, ExecResponse, WorkerPool};
+use clp_core::{FailureClass, RunFailure};
+use clp_sim::fault::Prng;
+use clp_sim::{FaultPlan, RunError};
+use clp_workloads::Workload;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Service policy knobs. Everything is in virtual ticks; nothing reads
+/// a clock.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceConfig {
+    /// Worker slots (and physical pool threads).
+    pub workers: usize,
+    /// Hard bound of the submission queue: an arrival finding this many
+    /// jobs queued is shed with [`Rejected::Overloaded`].
+    pub queue_cap: usize,
+    /// Degradation watermark: an arrival finding at least this many jobs
+    /// queued is admitted at *half* its requested composition size
+    /// (minimum 1 core) — graceful degradation before refusal.
+    pub degrade_at: usize,
+    /// Retries allowed per job beyond the first attempt.
+    pub max_retries: u32,
+    /// Base backoff delay in ticks; attempt `k` waits
+    /// `base << min(k-1, cap)` plus seeded jitter in `0..base`.
+    pub backoff_base: u64,
+    /// Cap on the backoff shift.
+    pub backoff_cap: u32,
+    /// Ticks charged for compiling on a cache miss.
+    pub compile_ticks: u64,
+    /// Ticks charged for disposing of a poisoned worker and respawning.
+    pub respawn_ticks: u64,
+    /// Ticks charged for attempts rejected before the machine ran
+    /// (compose/placement errors, kill-schedule validation).
+    pub validate_ticks: u64,
+    /// Seed of the retry-jitter PRNG stream (mixed with job id and
+    /// attempt, so jitter is independent of event interleaving).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_cap: 8,
+            degrade_at: 6,
+            max_retries: 3,
+            backoff_base: 500,
+            backoff_cap: 5,
+            compile_ticks: 2_000,
+            respawn_ticks: 1_000,
+            validate_ticks: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate counters of one service run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServiceTotals {
+    /// Jobs submitted (admitted + rejected).
+    pub submitted: u64,
+    /// Jobs admitted into the queue.
+    pub admitted: u64,
+    /// Jobs that completed and verified.
+    pub completed: u64,
+    /// Arrivals shed because the queue was full.
+    pub rejected_overloaded: u64,
+    /// Arrivals refused as malformed (cores/budget/name).
+    pub rejected_invalid: u64,
+    /// Jobs that failed permanently (no retry can help).
+    pub failed_permanent: u64,
+    /// Jobs that spent every retry without succeeding.
+    pub exhausted: u64,
+    /// Retry attempts scheduled.
+    pub retries: u64,
+    /// Attempts reaped by the deadline watchdog.
+    pub deadline_kills: u64,
+    /// Attempts that panicked in the worker.
+    pub panics: u64,
+    /// Workers respawned after poisoning.
+    pub respawns: u64,
+    /// Attempts that failed transiently (faults, recovery failure,
+    /// placement).
+    pub transient_failures: u64,
+    /// Jobs admitted at a degraded (halved) composition size.
+    pub degraded: u64,
+    /// Compile-cache hits.
+    pub cache_hits: u64,
+    /// Compile-cache misses.
+    pub cache_misses: u64,
+    /// Distinct programs cached at drain.
+    pub cache_entries: u64,
+    /// Warning-severity lint diagnostics across cached programs.
+    pub lint_warnings: u64,
+    /// Largest queue depth observed.
+    pub max_queue_depth: u64,
+    /// Tick at which the last event was processed (full drain).
+    pub drained_at: u64,
+}
+
+/// Terminal record of one submitted job.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Composition size the client asked for.
+    pub cores_requested: usize,
+    /// Composition size actually granted (degraded under load).
+    pub cores_granted: usize,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Tick of the terminal event (arrival tick for rejections).
+    pub finish: u64,
+    /// Attempts executed (0 for rejections).
+    pub attempts: u32,
+    /// Terminal disposition.
+    pub outcome: JobOutcome,
+}
+
+/// Everything a service run produces: counters, per-job records in id
+/// order, and the completed-job sojourn times (finish − arrival).
+#[derive(Clone, Debug)]
+pub struct ServiceResult {
+    /// Aggregate counters.
+    pub totals: ServiceTotals,
+    /// One record per submitted job, sorted by id.
+    pub records: Vec<JobRecord>,
+    /// Sojourn latencies of completed jobs, in submission order.
+    pub latencies: Vec<u64>,
+}
+
+struct JobState {
+    spec: JobSpec,
+    workload: Workload,
+    granted_cores: usize,
+    arrival: u64,
+    /// 0-based index of the attempt about to run.
+    attempt: u32,
+    /// Budget of the next attempt (escalates on deadline kills).
+    budget: u64,
+}
+
+struct InFlight {
+    job: JobState,
+    done_at: u64,
+    response: ExecResponse,
+    cache_key: u64,
+}
+
+fn jitter_prng(cfg: &ServiceConfig, job_id: u64, attempt: u32) -> Prng {
+    // Mix the stream id so per-(job, attempt) jitter never depends on
+    // how many other jobs drew before it.
+    Prng::new(cfg.seed ^ job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(attempt) << 48))
+}
+
+fn backoff_delay(cfg: &ServiceConfig, job_id: u64, attempt: u32) -> u64 {
+    let base = cfg.backoff_base.max(1);
+    let shift = (attempt.saturating_sub(1)).min(cfg.backoff_cap);
+    let jitter = jitter_prng(cfg, job_id, attempt).next_below(base);
+    (base << shift) + jitter
+}
+
+fn service_ticks(
+    cfg: &ServiceConfig,
+    outcome: &ExecOutcome,
+    compile_miss: bool,
+    budget: u64,
+) -> u64 {
+    let compile = if compile_miss { cfg.compile_ticks } else { 0 };
+    let work = match outcome {
+        ExecOutcome::Success { cycles } => *cycles,
+        ExecOutcome::Panicked => cfg.respawn_ticks,
+        ExecOutcome::Failure(f) => match f {
+            RunFailure::Run(RunError::DeadlineExceeded { budget }) => *budget,
+            RunFailure::Run(RunError::CycleLimit(n)) => *n,
+            RunFailure::Run(RunError::Deadlock { cycle }) => *cycle,
+            RunFailure::Run(_) => cfg.validate_ticks,
+            RunFailure::Compose(_)
+            | RunFailure::Placement(_)
+            | RunFailure::Compile(_)
+            | RunFailure::Golden(_) => cfg.validate_ticks,
+            RunFailure::Verify(_) => budget,
+        },
+    };
+    compile + work.max(1)
+}
+
+/// Runs the service over a pre-generated arrival schedule (strictly
+/// increasing ticks) and drains it completely: every admitted job
+/// reaches a terminal record before the function returns, and the pool
+/// threads are joined on drop — the graceful-shutdown contract.
+#[must_use]
+pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResult {
+    let mut pool = WorkerPool::new(cfg.workers);
+    let mut cache = CompileCache::new();
+    let mut workers: Vec<Option<InFlight>> = (0..cfg.workers.max(1)).map(|_| None).collect();
+    let mut queue: VecDeque<JobState> = VecDeque::new();
+    let mut retry_bin: Vec<(u64, JobState)> = Vec::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut totals = ServiceTotals::default();
+    let mut arrivals = schedule.into_iter().peekable();
+    let mut now = 0u64;
+
+    loop {
+        // Pick the next event tick across completions, retry releases,
+        // and arrivals. No event left means the service has drained.
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
+        for w in workers.iter().flatten() {
+            consider(w.done_at);
+        }
+        for (t, _) in &retry_bin {
+            consider(*t);
+        }
+        if let Some((t, _)) = arrivals.peek() {
+            consider(*t);
+        }
+        let Some(t) = next else { break };
+        now = t;
+
+        // 1. Completions, in worker-index order.
+        for slot in workers.iter_mut() {
+            if slot.as_ref().is_some_and(|f| f.done_at == now) {
+                let f = slot.take().expect("checked");
+                complete(
+                    f,
+                    now,
+                    cfg,
+                    &mut cache,
+                    &mut retry_bin,
+                    &mut records,
+                    &mut latencies,
+                    &mut totals,
+                );
+            }
+        }
+
+        // 2. Retry releases, in job-id order.
+        let mut due: Vec<JobState> = Vec::new();
+        let mut waiting: Vec<(u64, JobState)> = Vec::with_capacity(retry_bin.len());
+        for (t, job) in retry_bin.drain(..) {
+            if t == now {
+                due.push(job);
+            } else {
+                waiting.push((t, job));
+            }
+        }
+        retry_bin = waiting;
+        due.sort_by_key(|j| j.spec.id);
+        // Retries bypass admission: the job was already admitted once,
+        // and shedding a half-done job would turn a transient fault into
+        // a client-visible loss.
+        queue.extend(due);
+
+        // 3. Arrivals, in schedule order.
+        while arrivals.peek().is_some_and(|(t, _)| *t == now) {
+            let (_, spec) = arrivals.next().expect("peeked");
+            admit(spec, now, cfg, &mut queue, &mut records, &mut totals);
+        }
+
+        // 4. Dispatch to free workers, in worker-index order. The whole
+        // batch is sent before any response is awaited, so independent
+        // jobs execute physically in parallel; the barrier keeps every
+        // virtual decision downstream of deterministic state only.
+        let mut batch: Vec<(usize, JobState, u64, bool)> = Vec::new();
+        for (i, slot) in workers.iter().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let Some(job) = queue.pop_front() else { break };
+            let key = content_hash(&job.workload);
+            let hit = cache.lookup(key);
+            let miss = hit.is_none();
+            let first_attempt = job.attempt == 0;
+            pool.dispatch(
+                i,
+                ExecRequest {
+                    spec: job.spec.clone(),
+                    workload: job.workload.clone(),
+                    cores: job.granted_cores,
+                    budget: job.budget,
+                    // Attempt-0 faults only: a retry runs on fresh
+                    // hardware with the transient condition cleared.
+                    faults: if first_attempt {
+                        job.spec.faults
+                    } else {
+                        FaultPlan::none()
+                    },
+                    sabotage: first_attempt && job.spec.sabotage,
+                    compiled: hit.map(|e| e.compiled),
+                },
+            );
+            batch.push((i, job, key, miss));
+        }
+        for (i, job, key, miss) in batch {
+            let response = pool.await_response(i);
+            let ticks = service_ticks(cfg, &response.outcome, miss, job.budget);
+            workers[i] = Some(InFlight {
+                done_at: now + ticks,
+                job,
+                response,
+                cache_key: key,
+            });
+        }
+    }
+
+    totals.cache_hits = cache.hits();
+    totals.cache_misses = cache.misses();
+    totals.cache_entries = cache.len() as u64;
+    totals.lint_warnings = cache.lint_warnings();
+    totals.respawns = pool.respawns();
+    totals.drained_at = now;
+    records.sort_by_key(|r| r.id);
+    ServiceResult {
+        totals,
+        records,
+        latencies,
+    }
+}
+
+fn admit(
+    spec: JobSpec,
+    now: u64,
+    cfg: &ServiceConfig,
+    queue: &mut VecDeque<JobState>,
+    records: &mut Vec<JobRecord>,
+    totals: &mut ServiceTotals,
+) {
+    totals.submitted += 1;
+    let reject = |records: &mut Vec<JobRecord>, spec: &JobSpec, why: Rejected| {
+        records.push(JobRecord {
+            id: spec.id,
+            workload: spec.workload.clone(),
+            cores_requested: spec.cores,
+            cores_granted: 0,
+            arrival: now,
+            finish: now,
+            attempts: 0,
+            outcome: JobOutcome::Rejected(why),
+        });
+    };
+    let Some(workload) = clp_workloads::suite::by_name(&spec.workload) else {
+        totals.rejected_invalid += 1;
+        let why = Rejected::UnknownWorkload {
+            name: spec.workload.clone(),
+        };
+        reject(records, &spec, why);
+        return;
+    };
+    if spec.cores == 0 || !spec.cores.is_power_of_two() || spec.cores > 32 {
+        totals.rejected_invalid += 1;
+        reject(records, &spec, Rejected::InvalidCores { cores: spec.cores });
+        return;
+    }
+    if spec.budget == 0 {
+        totals.rejected_invalid += 1;
+        reject(records, &spec, Rejected::ZeroBudget);
+        return;
+    }
+    let depth = queue.len();
+    if depth >= cfg.queue_cap {
+        totals.rejected_overloaded += 1;
+        reject(records, &spec, Rejected::Overloaded { depth });
+        return;
+    }
+    // Graceful degradation: shrink the composition before ever refusing
+    // work. Halving a power of two stays a power of two.
+    let mut granted = spec.cores;
+    if depth >= cfg.degrade_at && granted > 1 {
+        granted /= 2;
+        totals.degraded += 1;
+    }
+    totals.admitted += 1;
+    let budget = spec.budget;
+    queue.push_back(JobState {
+        spec,
+        workload,
+        granted_cores: granted,
+        arrival: now,
+        attempt: 0,
+        budget,
+    });
+    totals.max_queue_depth = totals.max_queue_depth.max(queue.len() as u64);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete(
+    f: InFlight,
+    now: u64,
+    cfg: &ServiceConfig,
+    cache: &mut CompileCache,
+    retry_bin: &mut Vec<(u64, JobState)>,
+    records: &mut Vec<JobRecord>,
+    latencies: &mut Vec<u64>,
+    totals: &mut ServiceTotals,
+) {
+    let InFlight {
+        mut job,
+        response,
+        cache_key,
+        ..
+    } = f;
+    // Cache insertion happens here, at the completion event, in
+    // deterministic order — workers never touch the cache.
+    if let Some((compiled, lint_warnings)) = response.compiled_here {
+        cache.insert(
+            cache_key,
+            CacheEntry {
+                compiled,
+                lint_warnings,
+            },
+        );
+    }
+    let finish_record = |records: &mut Vec<JobRecord>, job: &JobState, outcome: JobOutcome| {
+        records.push(JobRecord {
+            id: job.spec.id,
+            workload: job.spec.workload.clone(),
+            cores_requested: job.spec.cores,
+            cores_granted: job.granted_cores,
+            arrival: job.arrival,
+            finish: now,
+            attempts: job.attempt + 1,
+            outcome,
+        });
+    };
+    let (error, class) = match response.outcome {
+        ExecOutcome::Success { cycles } => {
+            totals.completed += 1;
+            latencies.push(now - job.arrival);
+            finish_record(records, &job, JobOutcome::Completed { cycles });
+            return;
+        }
+        ExecOutcome::Panicked => {
+            totals.panics += 1;
+            (
+                "panic: worker poisoned and respawned".to_string(),
+                FailureClass::Transient,
+            )
+        }
+        ExecOutcome::Failure(failure) => {
+            let class = failure.class();
+            match class {
+                FailureClass::Permanent => {
+                    totals.failed_permanent += 1;
+                    finish_record(
+                        records,
+                        &job,
+                        JobOutcome::Failed {
+                            error: failure.to_string(),
+                        },
+                    );
+                    return;
+                }
+                FailureClass::Transient => totals.transient_failures += 1,
+                FailureClass::DeadlineKill => {
+                    totals.deadline_kills += 1;
+                    // A killed job only makes sense to retry with more
+                    // headroom.
+                    job.budget = job.budget.saturating_mul(2);
+                }
+            }
+            (failure.to_string(), class)
+        }
+    };
+    debug_assert_ne!(class, FailureClass::Permanent);
+    if job.attempt >= cfg.max_retries {
+        totals.exhausted += 1;
+        finish_record(
+            records,
+            &job,
+            JobOutcome::Exhausted {
+                attempts: job.attempt + 1,
+                last_error: error,
+            },
+        );
+        return;
+    }
+    job.attempt += 1;
+    totals.retries += 1;
+    let delay = backoff_delay(cfg, job.spec.id, job.attempt);
+    retry_bin.push((now + delay, job));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_single_job_completes_and_drains() {
+        let sched = vec![(5, JobSpec::new(0, "conv", 8, 200_000))];
+        let r = serve(sched, &quick_cfg());
+        assert_eq!(r.totals.submitted, 1);
+        assert_eq!(r.totals.completed, 1);
+        assert_eq!(r.records.len(), 1);
+        assert!(r.records[0].outcome.is_completed());
+        assert_eq!(r.totals.cache_misses, 1);
+        assert!(r.totals.drained_at > 5);
+        assert_eq!(r.latencies.len(), 1);
+    }
+
+    #[test]
+    fn repeated_content_hits_the_cache() {
+        let sched = vec![
+            (1, JobSpec::new(0, "conv", 8, 200_000)),
+            // Far enough apart that job 0 has completed (and inserted)
+            // before job 1 dispatches.
+            (200_000, JobSpec::new(1, "conv", 8, 200_000)),
+        ];
+        let r = serve(sched, &quick_cfg());
+        assert_eq!(r.totals.completed, 2);
+        assert_eq!(r.totals.cache_misses, 1);
+        assert_eq!(r.totals.cache_hits, 1);
+        assert_eq!(r.totals.cache_entries, 1);
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected_typed() {
+        let sched = vec![
+            (1, JobSpec::new(0, "nonesuch", 8, 1_000)),
+            (2, JobSpec::new(1, "conv", 3, 1_000)),
+            (3, JobSpec::new(2, "conv", 8, 0)),
+        ];
+        let r = serve(sched, &quick_cfg());
+        assert_eq!(r.totals.rejected_invalid, 3);
+        assert_eq!(r.totals.admitted, 0);
+        assert!(matches!(
+            &r.records[0].outcome,
+            JobOutcome::Rejected(Rejected::UnknownWorkload { .. })
+        ));
+        assert!(matches!(
+            &r.records[1].outcome,
+            JobOutcome::Rejected(Rejected::InvalidCores { cores: 3 })
+        ));
+        assert!(matches!(
+            &r.records[2].outcome,
+            JobOutcome::Rejected(Rejected::ZeroBudget)
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let cfg = ServiceConfig::default();
+        let d1 = backoff_delay(&cfg, 3, 1);
+        let d2 = backoff_delay(&cfg, 3, 2);
+        let d3 = backoff_delay(&cfg, 3, 3);
+        assert_eq!(d1, backoff_delay(&cfg, 3, 1));
+        // Exponential envelope: base<<k plus jitter < base.
+        assert!((500..1_000).contains(&d1), "{d1}");
+        assert!((1_000..1_500).contains(&d2), "{d2}");
+        assert!((2_000..2_500).contains(&d3), "{d3}");
+        // Different jobs get different jitter streams.
+        assert_ne!(
+            backoff_delay(&cfg, 1, 1),
+            backoff_delay(&cfg, 2, 1),
+            "jitter streams decorrelate by job id (overwhelmingly likely)"
+        );
+    }
+
+    #[test]
+    fn deadline_kill_escalates_budget_and_succeeds_on_retry() {
+        // conv at 8 cores takes ~7k cycles: a 2k budget dies, 4k dies,
+        // 8k succeeds — two retries with doubling.
+        let sched = vec![(1, JobSpec::new(0, "conv", 8, 2_000))];
+        let r = serve(sched, &quick_cfg());
+        assert_eq!(r.totals.completed, 1);
+        assert_eq!(r.totals.deadline_kills, 2);
+        assert_eq!(r.totals.retries, 2);
+        assert_eq!(r.records[0].attempts, 3);
+    }
+}

@@ -60,6 +60,14 @@ pub struct SimConfig {
     pub stack_top: u64,
     /// Cycle budget before [`RunError::CycleLimit`](crate::RunError).
     pub max_cycles: u64,
+    /// Per-run cycle deadline, enforced by the run-loop watchdog:
+    /// crossing it aborts the run with
+    /// [`RunError::DeadlineExceeded`](crate::RunError) instead of hanging
+    /// until `max_cycles`. Unlike `max_cycles` (a safety net against
+    /// simulator bugs), the deadline is a *policy* knob — clp-serve sets
+    /// it per job so a runaway simulation is killed and reported as a
+    /// retryable deadline kill. `None` (the default) disables it.
+    pub deadline: Option<u64>,
     /// Deterministic fault-injection plan ([`FaultPlan::none`] disables
     /// injection entirely and is bit-identical to a fault-free build).
     pub faults: FaultPlan,
@@ -105,6 +113,7 @@ impl SimConfig {
             centralized_control: false,
             stack_top: 0x4000_0000,
             max_cycles: 200_000_000,
+            deadline: None,
             faults: FaultPlan::none(),
             watchdog_timeout: 64,
             watchdog_backoff_cap: 6,
@@ -136,6 +145,7 @@ impl SimConfig {
             centralized_control: true,
             stack_top: 0x4000_0000,
             max_cycles: 200_000_000,
+            deadline: None,
             faults: FaultPlan::none(),
             watchdog_timeout: 64,
             watchdog_backoff_cap: 6,

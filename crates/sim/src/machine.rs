@@ -74,6 +74,15 @@ impl From<RegionError> for ComposeError {
 pub enum RunError {
     /// The cycle budget was exhausted.
     CycleLimit(u64),
+    /// The per-run deadline ([`SimConfig::deadline`](crate::SimConfig))
+    /// was crossed and the watchdog aborted the run. Distinct from
+    /// [`RunError::CycleLimit`] so callers can tell a policy kill (a job
+    /// that outlived its budget and may deserve a retry with a larger
+    /// one) from the safety net against simulator bugs.
+    DeadlineExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
     /// No forward progress for a long time (a protocol deadlock — this is
     /// a simulator bug if it ever fires).
     Deadlock {
@@ -100,6 +109,9 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::CycleLimit(n) => write!(f, "exceeded cycle budget of {n}"),
+            RunError::DeadlineExceeded { budget } => {
+                write!(f, "deadline kill: exceeded cycle deadline of {budget}")
+            }
             RunError::Deadlock { cycle } => write!(f, "no progress near cycle {cycle}"),
             RunError::InvalidKill { core } => {
                 write!(
@@ -3518,8 +3530,10 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::CycleLimit`] past the configured budget or
-    /// [`RunError::Deadlock`] if nothing progresses for a long time.
+    /// Returns [`RunError::CycleLimit`] past the configured budget,
+    /// [`RunError::DeadlineExceeded`] past a configured per-run
+    /// deadline, or [`RunError::Deadlock`] if nothing progresses for a
+    /// long time.
     pub fn run(&mut self) -> Result<RunStats, RunError> {
         self.run_inner(self.can_skip)
     }
@@ -3570,6 +3584,11 @@ impl Machine {
             if self.now >= self.cfg.max_cycles {
                 return Err(RunError::CycleLimit(self.cfg.max_cycles));
             }
+            if let Some(d) = self.cfg.deadline {
+                if self.now >= d {
+                    return Err(RunError::DeadlineExceeded { budget: d });
+                }
+            }
             if self.now.saturating_sub(self.last_progress) > 500_000 {
                 return Err(RunError::Deadlock { cycle: self.now });
             }
@@ -3581,8 +3600,14 @@ impl Machine {
                 // executed step lands on `max_cycles` (or
                 // `last_progress + 500_001`), then the loop top errors.
                 let h = self.next_event_cycle();
-                let stop =
+                let mut stop =
                     (self.cfg.max_cycles.saturating_sub(1)).min(self.last_progress + 500_000);
+                // A skip may never jump past the deadline: the stepped
+                // run's last executed step lands exactly on it, then the
+                // loop top reports the kill at the same `now`.
+                if let Some(d) = self.cfg.deadline {
+                    stop = stop.min(d.saturating_sub(1));
+                }
                 let target = h.saturating_sub(1).min(stop);
                 if target > self.now {
                     // The mesh keeps its own cycle counter (it stamps

@@ -75,6 +75,52 @@ fn cycle_limit_is_reported() {
 }
 
 #[test]
+fn deadline_kill_is_typed_and_distinct_from_cycle_limit() {
+    // Same infinite loop as above, but killed by the policy deadline
+    // long before the max_cycles safety net.
+    let mut f = FunctionBuilder::new("spin", 0);
+    let h = f.new_block();
+    f.jump(h);
+    f.switch_to(h);
+    let x = f.c(1);
+    let y = f.c(0);
+    let c = f.bin(Opcode::Tgt, x, y);
+    let exit = f.new_block();
+    f.branch(c, h, exit);
+    f.switch_to(exit);
+    f.ret(None);
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_function(f.finish());
+    let edge = compile(&pb.finish(id), &CompileOptions::default()).unwrap();
+
+    let mut cfg = SimConfig::tflex();
+    cfg.max_cycles = 5_000;
+    cfg.deadline = Some(700);
+    let mut m = Machine::new(cfg);
+    m.compose(2, 0, edge, &[]).unwrap();
+    assert_eq!(m.run(), Err(RunError::DeadlineExceeded { budget: 700 }));
+}
+
+#[test]
+fn generous_deadline_does_not_perturb_the_run() {
+    // A deadline the job never reaches must be invisible: identical
+    // result and identical cycle count (the skip-ahead clamp must not
+    // change behavior, only bound it).
+    let run = |deadline: Option<u64>| {
+        let mut cfg = SimConfig::tflex();
+        cfg.deadline = deadline;
+        let mut m = Machine::new(cfg);
+        let pid = m.compose(2, 0, tiny_program(), &[40, 2]).unwrap();
+        let stats = m.run().expect("runs");
+        (m.register(pid, Reg::new(1)), stats.procs[0].cycles)
+    };
+    let (ret_a, cyc_a) = run(None);
+    let (ret_b, cyc_b) = run(Some(1_000_000));
+    assert_eq!(ret_a, 42);
+    assert_eq!((ret_a, cyc_a), (ret_b, cyc_b));
+}
+
+#[test]
 fn snapshot_is_informative() {
     let mut m = Machine::new(SimConfig::tflex());
     let _ = m.compose(2, 0, tiny_program(), &[1, 2]).unwrap();

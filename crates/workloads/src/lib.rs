@@ -165,17 +165,32 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if the program fails to terminate within a generous budget
-    /// (a workload-definition bug).
+    /// (a workload-definition bug). Job-facing callers that accept
+    /// arbitrary workloads should use [`Workload::try_golden`], which
+    /// reports the same condition as a typed error instead.
     #[must_use]
     pub fn golden(&self) -> Golden {
+        self.try_golden()
+            .unwrap_or_else(|e| panic!("workload '{}' golden run failed: {e}", self.name))
+    }
+
+    /// Like [`Workload::golden`], but a non-terminating or stack-blowing
+    /// program is reported as a typed [`InterpError`] rather than a
+    /// panic — the form the clp-serve admission path uses so a malformed
+    /// job is rejected instead of taking a worker down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interpreter error if the program exceeds the dynamic
+    /// operation budget or the call-depth limit.
+    pub fn try_golden(&self) -> Result<Golden, clp_compiler::InterpError> {
         let mut image = self.initial_image();
-        let r = interpret(&self.program, &self.args, &mut image, 200_000_000)
-            .unwrap_or_else(|e| panic!("workload '{}' golden run failed: {e}", self.name));
-        Golden {
+        let r = interpret(&self.program, &self.args, &mut image, 200_000_000)?;
+        Ok(Golden {
             ret: r.ret,
             image,
             stats: r.stats,
-        }
+        })
     }
 
     /// Verifies a run's outputs against the golden reference.

@@ -23,6 +23,7 @@
 //! | [`baseline`] | `clp-baseline` | conventional out-of-order reference |
 //! | [`alloc`] | `clp-alloc` | weighted-speedup core allocation |
 //! | [`core`] | `clp-core` | high-level experiment API |
+//! | [`serve`] | `clp-serve` | deterministic fault-tolerant job service |
 //!
 //! ## Quickstart
 //!
@@ -47,5 +48,6 @@ pub use clp_noc as noc;
 pub use clp_obs as obs;
 pub use clp_power as power;
 pub use clp_predictor as predictor;
+pub use clp_serve as serve;
 pub use clp_sim as sim;
 pub use clp_workloads as workloads;
