@@ -5,11 +5,16 @@
 //! backward-walk cost against the same baseline, and the `trend-on`
 //! column adds the clp-trend columnar recorder on top of the profiler
 //! (one compare per cycle, a registry sample per interval). The
-//! companion test `tests/obs_guard.rs` asserts hard bounds on all of
-//! these in CI; this bench gives the measured numbers.
+//! `serve/scope-*` pair measures the service-level clp-scope recorder:
+//! a full drain of a small job schedule with span recording off vs on
+//! (scope-on also profiles every job, so the column prices the whole
+//! observability stack end-to-end). The companion test
+//! `tests/obs_guard.rs` asserts hard bounds on all of these in CI;
+//! this bench gives the measured numbers.
 
 use clp_core::{compile_workload, run_compiled_observed, ObsOptions, ProcessorConfig};
-use clp_obs::{NullSink, Tracer, TrendOptions};
+use clp_obs::{NullSink, ScopeOptions, Tracer, TrendOptions};
+use clp_serve::{arrivals, service};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -49,6 +54,38 @@ fn bench_obs_overhead(c: &mut Criterion) {
             ..ObsOptions::default()
         };
         b.iter(|| run_compiled_observed(black_box(&cw), &cfg, &obs).expect("runs"))
+    });
+
+    // Service-level: one full drain of a small quiet schedule. Scope-on
+    // profiles every job and records spans/tracks/series on top.
+    let acfg = arrivals::ArrivalConfig {
+        jobs: 6,
+        seed: 7,
+        mean_gap: 4_000,
+        ..arrivals::ArrivalConfig::default()
+    };
+    let scfg = service::ServiceConfig {
+        workers: 2,
+        seed: 7,
+        ..service::ServiceConfig::default()
+    };
+    c.bench_function("obs/serve6/scope-off", |b| {
+        b.iter(|| {
+            service::serve_scoped(arrivals::generate(black_box(&acfg)), &scfg, None)
+                .0
+                .totals
+        })
+    });
+    c.bench_function("obs/serve6/scope-on", |b| {
+        let opts = ScopeOptions::default();
+        b.iter(|| {
+            service::serve_scoped(arrivals::generate(black_box(&acfg)), &scfg, Some(&opts))
+                .1
+                .expect("scope on")
+                .fleet
+                .total
+                .jobs
+        })
     });
 }
 

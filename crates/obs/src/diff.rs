@@ -3,10 +3,11 @@
 //! Two cycle counts that differ tell you *that* something moved;
 //! attribution tells you *what*. This module diffs any pair of the
 //! pinned JSON documents the stack emits — a stats-registry snapshot, a
-//! `clp-prof-v1` profile, a `clp-bench-v1` suite matrix, or a
-//! `clp-trend-v1` time series — and attributes the cycle delta to the
-//! cycle-accounting buckets, the cores, and the NoC links that moved,
-//! sorted by magnitude with fixed tie-breaks.
+//! `clp-prof-v1` profile, a `clp-bench-v1` suite matrix, a
+//! `clp-trend-v1` time series, or a `clp-scope-v1` service report — and
+//! attributes the cycle delta to the cycle-accounting buckets, the
+//! cores, and the NoC links that moved, sorted by magnitude with fixed
+//! tie-breaks.
 //!
 //! `clp-bench --check --explain` uses [`attribute_buckets`] to turn a
 //! bare threshold miss into an explanation; the `clp-diff` binary wraps
@@ -26,6 +27,8 @@ pub enum DocKind {
     Bench,
     /// A `clp-trend-v1` time series.
     Trend,
+    /// A `clp-scope-v1` service observability report.
+    Scope,
 }
 
 impl DocKind {
@@ -37,6 +40,7 @@ impl DocKind {
             DocKind::Prof => "clp-prof-v1",
             DocKind::Bench => "clp-bench-v1",
             DocKind::Trend => "clp-trend-v1",
+            DocKind::Scope => "clp-scope-v1",
         }
     }
 }
@@ -48,6 +52,7 @@ pub fn detect_kind(doc: &Value) -> Option<DocKind> {
         Some("clp-prof-v1") => return Some(DocKind::Prof),
         Some("clp-bench-v1") => return Some(DocKind::Bench),
         Some("clp-trend-v1") => return Some(DocKind::Trend),
+        Some("clp-scope-v1") => return Some(DocKind::Scope),
         _ => {}
     }
     // A snapshot has no schema tag; recognize its fixed shape.
@@ -192,6 +197,7 @@ pub fn diff_documents(a: &Value, b: &Value) -> Result<AttributionReport, String>
         DocKind::Prof => diff_profiles(a, b),
         DocKind::Bench => diff_bench(a, b),
         DocKind::Trend => diff_trend(a, b),
+        DocKind::Scope => diff_scope(a, b),
     };
     report.kind = ka.label().to_string();
     Ok(report)
@@ -474,6 +480,56 @@ fn diff_trend(a: &Value, b: &Value) -> AttributionReport {
     }
 }
 
+// -- clp-scope service reports ----------------------------------------------
+
+fn diff_scope(a: &Value, b: &Value) -> AttributionReport {
+    // Fleet attribution: total simulated cycles, the fleet bucket book,
+    // and the per-class / per-composition-size rollups as metrics.
+    let rollups = |doc: &Value| -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        if let Some(classes) = doc.get("fleet").get("by_class").as_array() {
+            for c in classes {
+                if let (Some(l), Some(cyc)) = (c.get("label").as_str(), c.get("sim_cycles").as_u64())
+                {
+                    out.push((format!("class {l}"), cyc));
+                }
+            }
+        }
+        if let Some(sizes) = doc.get("fleet").get("by_cores").as_array() {
+            for c in sizes {
+                if let (Some(n), Some(cyc)) = (c.get("cores").as_u64(), c.get("sim_cycles").as_u64())
+                {
+                    out.push((format!("composition x{n}"), cyc));
+                }
+            }
+        }
+        for (label, key) in [("workers", "workers"), ("drained_at", "drained_at")] {
+            out.push((label.to_string(), doc.get(key).as_u64().unwrap_or(0)));
+        }
+        out.push((
+            "jobs".to_string(),
+            doc.get("jobs").as_array().map_or(0, |j| j.len() as u64),
+        ));
+        out.push((
+            "completed".to_string(),
+            doc.get("fleet").get("jobs").as_u64().unwrap_or(0),
+        ));
+        out
+    };
+    AttributionReport {
+        cycles: match (
+            a.get("fleet").get("sim_cycles").as_u64(),
+            b.get("fleet").get("sim_cycles").as_u64(),
+        ) {
+            (Some(x), Some(y)) => Some((x, y)),
+            _ => None,
+        },
+        buckets: attribute_buckets(a.get("fleet").get("buckets"), b.get("fleet").get("buckets")),
+        metrics: rank(paired(&rollups(a), &rollups(b))),
+        ..AttributionReport::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +571,60 @@ mod tests {
         assert_eq!(detect_kind(&snap), Some(DocKind::Snapshot));
         assert_eq!(detect_kind(&Value::Null), None);
         assert!(diff_documents(&prof, &snap).is_err());
+    }
+
+    #[test]
+    fn scope_diff_attributes_the_fleet_movement() {
+        let doc = |sim: u64, spec_int: u64, memw: u64| {
+            Value::Object(vec![
+                (
+                    "schema".to_string(),
+                    Value::String("clp-scope-v1".to_string()),
+                ),
+                ("workers".to_string(), Value::UInt(4)),
+                ("drained_at".to_string(), Value::UInt(9000)),
+                ("jobs".to_string(), Value::Array(vec![Value::Null; 3])),
+                (
+                    "fleet".to_string(),
+                    Value::Object(vec![
+                        ("jobs".to_string(), Value::UInt(3)),
+                        ("sim_cycles".to_string(), Value::UInt(sim)),
+                        (
+                            "buckets".to_string(),
+                            bucket_obj(&[("mem_wait", memw), ("fetch", 10)]),
+                        ),
+                        (
+                            "by_class".to_string(),
+                            Value::Array(vec![Value::Object(vec![
+                                (
+                                    "label".to_string(),
+                                    Value::String("spec_int".to_string()),
+                                ),
+                                ("sim_cycles".to_string(), Value::UInt(spec_int)),
+                            ])]),
+                        ),
+                        (
+                            "by_cores".to_string(),
+                            Value::Array(vec![Value::Object(vec![
+                                ("cores".to_string(), Value::UInt(4)),
+                                ("sim_cycles".to_string(), Value::UInt(spec_int)),
+                            ])]),
+                        ),
+                    ]),
+                ),
+            ])
+        };
+        let report =
+            diff_documents(&doc(1000, 600, 100), &doc(1500, 1100, 400)).expect("diffs");
+        assert_eq!(report.kind, "clp-scope-v1");
+        assert_eq!(report.cycles, Some((1000, 1500)));
+        assert_eq!(report.buckets[0].label, "mem_wait");
+        assert_eq!(report.buckets[0].delta(), 300);
+        assert!(report
+            .metrics
+            .iter()
+            .any(|e| e.label == "class spec_int" && e.delta() == 500));
+        assert!(report.metrics.iter().any(|e| e.label == "composition x4"));
     }
 
     #[test]

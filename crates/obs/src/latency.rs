@@ -5,25 +5,31 @@
 //! Everything here is integer-in / deterministic-out: nearest-rank
 //! percentiles over a sorted sample vector, so the same samples always
 //! produce the same summary on every platform.
+//!
+//! An empty sample set has no percentiles; the summary carries `None`
+//! (serialized as `null`, omitted from the stats node) rather than a
+//! sentinel zero that downstream thresholds would mistake for a real
+//! zero-tick latency.
 
 use crate::snapshot::StatsNode;
 use serde::{Deserialize, Serialize};
 
-/// Summary statistics of a latency sample set.
+/// Summary statistics of a latency sample set. The statistics are
+/// `None` exactly when `count == 0`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Number of samples.
     pub count: usize,
-    /// Arithmetic mean (0 when empty).
-    pub mean: f64,
+    /// Arithmetic mean.
+    pub mean: Option<f64>,
     /// Nearest-rank 50th percentile.
-    pub p50: u64,
+    pub p50: Option<u64>,
     /// Nearest-rank 90th percentile.
-    pub p90: u64,
+    pub p90: Option<u64>,
     /// Nearest-rank 99th percentile.
-    pub p99: u64,
+    pub p99: Option<u64>,
     /// Largest sample.
-    pub max: u64,
+    pub max: Option<u64>,
 }
 
 /// Nearest-rank percentile of a sorted, non-empty slice: the smallest
@@ -36,8 +42,9 @@ fn nearest_rank(sorted: &[u64], pct: u64) -> u64 {
 
 impl LatencySummary {
     /// Summarizes a sample set. The input is sorted in place; an empty
-    /// set produces the all-zero summary rather than an error, so
-    /// services that completed no jobs still render a well-formed report.
+    /// set produces the `count: 0` summary with every statistic `None`,
+    /// so services that completed no jobs still render a well-formed
+    /// report without inventing a zero-tick percentile.
     #[must_use]
     pub fn from_samples(samples: &mut [u64]) -> Self {
         if samples.is_empty() {
@@ -47,25 +54,34 @@ impl LatencySummary {
         let sum: u64 = samples.iter().sum();
         LatencySummary {
             count: samples.len(),
-            mean: sum as f64 / samples.len() as f64,
-            p50: nearest_rank(samples, 50),
-            p90: nearest_rank(samples, 90),
-            p99: nearest_rank(samples, 99),
-            max: *samples.last().expect("non-empty"),
+            mean: Some(sum as f64 / samples.len() as f64),
+            p50: Some(nearest_rank(samples, 50)),
+            p90: Some(nearest_rank(samples, 90)),
+            p99: Some(nearest_rank(samples, 99)),
+            max: Some(*samples.last().expect("non-empty")),
         }
     }
 
     /// Renders the summary as a stats-registry node named `name`, so a
-    /// service can hang it off its `serve/*` subtree.
+    /// service can hang it off its `serve/*` subtree. Statistics that do
+    /// not exist (empty sample set) are omitted, not zero-filled.
     #[must_use]
     pub fn to_node(&self, name: &str) -> StatsNode {
-        StatsNode::new(name)
-            .count("count", self.count as u64)
-            .gauge("mean", self.mean)
-            .count("p50", self.p50)
-            .count("p90", self.p90)
-            .count("p99", self.p99)
-            .count("max", self.max)
+        let mut node = StatsNode::new(name).count("count", self.count as u64);
+        if let Some(mean) = self.mean {
+            node = node.gauge("mean", mean);
+        }
+        for (label, value) in [
+            ("p50", self.p50),
+            ("p90", self.p90),
+            ("p99", self.p99),
+            ("max", self.max),
+        ] {
+            if let Some(v) = value {
+                node = node.count(label, v);
+            }
+        }
+        node
     }
 }
 
@@ -74,18 +90,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_set_is_all_zero() {
+    fn empty_set_has_no_percentiles() {
         let s = LatencySummary::from_samples(&mut []);
         assert_eq!(s.count, 0);
-        assert_eq!(s.p99, 0);
-        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p50, None);
+        assert_eq!(s.p99, None);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.max, None);
+        // The stats node omits what does not exist instead of rendering
+        // a sentinel zero.
+        let n = s.to_node("latency");
+        assert_eq!(n.lookup("count").map(|m| m.as_f64()), Some(0.0));
+        assert_eq!(n.lookup("p99"), None);
+        assert_eq!(n.lookup("mean"), None);
     }
 
     #[test]
     fn single_sample_is_every_percentile() {
         let s = LatencySummary::from_samples(&mut [7]);
-        assert_eq!((s.p50, s.p90, s.p99, s.max), (7, 7, 7, 7));
-        assert_eq!(s.mean, 7.0);
+        let all = (s.p50, s.p90, s.p99, s.max);
+        assert_eq!(all, (Some(7), Some(7), Some(7), Some(7)));
+        assert_eq!(s.mean, Some(7.0));
     }
 
     #[test]
@@ -93,18 +118,18 @@ mod tests {
         // 1..=100: pN is exactly N.
         let mut v: Vec<u64> = (1..=100).collect();
         let s = LatencySummary::from_samples(&mut v);
-        assert_eq!(s.p50, 50);
-        assert_eq!(s.p90, 90);
-        assert_eq!(s.p99, 99);
-        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, Some(50));
+        assert_eq!(s.p90, Some(90));
+        assert_eq!(s.p99, Some(99));
+        assert_eq!(s.max, Some(100));
     }
 
     #[test]
     fn unsorted_input_is_handled() {
         let mut v = vec![30, 10, 20];
         let s = LatencySummary::from_samples(&mut v);
-        assert_eq!(s.p50, 20);
-        assert_eq!(s.max, 30);
+        assert_eq!(s.p50, Some(20));
+        assert_eq!(s.max, Some(30));
     }
 
     #[test]

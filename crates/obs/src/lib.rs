@@ -33,11 +33,17 @@
 //! - [`diff`] structurally compares two runs' pinned JSON documents and
 //!   attributes the delta to the buckets, cores, and NoC links that
 //!   moved (the clp-diff library).
+//! - [`scope`] (the clp-scope data model) lifts the same discipline to
+//!   the service layer: deterministic per-job lifecycle span trees on
+//!   virtual time, worker occupancy tracks, a fleet-wide top-down cycle
+//!   book rolled up per workload class and composition size, and a
+//!   service time series riding the trend recorder.
 
 pub mod diff;
 pub mod event;
 pub mod latency;
 pub mod profile;
+pub mod scope;
 pub mod sink;
 pub mod snapshot;
 pub mod trend;
@@ -46,6 +52,10 @@ pub use diff::{attribute_buckets, detect_kind, diff_documents, AttributionReport
 pub use event::{CacheLevel, FlushReason, TraceEvent};
 pub use latency::LatencySummary;
 pub use profile::{BlockSpanStat, Bucket, BucketCycles, ProcProfile, ProfileReport, NUM_BUCKETS};
+pub use scope::{
+    AttemptEnd, AttemptSpan, ClassBook, FleetBook, JobSpans, ScopeOptions, ScopeRecorder,
+    ScopeReport, Span, Terminal, WorkerSlice, WorkerTrack,
+};
 pub use sink::{ChromeTraceWriter, NullSink, RingRecorder, TraceSink, Tracer};
 pub use snapshot::{
     IntervalSample, IntervalSampler, Metric, MetricValue, SampleCounters, StatsNode, StatsSnapshot,

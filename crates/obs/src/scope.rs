@@ -1,0 +1,1143 @@
+//! clp-scope: service-level spans and fleet-wide cycle attribution.
+//!
+//! clp-obs, clp-prof, and clp-trend see inside *one* run; the service
+//! layer (clp-serve) is a black box between admission and completion.
+//! This module gives the service the same treatment the simulator got:
+//!
+//! - a **deterministic span model on virtual time** — every job carries
+//!   a tree of lifecycle spans (queued → attempt{compile, run} →
+//!   backoff → …) and every worker an occupancy track, all recorded at
+//!   the service's fixed per-tick event points, so the same
+//!   `(seed, job list)` produces byte-identical span logs;
+//! - a **fleet-level top-down book** — each completed job's clp-prof
+//!   run-level [`BucketCycles`] folded into per-workload-class and
+//!   per-composition-size rollups (summing raw books is inherently
+//!   cycle-weighted), the feedback signal an online compose/decompose
+//!   policy would read;
+//! - a **live virtual-time series** — queue depth, worker utilization,
+//!   retry/shed rates, and cache hit ratio sampled through the existing
+//!   [`TrendRecorder`] machinery;
+//! - **exports** — the pinned `clp-scope-v1` JSON, a Perfetto
+//!   track export (one track per worker plus queue/admission tracks,
+//!   spans nested per job), and an ASCII fleet breakdown.
+//!
+//! The recorder is driven by plain values (ids, ticks, string labels),
+//! so this crate stays independent of the service crate; clp-serve owns
+//! the emission points and the determinism argument (see DESIGN.md,
+//! "Service observability").
+
+use crate::profile::{BucketCycles, ProfileReport};
+use crate::snapshot::StatsNode;
+use crate::trend::{TrendOptions, TrendRecorder, TrendReport};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Scope layer configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScopeOptions {
+    /// Virtual-tick width of the time-series sampling interval.
+    pub period: u64,
+}
+
+impl Default for ScopeOptions {
+    fn default() -> Self {
+        ScopeOptions { period: 5_000 }
+    }
+}
+
+/// A half-open interval of virtual ticks `[start, end)` (zero-length
+/// spans are legal: a job can be dispatched on its arrival tick).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// First tick of the span.
+    pub start: u64,
+    /// End tick (exclusive).
+    pub end: u64,
+}
+
+impl Span {
+    fn to_json(self) -> Value {
+        Value::Object(vec![
+            ("start".to_string(), Value::UInt(self.start)),
+            ("end".to_string(), Value::UInt(self.end)),
+        ])
+    }
+}
+
+/// How one dispatched attempt ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptEnd {
+    /// Ran to completion and verified.
+    Success,
+    /// Reaped by the deadline watchdog (retryable with a bigger budget).
+    DeadlineKill,
+    /// Failed transiently (faults, recovery failure, placement).
+    Transient,
+    /// Panicked in the worker; the worker was poisoned and respawned.
+    Panicked,
+    /// Failed permanently; no retry can help.
+    Permanent,
+}
+
+impl AttemptEnd {
+    /// Stable snake_case label (JSON, Perfetto args).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AttemptEnd::Success => "success",
+            AttemptEnd::DeadlineKill => "deadline_kill",
+            AttemptEnd::Transient => "transient",
+            AttemptEnd::Panicked => "panic",
+            AttemptEnd::Permanent => "permanent",
+        }
+    }
+}
+
+/// One dispatched attempt: occupancy of one worker for one span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttemptSpan {
+    /// 0-based attempt index.
+    pub attempt: u32,
+    /// Worker slot that executed the attempt.
+    pub worker: usize,
+    /// Dispatch tick.
+    pub start: u64,
+    /// Completion-event tick.
+    pub end: u64,
+    /// Whether the program came out of the compile cache.
+    pub cache_hit: bool,
+    /// Compile sub-span (present on a cache miss; charged at the front
+    /// of the attempt).
+    pub compile: Option<Span>,
+    /// How the attempt ended.
+    pub end_kind: AttemptEnd,
+}
+
+/// Terminal disposition of a job, as the span model sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Terminal {
+    /// Completed and verified; carries the successful attempt's
+    /// simulated cycles.
+    Completed {
+        /// Simulated cycles of the successful attempt.
+        cycles: u64,
+    },
+    /// Failed permanently.
+    Failed,
+    /// Spent every retry without a success.
+    Exhausted,
+    /// Shed at admission (queue full).
+    Shed,
+    /// Refused as malformed at admission.
+    Invalid,
+}
+
+impl Terminal {
+    /// Stable snake_case label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Terminal::Completed { .. } => "completed",
+            Terminal::Failed => "failed",
+            Terminal::Exhausted => "exhausted",
+            Terminal::Shed => "shed",
+            Terminal::Invalid => "invalid",
+        }
+    }
+
+    fn to_json(self) -> Value {
+        let mut fields = vec![(
+            "kind".to_string(),
+            Value::String(self.label().to_string()),
+        )];
+        if let Terminal::Completed { cycles } = self {
+            fields.push(("cycles".to_string(), Value::UInt(cycles)));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// The complete span tree of one job. Invariants (asserted by the
+/// property suite): spans nest and tile — `queued[k].end ==
+/// attempts[k].start`, `attempts[k].end == backoffs[k].start`,
+/// `backoffs[k].end == queued[k+1].start`, compile sub-spans lie inside
+/// their attempt, and `attempts.last().end == finish`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpans {
+    /// Job id.
+    pub id: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Workload-class label (e.g. `spec_int`), or `unknown` for jobs
+    /// rejected before name resolution.
+    pub class: String,
+    /// Composition size granted (0 for rejected jobs).
+    pub cores: usize,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Terminal-event tick.
+    pub finish: u64,
+    /// Terminal disposition.
+    pub terminal: Terminal,
+    /// Ready-to-dispatch waits: one per dispatch, opened at admission or
+    /// retry release.
+    pub queued: Vec<Span>,
+    /// Dispatched attempts, in attempt order.
+    pub attempts: Vec<AttemptSpan>,
+    /// Backoff waits between a failed attempt and its retry release
+    /// (always `attempts.len() - 1` entries for executed jobs).
+    pub backoffs: Vec<Span>,
+    /// The job's clp-prof run-level book (completed jobs when profiling
+    /// was on); the fleet book is exactly the sum of these.
+    pub book: Option<BucketCycles>,
+}
+
+impl JobSpans {
+    fn to_json(&self) -> Value {
+        let spans = |v: &[Span]| Value::Array(v.iter().map(|s| s.to_json()).collect());
+        let mut fields = vec![
+            ("id".to_string(), Value::UInt(self.id)),
+            (
+                "workload".to_string(),
+                Value::String(self.workload.clone()),
+            ),
+            ("class".to_string(), Value::String(self.class.clone())),
+            ("cores".to_string(), Value::UInt(self.cores as u64)),
+            ("arrival".to_string(), Value::UInt(self.arrival)),
+            ("finish".to_string(), Value::UInt(self.finish)),
+            ("terminal".to_string(), self.terminal.to_json()),
+            ("queued".to_string(), spans(&self.queued)),
+            (
+                "attempts".to_string(),
+                Value::Array(
+                    self.attempts
+                        .iter()
+                        .map(|a| {
+                            let mut f = vec![
+                                ("attempt".to_string(), Value::UInt(u64::from(a.attempt))),
+                                ("worker".to_string(), Value::UInt(a.worker as u64)),
+                                ("start".to_string(), Value::UInt(a.start)),
+                                ("end".to_string(), Value::UInt(a.end)),
+                                (
+                                    "cache".to_string(),
+                                    Value::String(
+                                        if a.cache_hit { "hit" } else { "miss" }.to_string(),
+                                    ),
+                                ),
+                                (
+                                    "outcome".to_string(),
+                                    Value::String(a.end_kind.label().to_string()),
+                                ),
+                            ];
+                            if let Some(c) = a.compile {
+                                f.push(("compile".to_string(), c.to_json()));
+                            }
+                            Value::Object(f)
+                        })
+                        .collect(),
+                ),
+            ),
+            ("backoffs".to_string(), spans(&self.backoffs)),
+        ];
+        if let Some(book) = &self.book {
+            fields.push(("book".to_string(), buckets_json(book)));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// One occupancy slice of a worker track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerSlice {
+    /// Job occupying the worker.
+    pub job: u64,
+    /// That job's attempt index.
+    pub attempt: u32,
+    /// Dispatch tick.
+    pub start: u64,
+    /// Completion-event tick.
+    pub end: u64,
+}
+
+/// One worker's occupancy track: slices in dispatch order, never
+/// overlapping (a slot holds one in-flight job at a time).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTrack {
+    /// Occupancy slices, sorted by start tick.
+    pub slices: Vec<WorkerSlice>,
+}
+
+impl WorkerTrack {
+    /// Total ticks this worker spent occupied.
+    #[must_use]
+    pub fn busy_ticks(&self) -> u64 {
+        self.slices.iter().map(|s| s.end - s.start).sum()
+    }
+}
+
+/// Cycle rollup for one key of the fleet book (a workload class or a
+/// composition size).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassBook {
+    /// Completed jobs folded in.
+    pub jobs: u64,
+    /// Sum of the jobs' simulated cycle counts.
+    pub sim_cycles: u64,
+    /// Sum of the jobs' run-level clp-prof books.
+    pub buckets: BucketCycles,
+}
+
+impl ClassBook {
+    fn fold(&mut self, sim_cycles: u64, buckets: &BucketCycles) {
+        self.jobs += 1;
+        self.sim_cycles += sim_cycles;
+        self.buckets.merge(buckets);
+    }
+
+    fn to_json(&self) -> Vec<(String, Value)> {
+        vec![
+            ("jobs".to_string(), Value::UInt(self.jobs)),
+            ("sim_cycles".to_string(), Value::UInt(self.sim_cycles)),
+            ("buckets".to_string(), buckets_json(&self.buckets)),
+        ]
+    }
+}
+
+/// The fleet-wide top-down book: where the fleet's cycles went, total
+/// and rolled up per workload class and per composition size. Weighting
+/// is by construction cycle-proportional — raw per-job books are summed,
+/// never averaged.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetBook {
+    /// Rollup over every completed job.
+    pub total: ClassBook,
+    /// Per-workload-class rollups, keyed by class label.
+    pub by_class: BTreeMap<String, ClassBook>,
+    /// Per-composition-size rollups, keyed by granted cores.
+    pub by_cores: BTreeMap<usize, ClassBook>,
+}
+
+impl FleetBook {
+    /// Folds one completed job's run-level book into the fleet book.
+    pub fn fold(&mut self, class: &str, cores: usize, sim_cycles: u64, buckets: &BucketCycles) {
+        self.total.fold(sim_cycles, buckets);
+        self.by_class
+            .entry(class.to_string())
+            .or_default()
+            .fold(sim_cycles, buckets);
+        self.by_cores
+            .entry(cores)
+            .or_default()
+            .fold(sim_cycles, buckets);
+    }
+
+    fn to_json(&self) -> Value {
+        let mut fields = self.total.to_json();
+        fields.push((
+            "by_class".to_string(),
+            Value::Array(
+                self.by_class
+                    .iter()
+                    .map(|(label, b)| {
+                        let mut f =
+                            vec![("label".to_string(), Value::String(label.clone()))];
+                        f.extend(b.to_json());
+                        Value::Object(f)
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "by_cores".to_string(),
+            Value::Array(
+                self.by_cores
+                    .iter()
+                    .map(|(&cores, b)| {
+                        let mut f = vec![("cores".to_string(), Value::UInt(cores as u64))];
+                        f.extend(b.to_json());
+                        Value::Object(f)
+                    })
+                    .collect(),
+            ),
+        ));
+        Value::Object(fields)
+    }
+}
+
+fn buckets_json(b: &BucketCycles) -> Value {
+    Value::Object(
+        b.iter()
+            .map(|(bk, c)| (bk.label().to_string(), Value::UInt(c)))
+            .collect(),
+    )
+}
+
+/// Stats-registry paths the scope time series records (all under a
+/// `scope/` subtree the recorder synthesizes at each sample point).
+const SERIES_PATHS: [&str; 9] = [
+    "scope/queue_depth",
+    "scope/busy_workers",
+    "scope/utilization",
+    "scope/cache_hit_ratio",
+    "scope/completed",
+    "scope/retries",
+    "scope/shed",
+    "scope/cache_hits",
+    "scope/cache_misses",
+];
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    completed: u64,
+    retries: u64,
+    shed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Records service lifecycle events into span trees, worker tracks, the
+/// fleet book, and a trend series. Every method must be called at the
+/// service's deterministic event points; the recorder itself never
+/// consults a clock and never feeds anything back into scheduling.
+#[derive(Debug)]
+pub struct ScopeRecorder {
+    workers: usize,
+    jobs: BTreeMap<u64, JobSpans>,
+    /// Tick at which each live job last became ready to dispatch
+    /// (admission or retry release); closed into a queued span at
+    /// dispatch.
+    ready_since: BTreeMap<u64, u64>,
+    tracks: Vec<WorkerTrack>,
+    fleet: FleetBook,
+    trend: TrendRecorder,
+    counters: Counters,
+}
+
+impl ScopeRecorder {
+    /// A recorder for a service with `workers` worker slots.
+    #[must_use]
+    pub fn new(opts: &ScopeOptions, workers: usize) -> Self {
+        let trend_opts = TrendOptions {
+            period: opts.period.max(1),
+            paths: SERIES_PATHS.iter().map(|s| (*s).to_string()).collect(),
+            buckets: false,
+            heat: false,
+            ..TrendOptions::default()
+        };
+        ScopeRecorder {
+            workers,
+            jobs: BTreeMap::new(),
+            ready_since: BTreeMap::new(),
+            tracks: vec![WorkerTrack::default(); workers],
+            fleet: FleetBook::default(),
+            trend: TrendRecorder::new(trend_opts, 0),
+            counters: Counters::default(),
+        }
+    }
+
+    fn job(&mut self, id: u64) -> &mut JobSpans {
+        self.jobs.get_mut(&id).expect("job was admitted")
+    }
+
+    /// A job entered the submission queue.
+    pub fn admitted(&mut self, id: u64, workload: &str, class: &str, cores: usize, now: u64) {
+        self.jobs.insert(
+            id,
+            JobSpans {
+                id,
+                workload: workload.to_string(),
+                class: class.to_string(),
+                cores,
+                arrival: now,
+                finish: now,
+                terminal: Terminal::Failed, // overwritten at the terminal event
+                queued: Vec::new(),
+                attempts: Vec::new(),
+                backoffs: Vec::new(),
+                book: None,
+            },
+        );
+        self.ready_since.insert(id, now);
+    }
+
+    /// A job was refused at admission (`shed`: queue-full shedding;
+    /// otherwise a malformed-request rejection).
+    pub fn rejected(
+        &mut self,
+        id: u64,
+        workload: &str,
+        class: &str,
+        cores: usize,
+        now: u64,
+        shed: bool,
+    ) {
+        if shed {
+            self.counters.shed += 1;
+        }
+        self.jobs.insert(
+            id,
+            JobSpans {
+                id,
+                workload: workload.to_string(),
+                class: class.to_string(),
+                cores,
+                arrival: now,
+                finish: now,
+                terminal: if shed { Terminal::Shed } else { Terminal::Invalid },
+                queued: Vec::new(),
+                attempts: Vec::new(),
+                backoffs: Vec::new(),
+                book: None,
+            },
+        );
+    }
+
+    /// A job left the queue for worker `worker`; the virtual completion
+    /// tick `done_at` is already known at the dispatch barrier.
+    pub fn dispatched(
+        &mut self,
+        id: u64,
+        worker: usize,
+        now: u64,
+        done_at: u64,
+        cache_hit: bool,
+        compile_ticks: u64,
+    ) {
+        if cache_hit {
+            self.counters.cache_hits += 1;
+        } else {
+            self.counters.cache_misses += 1;
+        }
+        let ready = self.ready_since.remove(&id).expect("job was ready");
+        let attempt = self.jobs.get(&id).map_or(0, |j| j.attempts.len()) as u32;
+        self.tracks[worker].slices.push(WorkerSlice {
+            job: id,
+            attempt,
+            start: now,
+            end: done_at,
+        });
+        let job = self.job(id);
+        job.queued.push(Span {
+            start: ready,
+            end: now,
+        });
+        job.attempts.push(AttemptSpan {
+            attempt,
+            worker,
+            start: now,
+            end: done_at,
+            cache_hit,
+            compile: (!cache_hit).then_some(Span {
+                start: now,
+                end: now + compile_ticks,
+            }),
+            // Overwritten when the completion event is processed.
+            end_kind: AttemptEnd::Success,
+        });
+    }
+
+    fn close_attempt(&mut self, id: u64, end: AttemptEnd) {
+        self.job(id)
+            .attempts
+            .last_mut()
+            .expect("attempt was dispatched")
+            .end_kind = end;
+    }
+
+    /// The job's current attempt completed and verified; `profile` is
+    /// its clp-prof report when profiling was on.
+    pub fn completed(
+        &mut self,
+        id: u64,
+        now: u64,
+        cycles: u64,
+        profile: Option<&ProfileReport>,
+    ) {
+        self.counters.completed += 1;
+        self.close_attempt(id, AttemptEnd::Success);
+        let book = profile.map(ProfileReport::run_buckets);
+        let job = self.job(id);
+        job.finish = now;
+        job.terminal = Terminal::Completed { cycles };
+        job.book = book;
+        let (class, cores) = (job.class.clone(), job.cores);
+        if let Some(b) = book {
+            self.fleet.fold(&class, cores, cycles, &b);
+        }
+    }
+
+    /// The job's current attempt failed permanently.
+    pub fn failed(&mut self, id: u64, now: u64) {
+        self.close_attempt(id, AttemptEnd::Permanent);
+        let job = self.job(id);
+        job.finish = now;
+        job.terminal = Terminal::Failed;
+    }
+
+    /// The job's current attempt failed (`end`) and every retry is
+    /// spent.
+    pub fn exhausted(&mut self, id: u64, now: u64, end: AttemptEnd) {
+        self.close_attempt(id, end);
+        let job = self.job(id);
+        job.finish = now;
+        job.terminal = Terminal::Exhausted;
+    }
+
+    /// The job's current attempt failed (`end`) and a retry was
+    /// scheduled for release at `release_at`.
+    pub fn retry(&mut self, id: u64, now: u64, release_at: u64, end: AttemptEnd) {
+        self.counters.retries += 1;
+        self.close_attempt(id, end);
+        self.job(id).backoffs.push(Span {
+            start: now,
+            end: release_at,
+        });
+        self.ready_since.insert(id, release_at);
+    }
+
+    fn stats_tree(&self, queue_depth: usize, busy: usize) -> StatsNode {
+        let c = &self.counters;
+        let looked_up = c.cache_hits + c.cache_misses;
+        StatsNode::new("service").child(
+            StatsNode::new("scope")
+                .gauge("queue_depth", queue_depth as f64)
+                .gauge("busy_workers", busy as f64)
+                .gauge("utilization", busy as f64 / self.workers.max(1) as f64)
+                .gauge(
+                    "cache_hit_ratio",
+                    c.cache_hits as f64 / looked_up.max(1) as f64,
+                )
+                .count("completed", c.completed)
+                .count("retries", c.retries)
+                .count("shed", c.shed)
+                .count("cache_hits", c.cache_hits)
+                .count("cache_misses", c.cache_misses),
+        )
+    }
+
+    /// Closes the current series interval if one is due at `now`. Called
+    /// once at the end of every processed event tick, with the queue
+    /// depth and busy-worker count as they stand after dispatch.
+    pub fn sample(&mut self, now: u64, queue_depth: usize, busy: usize) {
+        if !self.trend.due(now) {
+            return;
+        }
+        let root = self.stats_tree(queue_depth, busy);
+        let completed = self.counters.completed;
+        self.trend.record(now, &root, completed, None);
+    }
+
+    /// Finishes the recording at drain tick `drained_at` and assembles
+    /// the report. `seed` is echoed for provenance.
+    #[must_use]
+    pub fn finish(self, drained_at: u64, seed: u64) -> ScopeReport {
+        let root = self.stats_tree(0, 0);
+        let series = self
+            .trend
+            .finish(drained_at, &root, self.counters.completed, None);
+        ScopeReport {
+            seed,
+            workers: self.workers,
+            drained_at,
+            jobs: self.jobs.into_values().collect(),
+            tracks: self.tracks,
+            fleet: self.fleet,
+            series,
+        }
+    }
+}
+
+/// The complete service-level observability document of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScopeReport {
+    /// Service seed (provenance echo; the replay key lives with the
+    /// arrival schedule).
+    pub seed: u64,
+    /// Worker slots.
+    pub workers: usize,
+    /// Tick of the last processed event.
+    pub drained_at: u64,
+    /// Per-job span trees, sorted by job id.
+    pub jobs: Vec<JobSpans>,
+    /// Per-worker occupancy tracks, by worker index.
+    pub tracks: Vec<WorkerTrack>,
+    /// The fleet-wide top-down cycle book.
+    pub fleet: FleetBook,
+    /// The virtual-time series (queue depth, utilization, rates).
+    pub series: TrendReport,
+}
+
+impl ScopeReport {
+    /// The report under the pinned `clp-scope-v1` schema. Every value is
+    /// an integer or a string, so equal runs serialize byte-identically.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String("clp-scope-v1".to_string()),
+            ),
+            ("seed".to_string(), Value::UInt(self.seed)),
+            ("workers".to_string(), Value::UInt(self.workers as u64)),
+            ("drained_at".to_string(), Value::UInt(self.drained_at)),
+            (
+                "jobs".to_string(),
+                Value::Array(self.jobs.iter().map(JobSpans::to_json).collect()),
+            ),
+            (
+                "worker_tracks".to_string(),
+                Value::Array(
+                    self.tracks
+                        .iter()
+                        .enumerate()
+                        .map(|(w, t)| {
+                            Value::Object(vec![
+                                ("worker".to_string(), Value::UInt(w as u64)),
+                                ("busy".to_string(), Value::UInt(t.busy_ticks())),
+                                (
+                                    "slices".to_string(),
+                                    Value::Array(
+                                        t.slices
+                                            .iter()
+                                            .map(|s| {
+                                                Value::Object(vec![
+                                                    ("job".to_string(), Value::UInt(s.job)),
+                                                    (
+                                                        "attempt".to_string(),
+                                                        Value::UInt(u64::from(s.attempt)),
+                                                    ),
+                                                    (
+                                                        "start".to_string(),
+                                                        Value::UInt(s.start),
+                                                    ),
+                                                    ("end".to_string(), Value::UInt(s.end)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("fleet".to_string(), self.fleet.to_json()),
+            ("series".to_string(), self.series.to_json_value()),
+        ])
+    }
+
+    /// The report serialized as pretty `clp-scope-v1` JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json_value()).expect("serializes")
+    }
+
+    /// One-paragraph run summary (terminal-state census + utilization).
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for j in &self.jobs {
+            *census.entry(j.terminal.label()).or_default() += 1;
+        }
+        let census: Vec<String> = census.iter().map(|(k, v)| format!("{v} {k}")).collect();
+        let busy: u64 = self.tracks.iter().map(WorkerTrack::busy_ticks).sum();
+        let capacity = self.drained_at.max(1) * self.workers.max(1) as u64;
+        let mut out = format!(
+            "clp-scope: {} jobs over {} workers, drained at tick {}\n",
+            self.jobs.len(),
+            self.workers,
+            self.drained_at
+        );
+        out.push_str(&format!(
+            "  terminals: {}\n  worker occupancy: {}.{:01}% of {} worker-ticks\n",
+            census.join(", "),
+            busy * 1000 / capacity / 10,
+            busy * 1000 / capacity % 10,
+            capacity,
+        ));
+        out
+    }
+
+    /// The ASCII fleet breakdown: per-class and per-composition-size
+    /// rollup tables plus the total bucket book.
+    #[must_use]
+    pub fn render_fleet(&self) -> String {
+        let total_crit = self.fleet.total.buckets.total().max(1);
+        let mut out = format!(
+            "fleet cycle attribution: {} completed jobs, {} critical cycles, {} simulated\n",
+            self.fleet.total.jobs,
+            self.fleet.total.buckets.total(),
+            self.fleet.total.sim_cycles,
+        );
+        let section = |out: &mut String, title: &str, rows: Vec<(String, &ClassBook)>| {
+            out.push_str(&format!(
+                "\n{title}\n{:<16} {:>5} {:>12} {:>7}  top buckets\n",
+                "key", "jobs", "cycles", "share"
+            ));
+            for (label, book) in rows {
+                let mut ranked: Vec<_> = book.buckets.iter().filter(|&(_, c)| c > 0).collect();
+                ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+                let cycles = book.buckets.total();
+                let top: Vec<String> = ranked
+                    .iter()
+                    .take(3)
+                    .map(|(b, c)| format!("{} {}%", b.label(), c * 100 / cycles.max(1)))
+                    .collect();
+                out.push_str(&format!(
+                    "{:<16} {:>5} {:>12} {:>6.1}%  {}\n",
+                    label,
+                    book.jobs,
+                    cycles,
+                    100.0 * cycles as f64 / total_crit as f64,
+                    top.join(", ")
+                ));
+            }
+        };
+        section(
+            &mut out,
+            "by workload class:",
+            self.fleet
+                .by_class
+                .iter()
+                .map(|(l, b)| (l.clone(), b))
+                .collect(),
+        );
+        section(
+            &mut out,
+            "by composition size:",
+            self.fleet
+                .by_cores
+                .iter()
+                .map(|(c, b)| (format!("x{c}"), b))
+                .collect(),
+        );
+        out.push_str("\nfleet bucket book:\n");
+        out.push_str(&format!("{:<14} {:>12} {:>7}\n", "bucket", "cycles", "share"));
+        for (b, c) in self.fleet.total.buckets.iter() {
+            if c == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<14} {:>12} {:>6.1}%\n",
+                b.label(),
+                c,
+                100.0 * c as f64 / total_crit as f64
+            ));
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON loadable at <https://ui.perfetto.dev>:
+    /// one thread track per worker carrying occupancy slices (compile
+    /// sub-spans nested inside), one async track per job with its
+    /// queued/attempt/backoff spans nested, instant marks for
+    /// shed/invalid arrivals on the admission track, and queue-depth /
+    /// utilization counter tracks from the time series.
+    #[must_use]
+    pub fn to_perfetto(&self) -> String {
+        let s = |x: &str| Value::String(x.to_string());
+        let mut events: Vec<Value> = Vec::new();
+        let meta = |name: &str, tid: u64, label: String| {
+            Value::Object(vec![
+                ("name".to_string(), s(name)),
+                ("ph".to_string(), s("M")),
+                ("pid".to_string(), Value::UInt(1)),
+                ("tid".to_string(), Value::UInt(tid)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("name".to_string(), Value::String(label))]),
+                ),
+            ])
+        };
+        events.push(meta("process_name", 0, "clp-serve".to_string()));
+        events.push(meta("thread_name", 0, "admission".to_string()));
+        for w in 0..self.workers {
+            events.push(meta("thread_name", w as u64 + 1, format!("worker {w}")));
+        }
+        // Worker occupancy: complete ("X") slices, compile sub-spans
+        // nested within by timestamp containment.
+        for (w, track) in self.tracks.iter().enumerate() {
+            for slice in &track.slices {
+                let job = self
+                    .jobs
+                    .iter()
+                    .find(|j| j.id == slice.job)
+                    .expect("slice has a job");
+                events.push(Value::Object(vec![
+                    (
+                        "name".to_string(),
+                        Value::String(format!(
+                            "job {} {} x{}",
+                            job.id, job.workload, job.cores
+                        )),
+                    ),
+                    ("cat".to_string(), s("worker")),
+                    ("ph".to_string(), s("X")),
+                    ("ts".to_string(), Value::UInt(slice.start)),
+                    ("dur".to_string(), Value::UInt(slice.end - slice.start)),
+                    ("pid".to_string(), Value::UInt(1)),
+                    ("tid".to_string(), Value::UInt(w as u64 + 1)),
+                    (
+                        "args".to_string(),
+                        Value::Object(vec![(
+                            "attempt".to_string(),
+                            Value::UInt(u64::from(slice.attempt)),
+                        )]),
+                    ),
+                ]));
+                let attempt = job
+                    .attempts
+                    .iter()
+                    .find(|a| a.attempt == slice.attempt)
+                    .expect("slice has an attempt");
+                if let Some(c) = attempt.compile {
+                    events.push(Value::Object(vec![
+                        ("name".to_string(), s("compile")),
+                        ("cat".to_string(), s("worker")),
+                        ("ph".to_string(), s("X")),
+                        ("ts".to_string(), Value::UInt(c.start)),
+                        ("dur".to_string(), Value::UInt(c.end - c.start)),
+                        ("pid".to_string(), Value::UInt(1)),
+                        ("tid".to_string(), Value::UInt(w as u64 + 1)),
+                    ]));
+                }
+            }
+        }
+        // Per-job async span trees (one track per job id) + admission
+        // instants for refused arrivals.
+        for job in &self.jobs {
+            match job.terminal {
+                Terminal::Shed | Terminal::Invalid => {
+                    events.push(Value::Object(vec![
+                        (
+                            "name".to_string(),
+                            Value::String(format!(
+                                "{} job {} {}",
+                                job.terminal.label(),
+                                job.id,
+                                job.workload
+                            )),
+                        ),
+                        ("cat".to_string(), s("admission")),
+                        ("ph".to_string(), s("i")),
+                        ("ts".to_string(), Value::UInt(job.arrival)),
+                        ("pid".to_string(), Value::UInt(1)),
+                        ("tid".to_string(), Value::UInt(0)),
+                        ("s".to_string(), s("t")),
+                    ]));
+                    continue;
+                }
+                _ => {}
+            }
+            let async_ev = |name: String, ph: &str, ts: u64, id: u64| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(name)),
+                    ("cat".to_string(), s("job")),
+                    ("ph".to_string(), s(ph)),
+                    ("ts".to_string(), Value::UInt(ts)),
+                    ("pid".to_string(), Value::UInt(1)),
+                    ("id".to_string(), Value::UInt(id)),
+                ])
+            };
+            let title = format!("job {} {} x{}", job.id, job.workload, job.cores);
+            events.push(async_ev(title.clone(), "b", job.arrival, job.id));
+            for (k, q) in job.queued.iter().enumerate() {
+                events.push(async_ev("queued".to_string(), "b", q.start, job.id));
+                events.push(async_ev("queued".to_string(), "e", q.end, job.id));
+                let a = &job.attempts[k];
+                events.push(async_ev(
+                    format!("attempt {} ({})", a.attempt, a.end_kind.label()),
+                    "b",
+                    a.start,
+                    job.id,
+                ));
+                if let Some(c) = a.compile {
+                    events.push(async_ev("compile".to_string(), "b", c.start, job.id));
+                    events.push(async_ev("compile".to_string(), "e", c.end, job.id));
+                }
+                events.push(async_ev(
+                    format!("attempt {} ({})", a.attempt, a.end_kind.label()),
+                    "e",
+                    a.end,
+                    job.id,
+                ));
+                if let Some(bo) = job.backoffs.get(k) {
+                    events.push(async_ev("backoff".to_string(), "b", bo.start, job.id));
+                    events.push(async_ev("backoff".to_string(), "e", bo.end, job.id));
+                }
+            }
+            events.push(async_ev(title, "e", job.finish, job.id));
+        }
+        // Counter tracks from the series: queue depth and utilization.
+        for (path, name, divisor) in [
+            ("scope/queue_depth", "queue_depth", 1000u64),
+            ("scope/utilization", "utilization_milli", 1),
+        ] {
+            if let Some(col) = self.series.columns.iter().find(|c| c.path == path) {
+                for (i, &v) in col.values.iter().enumerate() {
+                    events.push(Value::Object(vec![
+                        ("name".to_string(), s(name)),
+                        ("ph".to_string(), s("C")),
+                        ("ts".to_string(), Value::UInt(self.series.ends[i])),
+                        ("pid".to_string(), Value::UInt(1)),
+                        (
+                            "args".to_string(),
+                            Value::Object(vec![(
+                                "value".to_string(),
+                                Value::UInt(v / divisor),
+                            )]),
+                        ),
+                    ]));
+                }
+            }
+        }
+        serde_json::to_string(&Value::Object(vec![(
+            "traceEvents".to_string(),
+            Value::Array(events),
+        )]))
+        .expect("serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Bucket, ProcProfile};
+
+    fn profile(execute: u64, mem: u64) -> ProfileReport {
+        let mut p = ProcProfile::default();
+        p.run_buckets.add(Bucket::Execute, execute);
+        p.run_buckets.add(Bucket::MemWait, mem);
+        p.crit_path_cycles = execute + mem;
+        ProfileReport {
+            procs: vec![p],
+            elapsed: execute + mem + 10,
+            ..ProfileReport::default()
+        }
+    }
+
+    /// Drives one small synthetic service history through the recorder:
+    /// job 0 completes on attempt 0; job 1 fails once and completes on
+    /// its retry; job 2 is shed.
+    fn recorded() -> ScopeReport {
+        let mut r = ScopeRecorder::new(&ScopeOptions { period: 100 }, 2);
+        r.admitted(0, "conv", "hand_optimized", 4, 10);
+        r.admitted(1, "bezier", "eembc", 2, 12);
+        r.rejected(2, "conv", "hand_optimized", 8, 14, true);
+        r.dispatched(0, 0, 10, 50, false, 5);
+        r.dispatched(1, 1, 12, 40, true, 5);
+        r.sample(20, 0, 2);
+        r.completed(0, 50, 35, Some(&profile(30, 5)));
+        r.retry(1, 40, 60, AttemptEnd::Transient);
+        r.dispatched(1, 1, 60, 90, true, 5);
+        r.completed(1, 90, 25, Some(&profile(20, 5)));
+        r.finish(90, 7)
+    }
+
+    #[test]
+    fn spans_nest_and_tile() {
+        let rep = recorded();
+        assert_eq!(rep.jobs.len(), 3);
+        let j1 = &rep.jobs[1];
+        assert_eq!(j1.id, 1);
+        assert_eq!(j1.queued.len(), 2);
+        assert_eq!(j1.attempts.len(), 2);
+        assert_eq!(j1.backoffs.len(), 1);
+        // queued -> attempt -> backoff -> queued -> attempt tiles.
+        assert_eq!(j1.queued[0].end, j1.attempts[0].start);
+        assert_eq!(j1.attempts[0].end, j1.backoffs[0].start);
+        assert_eq!(j1.backoffs[0].end, j1.queued[1].start);
+        assert_eq!(j1.queued[1].end, j1.attempts[1].start);
+        assert_eq!(j1.attempts[1].end, j1.finish);
+        assert_eq!(j1.attempts[0].end_kind, AttemptEnd::Transient);
+        assert_eq!(j1.attempts[1].end_kind, AttemptEnd::Success);
+        // Compile sub-span inside the missing attempt only.
+        let j0 = &rep.jobs[0];
+        let c = j0.attempts[0].compile.expect("miss compiles");
+        assert!(c.start >= j0.attempts[0].start && c.end <= j0.attempts[0].end);
+        assert!(j1.attempts[0].compile.is_none(), "hit has no compile span");
+        // The shed job has no spans.
+        assert_eq!(rep.jobs[2].terminal, Terminal::Shed);
+        assert!(rep.jobs[2].attempts.is_empty());
+    }
+
+    #[test]
+    fn worker_tracks_never_overlap() {
+        let rep = recorded();
+        assert_eq!(rep.tracks.len(), 2);
+        assert_eq!(rep.tracks[1].slices.len(), 2);
+        for track in &rep.tracks {
+            for pair in track.slices.windows(2) {
+                assert!(pair[0].end <= pair[1].start);
+            }
+        }
+        assert_eq!(rep.tracks[0].busy_ticks(), 40);
+        assert_eq!(rep.tracks[1].busy_ticks(), 28 + 30);
+    }
+
+    #[test]
+    fn fleet_book_sums_the_per_job_books() {
+        let rep = recorded();
+        assert_eq!(rep.fleet.total.jobs, 2);
+        assert_eq!(rep.fleet.total.sim_cycles, 60);
+        assert_eq!(rep.fleet.total.buckets.total(), 60);
+        assert_eq!(rep.fleet.by_class.len(), 2);
+        assert_eq!(rep.fleet.by_class["hand_optimized"].buckets.total(), 35);
+        assert_eq!(rep.fleet.by_class["eembc"].buckets.total(), 25);
+        assert_eq!(rep.fleet.by_cores[&4].jobs, 1);
+        assert_eq!(rep.fleet.by_cores[&2].jobs, 1);
+        // The per-job books sum exactly to the fleet total.
+        let mut sum = BucketCycles::default();
+        for j in &rep.jobs {
+            if let Some(b) = &j.book {
+                sum.merge(b);
+            }
+        }
+        assert_eq!(sum, rep.fleet.total.buckets);
+    }
+
+    #[test]
+    fn series_records_levels_and_deltas() {
+        let rep = recorded();
+        // The sample at tick 20 is before the first due tick (period
+        // 100), so only the finish flush closes an interval.
+        assert!(!rep.series.ends.is_empty());
+        let depth = rep
+            .series
+            .columns
+            .iter()
+            .find(|c| c.path == "scope/queue_depth")
+            .expect("column");
+        assert_eq!(depth.values.len(), rep.series.ends.len());
+        let completed = rep
+            .series
+            .columns
+            .iter()
+            .find(|c| c.path == "scope/completed")
+            .expect("column");
+        let total: u64 = completed.values.iter().sum();
+        assert_eq!(total, 2, "completed column deltas sum to the census");
+    }
+
+    #[test]
+    fn json_and_renderers_are_deterministic() {
+        let a = recorded();
+        let b = recorded();
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"schema\": \"clp-scope-v1\""));
+        assert_eq!(a.to_perfetto(), b.to_perfetto());
+        let trace = a.to_perfetto();
+        assert!(trace.contains("traceEvents"));
+        assert!(trace.contains("worker 0"));
+        assert!(trace.contains("queue_depth"));
+        assert!(trace.contains("shed job 2"));
+        let fleet = a.render_fleet();
+        assert!(fleet.contains("by workload class"));
+        assert!(fleet.contains("hand_optimized"));
+        assert!(fleet.contains("x4"));
+        assert!(fleet.contains("execute"));
+        let summary = a.render_summary();
+        assert!(summary.contains("2 completed"));
+        assert!(summary.contains("1 shed"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The clp-scope driver: replay a service run with the scope recorder
+//! on and render the observability report — span trees, worker
+//! occupancy, the fleet cycle-attribution book, and the service time
+//! series.
+//!
+//! ```sh
+//! # Fleet breakdown of the pinned benchmark configuration.
+//! cargo run --release -p clp-serve --bin clp-scope -- --bench
+//!
+//! # Regenerate the committed scope golden.
+//! cargo run --release -p clp-serve --bin clp-scope -- --bench --json SCOPE_serve.json
+//!
+//! # CI gate: replay and require byte-identical output.
+//! cargo run --release -p clp-serve --bin clp-scope -- --bench --check SCOPE_serve.json
+//!
+//! # Open the span trees in ui.perfetto.dev.
+//! cargo run --release -p clp-serve --bin clp-scope -- --bench --perfetto scope.trace.json
+//! ```
+//!
+//! The scheduling flags mirror `clp-serve` exactly (same defaults, same
+//! `--bench` pins), so a scope report always describes the same virtual
+//! run the service driver would execute. Because the service and the
+//! recorder are both deterministic, `--check` is a *byte* comparison:
+//! the replayed `clp-scope-v1` document must equal the committed one
+//! exactly, or the gate exits 1.
+//!
+//! Exit codes: 0 = drained and (if `--check`) byte-identical, 1 =
+//! `--check` mismatch, 2 = usage error.
+
+use clp_obs::ScopeOptions;
+use clp_serve::{arrivals, service};
+
+struct Args {
+    jobs: usize,
+    seed: u64,
+    workers: usize,
+    queue_cap: usize,
+    degrade_at: usize,
+    mean_gap: u64,
+    budget: u64,
+    tight_every: usize,
+    tight_budget: u64,
+    retries: u32,
+    plant_panic: Vec<u64>,
+    kill_core: Vec<(u64, u64)>,
+    period: u64,
+    json: Option<String>,
+    bench: bool,
+    check: Option<String>,
+    perfetto: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("clp-scope: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: 24,
+        seed: 7,
+        workers: 4,
+        queue_cap: 8,
+        degrade_at: 6,
+        mean_gap: 3_000,
+        budget: 200_000,
+        tight_every: 0,
+        tight_budget: 2_500,
+        retries: 3,
+        plant_panic: Vec::new(),
+        kill_core: Vec::new(),
+        period: 5_000,
+        json: None,
+        bench: false,
+        check: None,
+        perfetto: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        macro_rules! parse_into {
+            ($field:expr, $flag:expr) => {{
+                let v = flag_value($flag);
+                match v.parse() {
+                    Ok(x) => $field = x,
+                    Err(_) => die(&format!("bad {} value `{v}`", $flag)),
+                }
+            }};
+        }
+        match a.as_str() {
+            "--jobs" => parse_into!(args.jobs, "--jobs"),
+            "--seed" => parse_into!(args.seed, "--seed"),
+            "--workers" => parse_into!(args.workers, "--workers"),
+            "--queue-cap" => parse_into!(args.queue_cap, "--queue-cap"),
+            "--degrade-at" => parse_into!(args.degrade_at, "--degrade-at"),
+            "--mean-gap" => parse_into!(args.mean_gap, "--mean-gap"),
+            "--budget" => parse_into!(args.budget, "--budget"),
+            "--tight-every" => parse_into!(args.tight_every, "--tight-every"),
+            "--tight-budget" => parse_into!(args.tight_budget, "--tight-budget"),
+            "--retries" => parse_into!(args.retries, "--retries"),
+            "--period" => parse_into!(args.period, "--period"),
+            "--plant-panic" => {
+                let v = flag_value("--plant-panic");
+                match v.parse() {
+                    Ok(id) => args.plant_panic.push(id),
+                    Err(_) => die(&format!("bad --plant-panic job id `{v}`")),
+                }
+            }
+            "--kill-core" => {
+                let v = flag_value("--kill-core");
+                let parsed = v
+                    .split_once('@')
+                    .and_then(|(j, c)| Some((j.trim().parse().ok()?, c.trim().parse().ok()?)));
+                match parsed {
+                    Some(jc) => args.kill_core.push(jc),
+                    None => die(&format!("bad --kill-core `{v}` (expected JOB@CYCLE)")),
+                }
+            }
+            "--json" => args.json = Some(flag_value("--json")),
+            "--bench" => args.bench = true,
+            "--check" => args.check = Some(flag_value("--check")),
+            "--perfetto" => args.perfetto = Some(flag_value("--perfetto")),
+            _ => die(&format!("unexpected argument `{a}`")),
+        }
+    }
+    args
+}
+
+/// The same pinned benchmark configuration `clp-serve --bench` uses, so
+/// the committed scope golden describes the committed service golden.
+fn bench_args(mut args: Args) -> Args {
+    args.jobs = 48;
+    args.seed = 42;
+    args.workers = 4;
+    args.queue_cap = 8;
+    args.degrade_at = 6;
+    args.mean_gap = 3_000;
+    args.budget = 200_000;
+    args.tight_every = 7;
+    args.tight_budget = 2_500;
+    args.retries = 3;
+    args.plant_panic = vec![5, 23];
+    args.kill_core = vec![(11, 800)];
+    args
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.bench {
+        args = bench_args(args);
+    }
+    let acfg = arrivals::ArrivalConfig {
+        jobs: args.jobs,
+        seed: args.seed,
+        mean_gap: args.mean_gap.max(1),
+        budget: args.budget,
+        tight_every: args.tight_every,
+        tight_budget: args.tight_budget,
+        plant_panic: args.plant_panic.clone(),
+        kill_at: args.kill_core.clone(),
+    };
+    let scfg = service::ServiceConfig {
+        workers: args.workers.max(1),
+        queue_cap: args.queue_cap.max(1),
+        degrade_at: args.degrade_at.max(1),
+        max_retries: args.retries,
+        seed: args.seed,
+        ..service::ServiceConfig::default()
+    };
+    let sopts = ScopeOptions {
+        period: args.period.max(1),
+    };
+    let schedule = arrivals::generate(&acfg);
+    let (_, scope) = service::serve_scoped(schedule, &scfg, Some(&sopts));
+    let rep = scope.expect("scope options were passed, so a report comes back");
+
+    println!("{}", rep.render_summary());
+    print!("{}", rep.render_fleet());
+    print!("{}", rep.series.render_timeline());
+    print!("{}", rep.series.render_phase_table());
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, rep.to_json())
+            .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+        println!("[scope -> {path}]");
+    }
+    if let Some(path) = &args.perfetto {
+        std::fs::write(path, rep.to_perfetto())
+            .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+        println!("[perfetto -> {path}]");
+    }
+    if let Some(path) = &args.check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read golden `{path}`: {e}")));
+        let fresh = rep.to_json();
+        if committed == fresh {
+            println!("[check: byte-identical to {path}]");
+        } else {
+            eprintln!(
+                "clp-scope: MISMATCH: replay differs from `{path}` \
+                 ({} committed bytes vs {} replayed)",
+                committed.len(),
+                fresh.len()
+            );
+            eprintln!("clp-scope: regenerate with --bench --json {path} if intentional");
+            std::process::exit(1);
+        }
+    }
+}

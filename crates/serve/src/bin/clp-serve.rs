@@ -19,9 +19,17 @@
 //! <path>` reruns it and compares against the committed baseline with a
 //! latency/throughput threshold (default 10%), exiting 1 on regression.
 //!
+//! `--scope` turns on the clp-scope recorder and prints the fleet
+//! breakdown after the run; `--scope-json <path>` writes the full
+//! `clp-scope-v1` document and `--perfetto <path>` a Chrome trace-event
+//! file of the span trees and worker tracks. Scope is observational:
+//! with it off the run takes the identical code path, and with it on
+//! the `clp-serve-v1` report bytes do not change.
+//!
 //! Exit codes: 0 = drained with no check regression, 1 = `--check`
 //! found a regression, 2 = usage error.
 
+use clp_obs::ScopeOptions;
 use clp_serve::{arrivals, report, service, ServiceReport};
 
 struct Args {
@@ -41,6 +49,10 @@ struct Args {
     bench: bool,
     check: Option<String>,
     threshold: f64,
+    scope: bool,
+    scope_period: u64,
+    scope_json: Option<String>,
+    perfetto: Option<String>,
 }
 
 fn die(msg: &str) -> ! {
@@ -66,6 +78,10 @@ fn parse_args() -> Args {
         bench: false,
         check: None,
         threshold: 10.0,
+        scope: false,
+        scope_period: 5_000,
+        scope_json: None,
+        perfetto: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -116,6 +132,10 @@ fn parse_args() -> Args {
             "--json" => args.json = Some(flag_value("--json")),
             "--bench" => args.bench = true,
             "--check" => args.check = Some(flag_value("--check")),
+            "--scope" => args.scope = true,
+            "--scope-period" => parse_into!(args.scope_period, "--scope-period"),
+            "--scope-json" => args.scope_json = Some(flag_value("--scope-json")),
+            "--perfetto" => args.perfetto = Some(flag_value("--perfetto")),
             _ => die(&format!("unexpected argument `{a}`")),
         }
     }
@@ -166,7 +186,11 @@ fn main() {
         ..service::ServiceConfig::default()
     };
     let schedule = arrivals::generate(&acfg);
-    let result = service::serve(schedule, &scfg);
+    let want_scope = args.scope || args.scope_json.is_some() || args.perfetto.is_some();
+    let sopts = want_scope.then(|| ScopeOptions {
+        period: args.scope_period.max(1),
+    });
+    let (result, scope) = service::serve_scoped(schedule, &scfg, sopts.as_ref());
     let rep = ServiceReport::new(&acfg, &scfg, &result);
 
     let t = &rep.totals;
@@ -189,12 +213,15 @@ fn main() {
         "[cache: {} hits, {} misses, {} programs, {} lint warnings]",
         t.cache_hits, t.cache_misses, t.cache_entries, t.lint_warnings,
     );
+    // No completed jobs means no percentiles; print `-` rather than a
+    // fake zero.
+    let tick = |v: Option<u64>| v.map_or("-".to_string(), |t| t.to_string());
     println!(
         "[latency: p50 {} p90 {} p99 {} max {} ticks; throughput {:.3}/ktick; drained at {}]",
-        rep.latency_ticks.p50,
-        rep.latency_ticks.p90,
-        rep.latency_ticks.p99,
-        rep.latency_ticks.max,
+        tick(rep.latency_ticks.p50),
+        tick(rep.latency_ticks.p90),
+        tick(rep.latency_ticks.p99),
+        tick(rep.latency_ticks.max),
         rep.throughput_per_ktick,
         t.drained_at,
     );
@@ -203,6 +230,22 @@ fn main() {
         std::fs::write(path, rep.to_json())
             .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
         println!("[report -> {path}]");
+    }
+    if let Some(sr) = &scope {
+        if args.scope {
+            println!("{}", sr.render_summary());
+            print!("{}", sr.render_fleet());
+        }
+        if let Some(path) = &args.scope_json {
+            std::fs::write(path, sr.to_json())
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            println!("[scope -> {path}]");
+        }
+        if let Some(path) = &args.perfetto {
+            std::fs::write(path, sr.to_perfetto())
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            println!("[perfetto -> {path}]");
+        }
     }
     if let Some(path) = &args.check {
         let text = std::fs::read_to_string(path)

@@ -26,6 +26,14 @@
 //! - [`report`] — the pinned `clp-serve-v1` JSON document, the
 //!   `serve/*` stats-registry export, and the CI threshold gate.
 //!
+//! On top of these, [`service::serve_scoped`] threads the clp-scope
+//! recorder (from `clp-obs`) through the same deterministic event
+//! points: per-job lifecycle span trees, worker occupancy tracks, a
+//! fleet-wide cycle-attribution book folded from per-job clp-prof
+//! reports, and a service time series — all replayable byte-for-byte,
+//! and all strictly observational (scope off takes the identical code
+//! path).
+//!
 //! The load-bearing property is *replayability*: no wall-clock exists
 //! anywhere, every stochastic choice draws from seeded SplitMix64
 //! streams, and event classes are processed in a fixed order per virtual
@@ -54,4 +62,6 @@ pub mod service;
 pub use arrivals::ArrivalConfig;
 pub use job::{JobOutcome, JobSpec, Rejected};
 pub use report::{check, ServiceReport, SCHEMA};
-pub use service::{serve, JobRecord, ServiceConfig, ServiceResult, ServiceTotals};
+pub use service::{
+    serve, serve_scoped, JobRecord, ServiceConfig, ServiceDetail, ServiceResult, ServiceTotals,
+};

@@ -61,6 +61,12 @@ pub struct ExecRequest {
     pub faults: FaultPlan,
     /// Whether to plant a panic (attempt 0 of a sabotaged job).
     pub sabotage: bool,
+    /// Whether to run with clp-prof cycle accounting on, so the
+    /// response can carry the run-level bucket book (clp-scope folds it
+    /// into the fleet book). Profiling never changes cycle counts — the
+    /// PR-5 bit-identity contract — so the virtual schedule is the same
+    /// either way.
+    pub profile: bool,
     /// Cache-hit program, or `None` when the worker must compile.
     pub compiled: Option<std::sync::Arc<CompiledWorkload>>,
 }
@@ -71,6 +77,9 @@ pub enum ExecOutcome {
     Success {
         /// Simulated cycles.
         cycles: u64,
+        /// The clp-prof report when the request asked for profiling
+        /// (boxed: it is much larger than the rest of the response).
+        profile: Option<Box<clp_obs::ProfileReport>>,
     },
     /// The run failed with a typed error.
     Failure(RunFailure),
@@ -116,9 +125,14 @@ fn execute(req: &ExecRequest) -> ExecResponse {
     let cfg = ProcessorConfig::tflex(req.cores)
         .with_faults(req.faults)
         .with_deadline(req.budget);
-    let outcome = match run_compiled_observed(&compiled, &cfg, &ObsOptions::default()) {
+    let obs = ObsOptions {
+        profile: req.profile,
+        ..ObsOptions::default()
+    };
+    let outcome = match run_compiled_observed(&compiled, &cfg, &obs) {
         Ok(r) => ExecOutcome::Success {
             cycles: r.stats.cycles,
+            profile: r.profile.map(Box::new),
         },
         Err(e) => ExecOutcome::Failure(e),
     };
@@ -251,6 +265,7 @@ mod tests {
             budget,
             faults: FaultPlan::none(),
             sabotage: false,
+            profile: false,
             compiled: None,
         }
     }
@@ -261,7 +276,7 @@ mod tests {
         pool.dispatch(0, plain_request(7, "conv", 8, 200_000));
         let resp = pool.await_response(0);
         assert_eq!(resp.job_id, 7);
-        assert!(matches!(resp.outcome, ExecOutcome::Success { cycles } if cycles > 100));
+        assert!(matches!(resp.outcome, ExecOutcome::Success { cycles, .. } if cycles > 100));
         assert!(resp.compiled_here.is_some(), "miss compiles");
         assert_eq!(pool.respawns(), 0);
     }
@@ -302,7 +317,10 @@ mod tests {
         let a = pool.await_response(0);
         let b = pool.await_response(1);
         match (a.outcome, b.outcome) {
-            (ExecOutcome::Success { cycles: ca }, ExecOutcome::Success { cycles: cb }) => {
+            (
+                ExecOutcome::Success { cycles: ca, .. },
+                ExecOutcome::Success { cycles: cb, .. },
+            ) => {
                 assert_eq!(ca, cb, "same request, same cycles, any thread");
             }
             _ => panic!("both succeed"),

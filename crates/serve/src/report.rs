@@ -8,7 +8,7 @@
 //! `clp-bench --check` pattern).
 
 use crate::arrivals::ArrivalConfig;
-use crate::service::{JobRecord, ServiceConfig, ServiceResult, ServiceTotals};
+use crate::service::{JobRecord, ServiceConfig, ServiceDetail, ServiceResult, ServiceTotals};
 use clp_obs::{LatencySummary, StatsNode};
 use serde::{Serialize, Value};
 
@@ -97,6 +97,33 @@ impl ServiceReport {
             )
             .child(self.latency_ticks.to_node("latency"))
     }
+
+    /// [`ServiceReport::stats_node`] extended with the fine-grained
+    /// [`ServiceDetail`] counters: `serve/queue/peak` (the high-watermark
+    /// over *all* queue mutations, retry releases included),
+    /// `serve/retries_by/<failure class>`, and
+    /// `serve/completed_by_class/<workload class>`. Kept out of the
+    /// pinned `clp-serve-v1` document so the serialization stays stable.
+    #[must_use]
+    pub fn stats_node_detailed(&self, detail: &ServiceDetail) -> StatsNode {
+        let mut by_class = StatsNode::new("completed_by_class");
+        for (label, n) in &detail.completed_by_class {
+            by_class = by_class.count(label, *n);
+        }
+        self.stats_node()
+            .child(
+                StatsNode::new("queue")
+                    .count("peak", detail.queue_peak)
+                    .count("peak_at", detail.queue_peak_at),
+            )
+            .child(
+                StatsNode::new("retries_by")
+                    .count("transient", detail.retries_transient)
+                    .count("deadline_kill", detail.retries_deadline)
+                    .count("panic", detail.retries_panic),
+            )
+            .child(by_class)
+    }
 }
 
 /// Compares a fresh report against a committed baseline document.
@@ -138,7 +165,9 @@ pub fn check(baseline: &Value, current: &ServiceReport, threshold_pct: f64) -> V
     }
     let frac = threshold_pct / 100.0;
     if let Some(base_p99) = get(&["latency_ticks", "p99"]) {
-        let got = current.latency_ticks.p99 as f64;
+        // A current run with no completions has no p99; the exact
+        // `completed` counter above already flags that divergence.
+        let got = current.latency_ticks.p99.map_or(0.0, |v| v as f64);
         if got > base_p99 * (1.0 + frac) {
             regressions.push(format!(
                 "latency p99 regressed: baseline {base_p99:.0} ticks, got {got:.0} \
@@ -204,6 +233,35 @@ mod tests {
         assert!(node.lookup("latency/p99").is_some());
     }
 
+    #[test]
+    fn detailed_stats_node_adds_watermark_retry_and_class_splits() {
+        let acfg = ArrivalConfig {
+            jobs: 4,
+            seed: 9,
+            mean_gap: 5_000,
+            ..ArrivalConfig::default()
+        };
+        let scfg = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let result = serve(generate(&acfg), &scfg);
+        let r = ServiceReport::new(&acfg, &scfg, &result);
+        let node = r.stats_node_detailed(&result.detail);
+        assert_eq!(
+            node.lookup("queue/peak").map(|m| m.as_f64()),
+            Some(result.detail.queue_peak as f64)
+        );
+        assert!(node.lookup("retries_by/transient").is_some());
+        assert!(node.lookup("retries_by/deadline_kill").is_some());
+        // The per-class splits sum to the aggregate completion counter.
+        let split: u64 = result.detail.completed_by_class.values().sum();
+        assert_eq!(split, result.totals.completed);
+        // The base subtree is still there.
+        assert!(node.lookup("completed").is_some());
+        assert!(node.lookup("cache/misses").is_some());
+    }
+
     /// Replaces a nested object field (the vendored `Value` has no
     /// `IndexMut`; its objects are plain `Vec<(String, Value)>` pairs).
     fn set(v: &mut Value, path: &[&str], new: Value) {
@@ -240,7 +298,7 @@ mod tests {
         // A wildly better baseline p99 makes the current run a regression.
         let mut fast = baseline;
         set(&mut fast, &["latency_ticks", "p99"], Value::UInt(1));
-        if r.latency_ticks.p99 > 1 {
+        if r.latency_ticks.p99.unwrap_or(0) > 1 {
             let regs = check(&fast, &r, 5.0);
             assert!(regs.iter().any(|l| l.contains("latency p99")));
         }

@@ -23,16 +23,24 @@
 //!   count is not reported with the error — documented pessimism);
 //! - planted panic: a fixed respawn charge for disposing of the
 //!   poisoned worker and spawning a fresh one.
+//!
+//! [`serve_scoped`] additionally threads a clp-scope [`ScopeRecorder`]
+//! through the same event points, recording per-job lifecycle spans,
+//! worker occupancy, the fleet cycle book, and a service time series.
+//! The recorder only *observes* — it is driven by values the scheduler
+//! already computed and feeds nothing back — so scope-off runs take the
+//! identical code path and scope-on runs replay byte-identically.
 
 use crate::cache::{content_hash, CacheEntry, CompileCache};
 use crate::job::{JobOutcome, JobSpec, Rejected};
 use crate::pool::{ExecOutcome, ExecRequest, ExecResponse, WorkerPool};
 use clp_core::{FailureClass, RunFailure};
+use clp_obs::{AttemptEnd, ScopeOptions, ScopeRecorder, ScopeReport};
 use clp_sim::fault::Prng;
 use clp_sim::{FaultPlan, RunError};
 use clp_workloads::Workload;
 use serde::Serialize;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Service policy knobs. Everything is in virtual ticks; nothing reads
 /// a clock.
@@ -127,6 +135,39 @@ pub struct ServiceTotals {
     pub drained_at: u64,
 }
 
+/// Fine-grained counters beyond [`ServiceTotals`]: the queue-depth
+/// high-watermark (tracked at *every* queue mutation, retry releases
+/// included), retry attempts split per [`FailureClass`], and completion
+/// counts per workload class. Lives beside the totals rather than
+/// inside them so the pinned `clp-serve-v1` serialization is untouched.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceDetail {
+    /// Largest queue depth observed across admissions *and* retry
+    /// releases (`>= totals.max_queue_depth`, which only admissions
+    /// update).
+    pub queue_peak: u64,
+    /// First tick at which the peak was reached.
+    pub queue_peak_at: u64,
+    /// Retries whose triggering failure classed as transient (includes
+    /// worker panics, which the service treats as transient).
+    pub retries_transient: u64,
+    /// Retries whose triggering failure was a deadline kill.
+    pub retries_deadline: u64,
+    /// The subset of transient retries caused by a worker panic.
+    pub retries_panic: u64,
+    /// Completed jobs per workload-class label.
+    pub completed_by_class: BTreeMap<String, u64>,
+}
+
+impl ServiceDetail {
+    fn note_queue(&mut self, depth: u64, now: u64) {
+        if depth > self.queue_peak {
+            self.queue_peak = depth;
+            self.queue_peak_at = now;
+        }
+    }
+}
+
 /// Terminal record of one submitted job.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct JobRecord {
@@ -150,10 +191,12 @@ pub struct JobRecord {
 
 /// Everything a service run produces: counters, per-job records in id
 /// order, and the completed-job sojourn times (finish − arrival).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceResult {
     /// Aggregate counters.
     pub totals: ServiceTotals,
+    /// Fine-grained counters (watermarks, per-class splits).
+    pub detail: ServiceDetail,
     /// One record per submitted job, sorted by id.
     pub records: Vec<JobRecord>,
     /// Sojourn latencies of completed jobs, in submission order.
@@ -178,6 +221,17 @@ struct InFlight {
     cache_key: u64,
 }
 
+/// The run's output side, bundled so the event handlers thread one
+/// mutable borrow instead of six: terminal records, latency samples,
+/// both counter tiers, and (when scope is on) the span recorder.
+struct Ledger {
+    records: Vec<JobRecord>,
+    latencies: Vec<u64>,
+    totals: ServiceTotals,
+    detail: ServiceDetail,
+    scope: Option<ScopeRecorder>,
+}
+
 fn jitter_prng(cfg: &ServiceConfig, job_id: u64, attempt: u32) -> Prng {
     // Mix the stream id so per-(job, attempt) jitter never depends on
     // how many other jobs drew before it.
@@ -199,7 +253,7 @@ fn service_ticks(
 ) -> u64 {
     let compile = if compile_miss { cfg.compile_ticks } else { 0 };
     let work = match outcome {
-        ExecOutcome::Success { cycles } => *cycles,
+        ExecOutcome::Success { cycles, .. } => *cycles,
         ExecOutcome::Panicked => cfg.respawn_ticks,
         ExecOutcome::Failure(f) => match f {
             RunFailure::Run(RunError::DeadlineExceeded { budget }) => *budget,
@@ -222,14 +276,36 @@ fn service_ticks(
 /// threads are joined on drop — the graceful-shutdown contract.
 #[must_use]
 pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResult {
+    serve_scoped(schedule, cfg, None).0
+}
+
+/// [`serve`] with an optional clp-scope recording layer. With
+/// `scope: None` this *is* `serve` — the recorder hooks compile to a
+/// skipped `Option` branch and per-attempt profiling stays off, so the
+/// virtual schedule and the [`ServiceResult`] are identical either way
+/// (profiling never changes simulated cycle counts). With scope on, the
+/// returned [`ScopeReport`] is a pure function of
+/// `(arrival schedule, config, scope options)` and replays
+/// byte-identically.
+#[must_use]
+pub fn serve_scoped(
+    schedule: Vec<(u64, JobSpec)>,
+    cfg: &ServiceConfig,
+    scope: Option<&ScopeOptions>,
+) -> (ServiceResult, Option<ScopeReport>) {
     let mut pool = WorkerPool::new(cfg.workers);
     let mut cache = CompileCache::new();
     let mut workers: Vec<Option<InFlight>> = (0..cfg.workers.max(1)).map(|_| None).collect();
     let mut queue: VecDeque<JobState> = VecDeque::new();
     let mut retry_bin: Vec<(u64, JobState)> = Vec::new();
-    let mut records: Vec<JobRecord> = Vec::new();
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut totals = ServiceTotals::default();
+    let mut ledger = Ledger {
+        records: Vec::new(),
+        latencies: Vec::new(),
+        totals: ServiceTotals::default(),
+        detail: ServiceDetail::default(),
+        scope: scope.map(|o| ScopeRecorder::new(o, cfg.workers.max(1))),
+    };
+    let profile_jobs = ledger.scope.is_some();
     let mut arrivals = schedule.into_iter().peekable();
     let mut now = 0u64;
 
@@ -254,16 +330,7 @@ pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResul
         for slot in workers.iter_mut() {
             if slot.as_ref().is_some_and(|f| f.done_at == now) {
                 let f = slot.take().expect("checked");
-                complete(
-                    f,
-                    now,
-                    cfg,
-                    &mut cache,
-                    &mut retry_bin,
-                    &mut records,
-                    &mut latencies,
-                    &mut totals,
-                );
+                complete(f, now, cfg, &mut cache, &mut retry_bin, &mut ledger);
             }
         }
 
@@ -283,11 +350,12 @@ pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResul
         // and shedding a half-done job would turn a transient fault into
         // a client-visible loss.
         queue.extend(due);
+        ledger.detail.note_queue(queue.len() as u64, now);
 
         // 3. Arrivals, in schedule order.
         while arrivals.peek().is_some_and(|(t, _)| *t == now) {
             let (_, spec) = arrivals.next().expect("peeked");
-            admit(spec, now, cfg, &mut queue, &mut records, &mut totals);
+            admit(spec, now, cfg, &mut queue, &mut ledger);
         }
 
         // 4. Dispatch to free workers, in worker-index order. The whole
@@ -319,6 +387,7 @@ pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResul
                         FaultPlan::none()
                     },
                     sabotage: first_attempt && job.spec.sabotage,
+                    profile: profile_jobs,
                     compiled: hit.map(|e| e.compiled),
                 },
             );
@@ -327,6 +396,9 @@ pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResul
         for (i, job, key, miss) in batch {
             let response = pool.await_response(i);
             let ticks = service_ticks(cfg, &response.outcome, miss, job.budget);
+            if let Some(s) = ledger.scope.as_mut() {
+                s.dispatched(job.spec.id, i, now, now + ticks, !miss, cfg.compile_ticks);
+            }
             workers[i] = Some(InFlight {
                 done_at: now + ticks,
                 job,
@@ -334,20 +406,32 @@ pub fn serve(schedule: Vec<(u64, JobSpec)>, cfg: &ServiceConfig) -> ServiceResul
                 cache_key: key,
             });
         }
+
+        // End of tick: close a series interval if one is due, with the
+        // queue and workers as they stand after dispatch.
+        if let Some(s) = ledger.scope.as_mut() {
+            let busy = workers.iter().filter(|w| w.is_some()).count();
+            s.sample(now, queue.len(), busy);
+        }
     }
 
-    totals.cache_hits = cache.hits();
-    totals.cache_misses = cache.misses();
-    totals.cache_entries = cache.len() as u64;
-    totals.lint_warnings = cache.lint_warnings();
-    totals.respawns = pool.respawns();
-    totals.drained_at = now;
-    records.sort_by_key(|r| r.id);
-    ServiceResult {
-        totals,
-        records,
-        latencies,
-    }
+    ledger.totals.cache_hits = cache.hits();
+    ledger.totals.cache_misses = cache.misses();
+    ledger.totals.cache_entries = cache.len() as u64;
+    ledger.totals.lint_warnings = cache.lint_warnings();
+    ledger.totals.respawns = pool.respawns();
+    ledger.totals.drained_at = now;
+    ledger.records.sort_by_key(|r| r.id);
+    let report = ledger.scope.map(|s| s.finish(now, cfg.seed));
+    (
+        ServiceResult {
+            totals: ledger.totals,
+            detail: ledger.detail,
+            records: ledger.records,
+            latencies: ledger.latencies,
+        },
+        report,
+    )
 }
 
 fn admit(
@@ -355,12 +439,17 @@ fn admit(
     now: u64,
     cfg: &ServiceConfig,
     queue: &mut VecDeque<JobState>,
-    records: &mut Vec<JobRecord>,
-    totals: &mut ServiceTotals,
+    ledger: &mut Ledger,
 ) {
-    totals.submitted += 1;
-    let reject = |records: &mut Vec<JobRecord>, spec: &JobSpec, why: Rejected| {
-        records.push(JobRecord {
+    ledger.totals.submitted += 1;
+    // Record the typed rejection and (scope on) the terminal-only span
+    // tree; `class` is the workload-class label when the name resolved.
+    let reject = |ledger: &mut Ledger, spec: &JobSpec, class: &str, why: Rejected| {
+        if let Some(s) = ledger.scope.as_mut() {
+            let shed = matches!(why, Rejected::Overloaded { .. });
+            s.rejected(spec.id, &spec.workload, class, spec.cores, now, shed);
+        }
+        ledger.records.push(JobRecord {
             id: spec.id,
             workload: spec.workload.clone(),
             cores_requested: spec.cores,
@@ -372,27 +461,28 @@ fn admit(
         });
     };
     let Some(workload) = clp_workloads::suite::by_name(&spec.workload) else {
-        totals.rejected_invalid += 1;
+        ledger.totals.rejected_invalid += 1;
         let why = Rejected::UnknownWorkload {
             name: spec.workload.clone(),
         };
-        reject(records, &spec, why);
+        reject(ledger, &spec, "unknown", why);
         return;
     };
+    let class = workload.class.label();
     if spec.cores == 0 || !spec.cores.is_power_of_two() || spec.cores > 32 {
-        totals.rejected_invalid += 1;
-        reject(records, &spec, Rejected::InvalidCores { cores: spec.cores });
+        ledger.totals.rejected_invalid += 1;
+        reject(ledger, &spec, class, Rejected::InvalidCores { cores: spec.cores });
         return;
     }
     if spec.budget == 0 {
-        totals.rejected_invalid += 1;
-        reject(records, &spec, Rejected::ZeroBudget);
+        ledger.totals.rejected_invalid += 1;
+        reject(ledger, &spec, class, Rejected::ZeroBudget);
         return;
     }
     let depth = queue.len();
     if depth >= cfg.queue_cap {
-        totals.rejected_overloaded += 1;
-        reject(records, &spec, Rejected::Overloaded { depth });
+        ledger.totals.rejected_overloaded += 1;
+        reject(ledger, &spec, class, Rejected::Overloaded { depth });
         return;
     }
     // Graceful degradation: shrink the composition before ever refusing
@@ -400,9 +490,12 @@ fn admit(
     let mut granted = spec.cores;
     if depth >= cfg.degrade_at && granted > 1 {
         granted /= 2;
-        totals.degraded += 1;
+        ledger.totals.degraded += 1;
     }
-    totals.admitted += 1;
+    ledger.totals.admitted += 1;
+    if let Some(s) = ledger.scope.as_mut() {
+        s.admitted(spec.id, &spec.workload, class, granted, now);
+    }
     let budget = spec.budget;
     queue.push_back(JobState {
         spec,
@@ -412,19 +505,17 @@ fn admit(
         attempt: 0,
         budget,
     });
-    totals.max_queue_depth = totals.max_queue_depth.max(queue.len() as u64);
+    ledger.totals.max_queue_depth = ledger.totals.max_queue_depth.max(queue.len() as u64);
+    ledger.detail.note_queue(queue.len() as u64, now);
 }
 
-#[allow(clippy::too_many_arguments)]
 fn complete(
     f: InFlight,
     now: u64,
     cfg: &ServiceConfig,
     cache: &mut CompileCache,
     retry_bin: &mut Vec<(u64, JobState)>,
-    records: &mut Vec<JobRecord>,
-    latencies: &mut Vec<u64>,
-    totals: &mut ServiceTotals,
+    ledger: &mut Ledger,
 ) {
     let InFlight {
         mut job,
@@ -443,8 +534,8 @@ fn complete(
             },
         );
     }
-    let finish_record = |records: &mut Vec<JobRecord>, job: &JobState, outcome: JobOutcome| {
-        records.push(JobRecord {
+    let finish_record = |ledger: &mut Ledger, job: &JobState, outcome: JobOutcome| {
+        ledger.records.push(JobRecord {
             id: job.spec.id,
             workload: job.spec.workload.clone(),
             cores_requested: job.spec.cores,
@@ -455,27 +546,39 @@ fn complete(
             outcome,
         });
     };
-    let (error, class) = match response.outcome {
-        ExecOutcome::Success { cycles } => {
-            totals.completed += 1;
-            latencies.push(now - job.arrival);
-            finish_record(records, &job, JobOutcome::Completed { cycles });
+    let (error, class, was_panic) = match response.outcome {
+        ExecOutcome::Success { cycles, profile } => {
+            ledger.totals.completed += 1;
+            *ledger
+                .detail
+                .completed_by_class
+                .entry(job.workload.class.label().to_string())
+                .or_insert(0) += 1;
+            ledger.latencies.push(now - job.arrival);
+            if let Some(s) = ledger.scope.as_mut() {
+                s.completed(job.spec.id, now, cycles, profile.as_deref());
+            }
+            finish_record(ledger, &job, JobOutcome::Completed { cycles });
             return;
         }
         ExecOutcome::Panicked => {
-            totals.panics += 1;
+            ledger.totals.panics += 1;
             (
                 "panic: worker poisoned and respawned".to_string(),
                 FailureClass::Transient,
+                true,
             )
         }
         ExecOutcome::Failure(failure) => {
             let class = failure.class();
             match class {
                 FailureClass::Permanent => {
-                    totals.failed_permanent += 1;
+                    ledger.totals.failed_permanent += 1;
+                    if let Some(s) = ledger.scope.as_mut() {
+                        s.failed(job.spec.id, now);
+                    }
                     finish_record(
-                        records,
+                        ledger,
                         &job,
                         JobOutcome::Failed {
                             error: failure.to_string(),
@@ -483,22 +586,32 @@ fn complete(
                     );
                     return;
                 }
-                FailureClass::Transient => totals.transient_failures += 1,
+                FailureClass::Transient => ledger.totals.transient_failures += 1,
                 FailureClass::DeadlineKill => {
-                    totals.deadline_kills += 1;
+                    ledger.totals.deadline_kills += 1;
                     // A killed job only makes sense to retry with more
                     // headroom.
                     job.budget = job.budget.saturating_mul(2);
                 }
             }
-            (failure.to_string(), class)
+            (failure.to_string(), class, false)
         }
     };
     debug_assert_ne!(class, FailureClass::Permanent);
+    let attempt_end = if was_panic {
+        AttemptEnd::Panicked
+    } else if class == FailureClass::DeadlineKill {
+        AttemptEnd::DeadlineKill
+    } else {
+        AttemptEnd::Transient
+    };
     if job.attempt >= cfg.max_retries {
-        totals.exhausted += 1;
+        ledger.totals.exhausted += 1;
+        if let Some(s) = ledger.scope.as_mut() {
+            s.exhausted(job.spec.id, now, attempt_end);
+        }
         finish_record(
-            records,
+            ledger,
             &job,
             JobOutcome::Exhausted {
                 attempts: job.attempt + 1,
@@ -508,8 +621,19 @@ fn complete(
         return;
     }
     job.attempt += 1;
-    totals.retries += 1;
+    ledger.totals.retries += 1;
+    if class == FailureClass::DeadlineKill {
+        ledger.detail.retries_deadline += 1;
+    } else {
+        ledger.detail.retries_transient += 1;
+    }
+    if was_panic {
+        ledger.detail.retries_panic += 1;
+    }
     let delay = backoff_delay(cfg, job.spec.id, job.attempt);
+    if let Some(s) = ledger.scope.as_mut() {
+        s.retry(job.spec.id, now, now + delay, attempt_end);
+    }
     retry_bin.push((now + delay, job));
 }
 
@@ -605,5 +729,45 @@ mod tests {
         assert_eq!(r.totals.deadline_kills, 2);
         assert_eq!(r.totals.retries, 2);
         assert_eq!(r.records[0].attempts, 3);
+    }
+
+    #[test]
+    fn detail_counters_split_retries_and_track_the_queue_peak() {
+        // The deadline-kill scenario again: both retries are
+        // deadline-classed, none transient, none panics.
+        let sched = vec![(1, JobSpec::new(0, "conv", 8, 2_000))];
+        let r = serve(sched, &quick_cfg());
+        assert_eq!(r.detail.retries_deadline, 2);
+        assert_eq!(r.detail.retries_transient, 0);
+        assert_eq!(r.detail.retries_panic, 0);
+        assert_eq!(r.detail.completed_by_class.get("hand_optimized"), Some(&1));
+        // One job never queues deeper than 1.
+        assert_eq!(r.detail.queue_peak, 1);
+        assert!(r.detail.queue_peak >= r.totals.max_queue_depth);
+    }
+
+    #[test]
+    fn scope_off_and_scope_on_agree_on_the_service_result() {
+        // Profiling per job must not perturb the virtual schedule: the
+        // scope-on run's ServiceResult equals the scope-off run's.
+        let sched = || {
+            vec![
+                (1u64, JobSpec::new(0, "conv", 8, 2_000)),
+                (500, JobSpec::new(1, "bezier", 4, 200_000)),
+            ]
+        };
+        let off = serve(sched(), &quick_cfg());
+        let (on, report) = serve_scoped(sched(), &quick_cfg(), Some(&ScopeOptions::default()));
+        let rep = report.expect("scope on");
+        assert_eq!(off.totals, on.totals);
+        assert_eq!(off.records, on.records);
+        assert_eq!(off.latencies, on.latencies);
+        // The scope report saw the same history the result records.
+        assert_eq!(rep.jobs.len(), 2);
+        assert_eq!(rep.drained_at, on.totals.drained_at);
+        assert_eq!(
+            rep.fleet.total.jobs, on.totals.completed,
+            "every completed job folded into the fleet book"
+        );
     }
 }

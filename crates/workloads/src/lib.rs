@@ -53,6 +53,30 @@ pub enum WorkloadClass {
     SpecFp,
 }
 
+impl WorkloadClass {
+    /// Every class, in canonical (rendering) order.
+    pub const ALL: [WorkloadClass; 5] = [
+        WorkloadClass::HandOptimized,
+        WorkloadClass::Eembc,
+        WorkloadClass::Versabench,
+        WorkloadClass::SpecInt,
+        WorkloadClass::SpecFp,
+    ];
+
+    /// Stable snake_case label (JSON keys, stats-registry metric names,
+    /// clp-scope fleet-book rollup keys).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::HandOptimized => "hand_optimized",
+            WorkloadClass::Eembc => "eembc",
+            WorkloadClass::Versabench => "versabench",
+            WorkloadClass::SpecInt => "spec_int",
+            WorkloadClass::SpecFp => "spec_fp",
+        }
+    }
+}
+
 /// Coarse ILP classification used to arrange Figure 6's x-axis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum IlpClass {

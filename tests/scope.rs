@@ -1,0 +1,223 @@
+//! Integration suite for clp-scope: span-tree invariants over random
+//! seeded arrival streams, byte-identical scope-on replay against the
+//! committed `SCOPE_serve.json` golden, and the observational guarantee
+//! that turning scope on does not change the `clp-serve-v1` document.
+//!
+//! The span invariants are structural: a job's lifecycle must *tile* —
+//! queued, attempt, and backoff spans meet edge-to-edge from arrival to
+//! finish with no gaps and no overlaps — and the worker occupancy
+//! tracks must never double-book a slot. Any scheduler change that
+//! breaks the event ordering contract shows up here as a torn span.
+
+use clp::obs::{ScopeOptions, ScopeReport, Terminal};
+use clp::serve::{
+    arrivals::{self, ArrivalConfig},
+    serve_scoped, ServiceConfig, ServiceReport,
+};
+use proptest::prelude::*;
+
+/// The exact configuration `clp-serve --bench` / `clp-scope --bench`
+/// pin, so this suite guards the same run CI replays.
+fn bench_arrivals() -> ArrivalConfig {
+    ArrivalConfig {
+        jobs: 48,
+        seed: 42,
+        mean_gap: 3_000,
+        budget: 200_000,
+        tight_every: 7,
+        tight_budget: 2_500,
+        plant_panic: vec![5, 23],
+        kill_at: vec![(11, 800)],
+    }
+}
+
+fn bench_cfg() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        queue_cap: 8,
+        degrade_at: 6,
+        max_retries: 3,
+        seed: 42,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Asserts every structural span invariant on one scope report.
+fn assert_span_invariants(rep: &ScopeReport) {
+    let mut completed = 0u64;
+    for j in &rep.jobs {
+        let executed = !matches!(j.terminal, Terminal::Shed | Terminal::Invalid);
+        if !executed {
+            // Rejected at admission: no lifecycle beyond the arrival.
+            assert!(j.queued.is_empty(), "job {}: shed jobs have no spans", j.id);
+            assert!(j.attempts.is_empty());
+            assert_eq!(j.finish, j.arrival);
+            continue;
+        }
+        if matches!(j.terminal, Terminal::Completed { .. }) {
+            completed += 1;
+        }
+        // The lifecycle tiles: queued[k] | attempt[k] | backoff[k] |
+        // queued[k+1] | ... with every edge meeting exactly.
+        assert_eq!(
+            j.attempts.len(),
+            j.backoffs.len() + 1,
+            "job {}: one more attempt than backoffs",
+            j.id
+        );
+        assert_eq!(j.queued.len(), j.attempts.len(), "job {}", j.id);
+        assert_eq!(j.queued[0].start, j.arrival, "job {}", j.id);
+        for (k, a) in j.attempts.iter().enumerate() {
+            assert_eq!(j.queued[k].end, a.start, "job {} attempt {k}", j.id);
+            assert!(a.start <= a.end, "job {} attempt {k}", j.id);
+            if let Some(c) = &a.compile {
+                // A cache miss compiles inside the attempt, never a hit.
+                assert!(!a.cache_hit, "job {} attempt {k}: hit never compiles", j.id);
+                assert!(c.start >= a.start && c.end <= a.end, "job {}", j.id);
+            }
+            if let Some(b) = j.backoffs.get(k) {
+                assert_eq!(a.end, b.start, "job {} backoff {k}", j.id);
+                assert_eq!(
+                    b.end,
+                    j.queued[k + 1].start,
+                    "job {} backoff {k} releases into the next queued span",
+                    j.id
+                );
+            }
+        }
+        assert_eq!(
+            j.attempts.last().expect("executed jobs attempt").end,
+            j.finish,
+            "job {}: the last attempt ends the lifecycle",
+            j.id
+        );
+        assert!(j.finish <= rep.drained_at, "job {}", j.id);
+    }
+
+    // Worker occupancy: per-slot slices are sorted and disjoint.
+    assert_eq!(rep.tracks.len(), rep.workers);
+    for (w, track) in rep.tracks.iter().enumerate() {
+        for pair in track.slices.windows(2) {
+            assert!(
+                pair[0].end <= pair[1].start,
+                "worker {w}: occupancy overlaps ({:?} then {:?})",
+                (pair[0].job, pair[0].start, pair[0].end),
+                (pair[1].job, pair[1].start, pair[1].end),
+            );
+        }
+    }
+    // Every occupancy slice is some job's attempt, edge for edge.
+    for track in &rep.tracks {
+        for s in &track.slices {
+            let j = rep.jobs.iter().find(|j| j.id == s.job).expect("job exists");
+            let a = &j.attempts[s.attempt as usize];
+            assert_eq!((a.start, a.end), (s.start, s.end));
+        }
+    }
+
+    // The fleet book is exactly the sum of the per-job run-level books.
+    assert_eq!(rep.fleet.total.jobs, completed);
+    let mut want = clp::obs::BucketCycles::default();
+    let mut want_sim = 0u64;
+    for j in &rep.jobs {
+        if let Some(book) = &j.book {
+            want.merge(book);
+        }
+        if let Terminal::Completed { cycles } = &j.terminal {
+            want_sim += cycles;
+        }
+    }
+    assert_eq!(rep.fleet.total.buckets, want, "fleet book = sum of job books");
+    assert_eq!(rep.fleet.total.sim_cycles, want_sim);
+    let by_class: u64 = rep.fleet.by_class.values().map(|b| b.sim_cycles).sum();
+    let by_cores: u64 = rep.fleet.by_cores.values().map(|b| b.sim_cycles).sum();
+    assert_eq!(by_class, want_sim, "class rollups partition the fleet");
+    assert_eq!(by_cores, want_sim, "size rollups partition the fleet");
+}
+
+#[test]
+fn bench_replay_is_byte_identical_and_matches_the_committed_goldens() {
+    let acfg = bench_arrivals();
+    let scfg = bench_cfg();
+    let opts = ScopeOptions::default();
+    let run = || serve_scoped(arrivals::generate(&acfg), &scfg, Some(&opts));
+
+    let (result_a, scope_a) = run();
+    let (result_b, scope_b) = run();
+    let scope_a = scope_a.expect("scope on");
+    let scope_b = scope_b.expect("scope on");
+
+    // Same (seed, job list) => byte-identical clp-scope-v1 documents.
+    assert_eq!(
+        scope_a.to_json(),
+        scope_b.to_json(),
+        "scope replay must be byte-identical"
+    );
+    assert_eq!(result_a, result_b);
+
+    // ... and identical to the committed golden.
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/SCOPE_serve.json");
+    let golden = std::fs::read_to_string(golden_path).expect("committed SCOPE_serve.json");
+    assert_eq!(
+        scope_a.to_json(),
+        golden,
+        "replay diverged from SCOPE_serve.json; regenerate with \
+         `clp-scope --bench --json SCOPE_serve.json` if intentional"
+    );
+
+    // Scope is observational: the clp-serve-v1 document of the scope-on
+    // run is the committed scope-off benchmark, byte for byte.
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+    let bench = std::fs::read_to_string(bench_path).expect("committed BENCH_serve.json");
+    let rep = ServiceReport::new(&acfg, &scfg, &result_a).to_json();
+    assert_eq!(rep, bench, "scope on must not perturb the service document");
+
+    // The chaotic bench run satisfies every span invariant too.
+    assert_span_invariants(&scope_a);
+    assert_eq!(scope_a.fleet.total.jobs, result_a.totals.completed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 50,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn span_invariants_hold_over_random_arrival_streams(
+        jobs in 1usize..10,
+        seed in 0u64..512,
+        workers in 1usize..4,
+        queue_cap in 1usize..6,
+        tight_every in 0usize..5,
+        panic_pick in 0u64..4,
+    ) {
+        let acfg = ArrivalConfig {
+            jobs,
+            seed,
+            mean_gap: 2_500,
+            budget: 150_000,
+            tight_every,
+            tight_budget: 2_000,
+            // Sometimes sabotage a job that may or may not exist.
+            plant_panic: vec![panic_pick],
+            kill_at: vec![],
+        };
+        let scfg = ServiceConfig {
+            workers,
+            queue_cap,
+            degrade_at: queue_cap.max(2) - 1,
+            max_retries: 2,
+            seed,
+            ..ServiceConfig::default()
+        };
+        let (result, scope) =
+            serve_scoped(arrivals::generate(&acfg), &scfg, Some(&ScopeOptions::default()));
+        let scope = scope.expect("scope on");
+        prop_assert_eq!(scope.jobs.len(), jobs, "every submitted job gets a span tree");
+        prop_assert_eq!(scope.fleet.total.jobs, result.totals.completed);
+        prop_assert_eq!(scope.drained_at, result.totals.drained_at);
+        assert_span_invariants(&scope);
+    }
+}
